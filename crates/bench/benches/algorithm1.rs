@@ -1,0 +1,32 @@
+//! Algorithm 1 (uniform-CTMDP timed reachability) on the FTWC — the inner
+//! loop whose runtimes the paper's Table 1 reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicon_core::PreparedModel;
+use unicon_ctmdp::reachability::{timed_reachability, ReachOptions};
+use unicon_ftwc::{generator, FtwcParams};
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1_ftwc");
+    g.sample_size(10);
+    for n in [1usize, 4, 8] {
+        let model = generator::build_uimc(&FtwcParams::new(n));
+        let prepared = PreparedModel::new(&model.uniform, &model.premium_down).unwrap();
+        g.bench_function(format!("n{n}_t100h"), |b| {
+            b.iter(|| {
+                timed_reachability(
+                    &prepared.ctmdp,
+                    &prepared.goal,
+                    black_box(100.0),
+                    &ReachOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm1);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Stochastic branching bisimulation minimization on interleaved component
+//! groups — the compositional route's workhorse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicon_core::UniformImc;
+use unicon_ctmc::PhaseType;
+use unicon_imc::{bisim, View};
+use unicon_lts::LtsBuilder;
+
+fn component() -> UniformImc {
+    let mut b = LtsBuilder::new(4, 0);
+    b.add("fail", 0, 1);
+    b.add("g", 1, 2);
+    b.add("repair", 2, 3);
+    b.add("r", 3, 0);
+    let lts = UniformImc::from_lts(&b.build());
+    let tf = UniformImc::from_elapse(
+        &PhaseType::exponential(0.01).uniformize_at_max(),
+        "fail",
+        "r",
+    );
+    let tr = UniformImc::from_elapse(
+        &PhaseType::exponential(1.0).uniformize_at_max(),
+        "repair",
+        "g",
+    );
+    tf.parallel(&tr, &[])
+        .parallel(&lts, &["fail", "g", "repair", "r"])
+        .hide(&["fail", "repair"])
+}
+
+fn bench_bisim(c: &mut Criterion) {
+    let unit = component();
+    let mut g = c.benchmark_group("branching_bisim");
+    g.sample_size(10);
+    for copies in [2usize, 3] {
+        let mut acc = unit.clone();
+        for _ in 1..copies {
+            acc = acc.parallel(&unit, &[]);
+        }
+        let imc = acc.imc().clone();
+        g.bench_function(
+            format!("group{copies}_{}states", imc.num_states()),
+            |b| b.iter(|| bisim::minimize(black_box(&imc), View::Open)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bisim);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Parallel composition and the elapse construction — the model-building
+//! side of the trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicon_ctmc::PhaseType;
+use unicon_ftwc::{generator, FtwcParams};
+use unicon_imc::elapse;
+
+fn bench_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_building");
+    g.sample_size(10);
+
+    g.bench_function("elapse_erlang32", |b| {
+        let ph = PhaseType::erlang(32, 2.0).uniformize_at_max();
+        b.iter(|| elapse::elapse(black_box(&ph), "f", "r"))
+    });
+
+    for n in [4usize, 16, 32] {
+        g.bench_function(format!("ftwc_generator_n{n}"), |b| {
+            let params = FtwcParams::new(n);
+            b.iter(|| generator::build_uimc(black_box(&params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

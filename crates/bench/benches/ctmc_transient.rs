@@ -1,0 +1,26 @@
+//! CTMC transient/reachability analysis — the baseline the paper compares
+//! its CTMDP runtimes against ("time and space requirements are of similar
+//! order for models of similar size").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicon_ctmc::transient::{self, TransientOptions};
+use unicon_ftwc::{generator, FtwcParams};
+
+fn bench_ctmc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctmc_reachability_ftwc");
+    g.sample_size(10);
+    for n in [1usize, 4] {
+        let mut params = FtwcParams::new(n);
+        params.gamma = 100.0;
+        let (ctmc, goal, _) = generator::build_ctmc(&params);
+        let opts = TransientOptions::default().with_epsilon(1e-6);
+        g.bench_function(format!("n{n}_t100h"), |b| {
+            b.iter(|| transient::reachability(&ctmc, &goal, black_box(100.0), &opts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ctmc);
+criterion_main!(benches);

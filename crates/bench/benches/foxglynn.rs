@@ -1,0 +1,23 @@
+//! Fox–Glynn weight computation across the λ range relevant to the paper
+//! (λ = E·t from ~2 to ~75 000).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicon_numeric::FoxGlynn;
+
+fn bench_foxglynn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("foxglynn");
+    g.sample_size(20);
+    for lambda in [2.0, 200.0, 5_000.0, 75_000.0] {
+        g.bench_function(format!("new_lambda_{lambda}"), |b| {
+            b.iter(|| {
+                let fg = FoxGlynn::new(black_box(lambda));
+                black_box(fg.right_truncation(1e-6))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_foxglynn);
+criterion_main!(benches);

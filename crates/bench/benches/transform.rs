@@ -1,0 +1,23 @@
+//! The uIMC → uCTMDP transformation on FTWC models of growing size
+//! (the paper's "Transf. time" column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicon_ftwc::{generator, FtwcParams};
+use unicon_transform::transform;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform_ftwc");
+    g.sample_size(10);
+    for n in [2usize, 8, 16] {
+        let model = generator::build_uimc(&FtwcParams::new(n));
+        let imc = model.uniform.imc().clone();
+        g.bench_function(format!("n{n}_{}states", imc.num_states()), |b| {
+            b.iter(|| transform(black_box(&imc)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

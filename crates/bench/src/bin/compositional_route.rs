@@ -1,0 +1,77 @@
+//! Reproduces the "Technicalities" observations of Section 5: the
+//! compositional (CADP-style) construction works for small N thanks to
+//! compositional minimization, but intermediate state spaces grow quickly —
+//! the paper itself gave up at N = 16. The generated (PRISM-style) route
+//! scales instead, and both routes agree on the analysis results.
+//!
+//! ```text
+//! cargo run -p unicon-bench --release --bin compositional_route [-- --max-n N]
+//! ```
+
+use std::time::Instant;
+
+use unicon_bench::opt_value;
+use unicon_core::PreparedModel;
+use unicon_ftwc::{compositional, experiment, generator, FtwcParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_n: usize = opt_value(&args, "--max-n").unwrap_or(3);
+    let t = 100.0;
+    let epsilon = 1e-8;
+
+    println!("Compositional (CADP-route) vs. generated (PRISM-route) FTWC models");
+    println!("worst-case P(premium lost within {t} h), ε = {epsilon:.0e}\n");
+    println!(
+        "{:>3} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9} | {:>11}",
+        "N", "comp states", "comp P", "comp (s)", "gen states", "gen P", "gen (s)", "|ΔP|"
+    );
+
+    for n in 1..=max_n {
+        let params = FtwcParams::new(n);
+
+        let start = Instant::now();
+        let comp = compositional::build(&params);
+        let comp_prepared =
+            PreparedModel::new(&comp.uniform.close(), &comp.premium_down).expect("transforms");
+        let p_comp = comp_prepared
+            .worst_case(t, epsilon)
+            .expect("uniform")
+            .from_state(comp_prepared.ctmdp.initial());
+        let comp_time = start.elapsed();
+        let comp_states = comp.uniform.imc().num_states();
+
+        let start = Instant::now();
+        let gen = generator::build_uimc(&params);
+        let gen_prepared =
+            PreparedModel::new(&gen.uniform, &gen.premium_down).expect("transforms");
+        let p_gen = gen_prepared
+            .worst_case(t, epsilon)
+            .expect("uniform")
+            .from_state(gen_prepared.ctmdp.initial());
+        let gen_time = start.elapsed();
+        let gen_states = gen.uniform.imc().num_states();
+
+        println!(
+            "{:>3} | {:>12} {:>12.6e} {:>9.2} | {:>12} {:>12.6e} {:>9.2} | {:>11.2e}",
+            n,
+            comp_states,
+            p_comp,
+            comp_time.as_secs_f64(),
+            gen_states,
+            p_gen,
+            gen_time.as_secs_f64(),
+            (p_comp - p_gen).abs()
+        );
+    }
+
+    println!(
+        "\nThe two constructions use different uniform rates (per-component elapse\n\
+         timers vs. one shared repair timer) yet describe the same stochastic\n\
+         behaviour — the probabilities agree to analysis precision. The paper's\n\
+         CADP route hit a 2 GB wall at N = 16; the compositional route here is\n\
+         likewise only practical for small N, which is exactly the point of the\n\
+         scalable counter generator."
+    );
+    let _ = experiment::cross_validate; // same computation, exposed as API
+}

@@ -1,0 +1,77 @@
+//! Regenerates the paper's **Table 1**: model sizes, memory usage,
+//! transformation time, and Algorithm-1 runtime/iteration counts for the
+//! FTWC at ε = 10⁻⁶, for N ∈ {1, 2, 4, 8, 16, 32, 64, 128}.
+//!
+//! By default the long-horizon (30000 h) analysis is only run for N ≤ 8 to
+//! keep the run short; pass `--full` for the complete sweep (expect tens of
+//! minutes for N = 128) or `--max-n <N>` to cap the cluster size.
+//!
+//! ```text
+//! cargo run -p unicon-bench --release --bin table1 [-- --full] [--max-n N]
+//! ```
+
+use unicon_bench::{format_bytes, format_secs, has_flag, opt_value, PAPER_TABLE1};
+use unicon_ftwc::{experiment, FtwcParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = has_flag(&args, "--full");
+    let max_n: usize = opt_value(&args, "--max-n").unwrap_or(if full { 128 } else { 64 });
+    let epsilon = 1e-6;
+    let (t_short, t_long) = (100.0, 30_000.0);
+
+    println!("Table 1 — FTWC model sizes, memory and Algorithm-1 runtimes (ε = {epsilon:.0e})");
+    println!("paper values in parentheses; iterations differ because our Fox–Glynn");
+    println!("truncation is the minimal k with P[X <= k] >= 1-ε, not the closed-form bound\n");
+    println!(
+        "{:>4} | {:>9} {:>9} | {:>9} {:>9} | {:>9} | {:>8} | {:>9} {:>9} | {:>7} {:>7}",
+        "N",
+        "IntSt",
+        "MarkSt",
+        "IntTr",
+        "MarkTr",
+        "Mem",
+        "Tf(s)",
+        "100h(s)",
+        "30kh(s)",
+        "it100",
+        "it30k"
+    );
+
+    for &(n, pi, pm, pti, ptm, ptf, pr100, pr30k, pit100, pit30k) in &PAPER_TABLE1 {
+        if n > max_n {
+            break;
+        }
+        let run_long = full || n <= 8;
+        let bounds: Vec<f64> = if run_long {
+            vec![t_short, t_long]
+        } else {
+            vec![t_short]
+        };
+        let row = experiment::table1_row(&FtwcParams::new(n), &bounds, epsilon);
+        let (r100, it100, p100) = (row.analyses[0].1, row.analyses[0].2, row.analyses[0].3);
+        let long = row.analyses.get(1);
+        println!(
+            "{:>4} | {:>9} {:>9} | {:>9} {:>9} | {:>9} | {:>8} | {:>9} {:>9} | {:>7} {:>7}",
+            n,
+            row.interactive_states,
+            row.markov_states,
+            row.interactive_transitions,
+            row.markov_transitions,
+            format_bytes(row.memory_bytes),
+            format_secs(row.transform_time),
+            format_secs(r100),
+            long.map_or_else(|| "-".into(), |l| format_secs(l.1)),
+            it100,
+            long.map_or_else(|| "-".into(), |l| l.2.to_string()),
+        );
+        println!(
+            "     | ({pi:>7}) ({pm:>7}) | ({pti:>7}) ({ptm:>7}) |           | ({ptf:>5.1}) | ({pr100:>6.2}) ({pr30k:>6.1}) | ({pit100:>4}) ({pit30k:>5})"
+        );
+        print!("     | worst-case P(premium lost, 100 h) = {p100:.6e}");
+        if let Some(l) = long {
+            print!(",  30000 h = {:.6e}", l.3);
+        }
+        println!("\n");
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared helpers for the benchmark harness binaries that regenerate the
+//! paper's Table 1 and Figure 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// One row of the paper's Table 1: `(N, interactive states, Markov states,
+/// interactive transitions, Markov transitions, transformation time s,
+/// runtime 100 h s, runtime 30000 h s, iterations 100 h,
+/// iterations 30000 h)`.
+pub type PaperRow = (usize, usize, usize, usize, usize, f64, f64, f64, usize, usize);
+
+/// The paper's Table 1, verbatim, for side-by-side comparison.
+pub const PAPER_TABLE1: [PaperRow; 8] = [
+    (1, 110, 81, 155, 324, 5.37, 0.01, 6.04, 372, 62_161),
+    (2, 274, 205, 403, 920, 4.32, 0.01, 12.33, 372, 62_284),
+    (4, 818, 621, 1235, 3000, 5.25, 0.04, 37.28, 373, 62_528),
+    (8, 2770, 2125, 4243, 10_712, 5.83, 0.13, 47.77, 375, 63_016),
+    (16, 10_130, 7821, 15_635, 40_344, 6.61, 0.52, 294.97, 378, 63_993),
+    (32, 38_674, 29_965, 59_923, 156_440, 9.44, 3.23, 877.52, 384, 65_945),
+    (64, 151_058, 117_261, 234_515, 615_960, 20.58, 37.42, 3044.72, 397, 69_849),
+    (128, 597_010, 463_885, 927_763, 2_444_312, 57.31, 557.52, 20_867.06, 423, 77_651),
+];
+
+/// Formats a byte count the way the paper does (KB / MB).
+pub fn format_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn format_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        format!("{:.2e}", s)
+    } else if s < 10.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Simple flag lookup in the argument list.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses `--key value` style options.
+pub fn opt_value<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(14_540), "14.2 KB");
+        assert_eq!(format_bytes(98_147_436), "93.6 MB");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(format_secs(Duration::from_millis(1)), "1.00e-3");
+        assert_eq!(format_secs(Duration::from_millis(2500)), "2.500");
+        assert_eq!(format_secs(Duration::from_secs(100)), "100.0");
+    }
+
+    #[test]
+    fn flag_and_opt_parsing() {
+        let args: Vec<String> = ["--full", "--max-n", "32"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(has_flag(&args, "--full"));
+        assert!(!has_flag(&args, "--quick"));
+        assert_eq!(opt_value::<usize>(&args, "--max-n"), Some(32));
+        assert_eq!(opt_value::<usize>(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn paper_table_is_monotone_in_n() {
+        for w in PAPER_TABLE1.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+}

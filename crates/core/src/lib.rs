@@ -1,0 +1,719 @@
+//! Uniformity by construction: the paper's headline API.
+//!
+//! [`UniformImc`] wraps an IMC together with its uniform rate and only
+//! offers operations that *provably preserve uniformity* — hiding (Lemma 1),
+//! parallel composition (Lemma 2, rates add), relabelling, and stochastic
+//! branching bisimulation minimization (Lemma 3 / Corollary 1). A model
+//! assembled through this type is therefore uniform by construction, and
+//! [`PreparedModel`] closes it, runs the uIMC → uCTMDP transformation and
+//! exposes worst-/best-case timed reachability.
+//!
+//! In debug builds every operation re-verifies the invariant; release
+//! builds trust the lemmas (that is the point of the paper).
+//!
+//! # Examples
+//!
+//! A two-component system — a job that can only finish after an
+//! exponentially distributed service delay, competing against a deadline:
+//!
+//! ```
+//! use unicon_core::{PreparedModel, UniformImc};
+//! use unicon_ctmc::PhaseType;
+//! use unicon_lts::LtsBuilder;
+//!
+//! // Functional behaviour: work --finish--> done (--restart--> work).
+//! let mut b = LtsBuilder::new(2, 0);
+//! b.add("finish", 0, 1);
+//! b.add("restart", 1, 0);
+//! let job = UniformImc::from_lts(&b.build());
+//!
+//! // Timing: `finish` takes an Erlang(2) distributed delay, restarting on
+//! // `restart`.
+//! let delay = PhaseType::erlang(2, 3.0).uniformize_at_max();
+//! let constraint = UniformImc::from_elapse(&delay, "finish", "restart");
+//!
+//! // Uniform by construction: 0 (LTS) + 3.0 (constraint).
+//! let system = constraint.parallel(&job, &["finish", "restart"]);
+//! assert_eq!(system.rate(), 3.0);
+//!
+//! // Goal: the job is done.
+//! let goal: Vec<bool> = (0..system.imc().num_states())
+//!     .map(|s| {
+//!         system.imc().interactive_from(s as u32).iter().any(|t| {
+//!             system.imc().actions().name(t.action) == "restart"
+//!         })
+//!     })
+//!     .collect();
+//! let prepared = PreparedModel::new(&system.close(), &goal).expect("transformable");
+//! let res = prepared.worst_case(1.0, 1e-9).expect("uniform");
+//! let p = res.values[prepared.ctmdp.initial() as usize];
+//! assert!(p > 0.0 && p < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use unicon_ctmc::phase_type::UniformPhaseType;
+use unicon_ctmdp::reachability::{self, Objective, ReachOptions, ReachResult};
+use unicon_ctmdp::{Ctmdp, NotUniformError};
+use unicon_imc::{bisim, elapse, Imc, Uniformity, View};
+use unicon_lts::Lts;
+use unicon_transform::{transform, TransformError, TransformStats};
+
+/// Error returned when a model fails the uniformity check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformityError {
+    /// The offending check result.
+    pub details: Uniformity,
+}
+
+impl std::fmt::Display for UniformityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.details {
+            Uniformity::NonUniform {
+                state_a,
+                rate_a,
+                state_b,
+                rate_b,
+            } => write!(
+                f,
+                "model is not uniform: stable state {state_a} has exit rate {rate_a}, \
+                 stable state {state_b} has exit rate {rate_b}"
+            ),
+            _ => write!(f, "model unexpectedly failed the uniformity check"),
+        }
+    }
+}
+
+impl std::error::Error for UniformityError {}
+
+/// An IMC that is **uniform by construction**.
+///
+/// Every constructor establishes the invariant (checking it where it is not
+/// guaranteed by a lemma) and every operation preserves it, so the wrapped
+/// model can always be fed to the uniform-CTMDP timed-reachability
+/// algorithm after transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformImc {
+    imc: Imc,
+    rate: f64,
+}
+
+impl UniformImc {
+    /// Wraps an arbitrary IMC after verifying uniformity (open view, over
+    /// reachable states).
+    ///
+    /// # Errors
+    ///
+    /// [`UniformityError`] if two reachable stable states have different
+    /// exit rates.
+    pub fn try_new(imc: Imc) -> Result<Self, UniformityError> {
+        match imc.uniformity(View::Open) {
+            Uniformity::Uniform(rate) => Ok(Self { imc, rate }),
+            Uniformity::Vacuous => Ok(Self { imc, rate: 0.0 }),
+            details @ Uniformity::NonUniform { .. } => Err(UniformityError { details }),
+        }
+    }
+
+    /// Embeds an LTS — uniform with rate 0 by definition.
+    pub fn from_lts(lts: &Lts) -> Self {
+        Self {
+            imc: Imc::from_lts(lts),
+            rate: 0.0,
+        }
+    }
+
+    /// Builds a time-constraint IMC `El(Ph, f, r)` — uniform with the
+    /// phase-type's uniformization rate by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`elapse::elapse`].
+    pub fn from_elapse(ph: &UniformPhaseType, f: &str, r: &str) -> Self {
+        let imc = elapse::elapse(ph, f, r);
+        let out = Self {
+            imc,
+            rate: ph.rate(),
+        };
+        out.debug_check();
+        out
+    }
+
+    /// Builds a shared (mutually exclusive) multi-way time constraint —
+    /// see [`elapse::shared_elapse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`elapse::shared_elapse`].
+    pub fn from_shared_elapse(branches: &[(&str, &str, &UniformPhaseType)]) -> Self {
+        let rate = branches
+            .first()
+            .map(|(_, _, ph)| ph.rate())
+            .unwrap_or_default();
+        let out = Self {
+            imc: elapse::shared_elapse(branches),
+            rate,
+        };
+        out.debug_check();
+        out
+    }
+
+    /// The uniform rate `E`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The wrapped IMC.
+    pub fn imc(&self) -> &Imc {
+        &self.imc
+    }
+
+    /// Unwraps the IMC.
+    pub fn into_inner(self) -> Imc {
+        self.imc
+    }
+
+    /// Parallel composition (Lemma 2): uniform with rate
+    /// `self.rate() + other.rate()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sync` contains τ.
+    pub fn parallel(&self, other: &UniformImc, sync: &[&str]) -> UniformImc {
+        let out = Self {
+            imc: self.imc.parallel(&other.imc, sync),
+            rate: self.rate + other.rate,
+        };
+        out.debug_check();
+        out
+    }
+
+    /// Alphabetized parallel composition: synchronizes on **all** visible
+    /// actions the two alphabets share (CSP-style `A ‖ B`).
+    ///
+    /// This is the safe default when composing time constraints that
+    /// reference each other's actions — e.g. a failure-delay constraint
+    /// restarted by `repair` together with a repair-delay constraint
+    /// restarted by `fail`: a single occurrence of `fail` must be the gate
+    /// of one constraint *and* the restart of the other simultaneously.
+    /// Interleaving shared actions instead silently drops the gating.
+    pub fn compose(&self, other: &UniformImc) -> UniformImc {
+        let shared: Vec<&str> = self.imc.shared_alphabet(&other.imc);
+        self.parallel(other, &shared)
+    }
+
+    /// Like [`UniformImc::compose`], additionally returning the per-product
+    /// state component pair.
+    pub fn compose_with_map(&self, other: &UniformImc) -> (UniformImc, Vec<(u32, u32)>) {
+        let shared: Vec<&str> = self.imc.shared_alphabet(&other.imc);
+        self.parallel_with_map(other, &shared)
+    }
+
+    /// Like [`UniformImc::parallel`], additionally returning, for every
+    /// product state, the pair of component states it represents — needed
+    /// to evaluate state predicates (goal sets) on the composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sync` contains τ.
+    pub fn parallel_with_map(
+        &self,
+        other: &UniformImc,
+        sync: &[&str],
+    ) -> (UniformImc, Vec<(u32, u32)>) {
+        let (imc, map) = self.imc.parallel_with_map(&other.imc, sync);
+        let out = Self {
+            imc,
+            rate: self.rate + other.rate,
+        };
+        out.debug_check();
+        (out, map)
+    }
+
+    /// Hiding (Lemma 1): uniformity and rate are preserved.
+    pub fn hide(&self, actions: &[&str]) -> UniformImc {
+        let out = Self {
+            imc: self.imc.hide(actions),
+            rate: self.rate,
+        };
+        out.debug_check();
+        out
+    }
+
+    /// Relabelling: purely syntactic, preserves uniformity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if τ appears as a source label.
+    pub fn relabel(&self, map: &[(&str, &str)]) -> UniformImc {
+        let out = Self {
+            imc: self.imc.relabel(map),
+            rate: self.rate,
+        };
+        out.debug_check();
+        out
+    }
+
+    /// Stochastic branching bisimulation minimization (Lemma 3 /
+    /// Corollary 1): the quotient is uniform with the same rate.
+    pub fn minimize(&self) -> UniformImc {
+        let out = Self {
+            imc: bisim::minimize(&self.imc, View::Open),
+            rate: self.rate,
+        };
+        out.debug_check();
+        out
+    }
+
+    /// Label-respecting minimization: returns the quotient and the labels
+    /// of its states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the state count.
+    pub fn minimize_labeled(&self, labels: &[u32]) -> (UniformImc, Vec<u32>) {
+        let (imc, new_labels) = bisim::minimize_labeled(&self.imc, View::Open, labels);
+        let out = Self {
+            imc,
+            rate: self.rate,
+        };
+        out.debug_check();
+        (out, new_labels)
+    }
+
+    /// Restricts to reachable states.
+    pub fn restrict_to_reachable(&self) -> UniformImc {
+        Self {
+            imc: self.imc.restrict_to_reachable(),
+            rate: self.rate,
+        }
+    }
+
+    /// Switches to the **closed system view**: the model is complete, no
+    /// further composition will happen, and the urgency assumption (every
+    /// interactive transition pre-empts Markov transitions) applies.
+    ///
+    /// Sound because closed-view stability implies open-view stability:
+    /// every state the urgency check inspects was already checked by the
+    /// open-view invariant.
+    pub fn close(&self) -> ClosedModel {
+        ClosedModel {
+            imc: self.imc.clone(),
+            rate: self.rate,
+        }
+    }
+
+    /// In debug builds: re-verify the invariant the lemmas guarantee.
+    fn debug_check(&self) {
+        debug_assert!(
+            {
+                let u = self.imc.uniformity(View::Open);
+                match u {
+                    Uniformity::Uniform(e) => {
+                        (e - self.rate).abs() <= 1e-9 * self.rate.abs().max(1.0)
+                    }
+                    Uniformity::Vacuous => true,
+                    Uniformity::NonUniform { .. } => false,
+                }
+            },
+            "uniformity-by-construction invariant violated: {:?}",
+            self.imc.uniformity(View::Open)
+        );
+    }
+}
+
+/// A *complete* model under the closed system view: uniform with respect to
+/// urgency (every interactive transition pre-empts Markov transitions).
+///
+/// Unlike [`UniformImc`], a closed model offers **no composition
+/// operators** — the urgency assumption is incompatible with composition,
+/// as the paper stresses. Obtain one via [`UniformImc::close`] (for models
+/// built compositionally) or [`ClosedModel::try_new`] (for models generated
+/// directly in closed form, like the FTWC counter generator, whose
+/// visible decision actions make them non-uniform under maximal progress
+/// but uniform under urgency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedModel {
+    imc: Imc,
+    rate: f64,
+}
+
+impl ClosedModel {
+    /// Wraps a complete IMC after verifying uniformity under the closed
+    /// view (urgency) over reachable states.
+    ///
+    /// # Errors
+    ///
+    /// [`UniformityError`] if two reachable urgency-stable states have
+    /// different exit rates.
+    pub fn try_new(imc: Imc) -> Result<Self, UniformityError> {
+        match imc.uniformity(View::Closed) {
+            Uniformity::Uniform(rate) => Ok(Self { imc, rate }),
+            Uniformity::Vacuous => Ok(Self { imc, rate: 0.0 }),
+            details @ Uniformity::NonUniform { .. } => Err(UniformityError { details }),
+        }
+    }
+
+    /// The uniform rate `E`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The wrapped IMC.
+    pub fn imc(&self) -> &Imc {
+        &self.imc
+    }
+
+    /// Unwraps the IMC.
+    pub fn into_inner(self) -> Imc {
+        self.imc
+    }
+}
+
+/// A closed, transformed model ready for timed reachability analysis.
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    /// The extracted uniform CTMDP.
+    pub ctmdp: Ctmdp,
+    /// Goal vector over the CTMDP's states.
+    pub goal: Vec<bool>,
+    /// Transformation statistics (Table-1 columns).
+    pub stats: TransformStats,
+}
+
+impl PreparedModel {
+    /// Transforms a closed model to a uniform CTMDP and maps the goal
+    /// predicate through the transformation (zero-time-closure semantics,
+    /// see [`unicon_transform::TransformOutput::goal_vector`]).
+    ///
+    /// Visible action labels survive into the CTMDP's words, keeping the
+    /// remaining nondeterminism legible; the transformation's urgency step
+    /// treats visible and internal actions alike, as the closed view
+    /// demands.
+    ///
+    /// `goal[s]` refers to state `s` of `model.imc()`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError`] on Zeno behaviour or reachable dead ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `goal.len()` does not match the model's state count.
+    pub fn new(model: &ClosedModel, goal: &[bool]) -> Result<Self, TransformError> {
+        assert_eq!(
+            goal.len(),
+            model.imc().num_states(),
+            "goal vector length mismatch"
+        );
+        let out = transform(model.imc())?;
+        let goal = out.goal_vector(goal);
+        Ok(Self {
+            ctmdp: out.ctmdp,
+            goal,
+            stats: out.stats,
+        })
+    }
+
+    /// Worst-case (supremum over schedulers) timed reachability of the goal
+    /// within `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`NotUniformError`] if the CTMDP is non-uniform (cannot happen for
+    /// models built through [`UniformImc`]).
+    pub fn worst_case(&self, t: f64, epsilon: f64) -> Result<ReachResult, NotUniformError> {
+        reachability::timed_reachability(
+            &self.ctmdp,
+            &self.goal,
+            t,
+            &ReachOptions::default().with_epsilon(epsilon),
+        )
+    }
+
+    /// Best-case (infimum over schedulers) timed reachability.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedModel::worst_case`].
+    pub fn best_case(&self, t: f64, epsilon: f64) -> Result<ReachResult, NotUniformError> {
+        reachability::timed_reachability(
+            &self.ctmdp,
+            &self.goal,
+            t,
+            &ReachOptions::default()
+                .with_epsilon(epsilon)
+                .with_objective(Objective::Minimize),
+        )
+    }
+
+    /// Worst-case probability from the initial state.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedModel::worst_case`].
+    pub fn worst_case_from_initial(&self, t: f64, epsilon: f64) -> Result<f64, NotUniformError> {
+        Ok(self.worst_case(t, epsilon)?.from_state(self.ctmdp.initial()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon_ctmc::PhaseType;
+    use unicon_imc::ImcBuilder;
+    use unicon_lts::LtsBuilder;
+    use unicon_numeric::assert_close;
+    use unicon_numeric::special::erlang_cdf;
+
+    fn job_lts() -> Lts {
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("finish", 0, 1);
+        b.add("restart", 1, 0);
+        b.build()
+    }
+
+    #[test]
+    fn lts_is_rate_zero() {
+        let u = UniformImc::from_lts(&job_lts());
+        assert_eq!(u.rate(), 0.0);
+    }
+
+    #[test]
+    fn try_new_accepts_uniform_and_rejects_nonuniform() {
+        let mut b = ImcBuilder::new(2, 0);
+        b.markov(0, 2.0, 1);
+        b.markov(1, 2.0, 0);
+        assert!(UniformImc::try_new(b.build()).is_ok());
+
+        let mut b = ImcBuilder::new(2, 0);
+        b.markov(0, 1.0, 1);
+        b.markov(1, 2.0, 0);
+        let e = UniformImc::try_new(b.build()).unwrap_err();
+        assert!(e.to_string().contains("not uniform"));
+    }
+
+    #[test]
+    fn composition_adds_rates() {
+        let a = UniformImc::from_elapse(
+            &PhaseType::exponential(1.5).uniformize_at_max(),
+            "f1",
+            "r1",
+        );
+        let b = UniformImc::from_elapse(
+            &PhaseType::erlang(2, 2.0).uniformize_at_max(),
+            "f2",
+            "r2",
+        );
+        let c = a.parallel(&b, &[]);
+        assert_close!(c.rate(), 3.5, 1e-12);
+    }
+
+    #[test]
+    fn hide_relabel_minimize_keep_rate() {
+        let a = UniformImc::from_elapse(
+            &PhaseType::exponential(1.0).uniformize_at_max(),
+            "f",
+            "r",
+        );
+        assert_eq!(a.hide(&["f"]).rate(), 1.0);
+        assert_eq!(a.relabel(&[("f", "g")]).rate(), 1.0);
+        assert_eq!(a.minimize().rate(), 1.0);
+    }
+
+    #[test]
+    fn end_to_end_erlang_deadline() {
+        // The probability that the Erlang(2, 3) delayed `finish` happens
+        // within t equals the Erlang cdf; there is no nondeterminism, so
+        // worst and best case coincide with it.
+        let delay = PhaseType::erlang(2, 3.0).uniformize_at_max();
+        let constraint = UniformImc::from_elapse(&delay, "finish", "restart");
+        let job = UniformImc::from_lts(&job_lts());
+        let system = constraint.parallel(&job, &["finish", "restart"]);
+        // goal: job component in state "done", i.e. offers `restart`
+        let goal: Vec<bool> = (0..system.imc().num_states() as u32)
+            .map(|s| {
+                system
+                    .imc()
+                    .interactive_from(s)
+                    .iter()
+                    .any(|t| system.imc().actions().name(t.action) == "restart")
+            })
+            .collect();
+        let prepared = PreparedModel::new(&system.close(), &goal).expect("transformable");
+        for t in [0.2, 0.7, 2.0] {
+            let worst = prepared.worst_case_from_initial(t, 1e-10).unwrap();
+            assert_close!(worst, erlang_cdf(2, 3.0, t), 1e-8);
+            let best = prepared
+                .best_case(t, 1e-10)
+                .unwrap()
+                .from_state(prepared.ctmdp.initial());
+            assert_close!(best, worst, 1e-8);
+        }
+    }
+
+    #[test]
+    fn minimize_labeled_keeps_goal_distinction() {
+        let delay = PhaseType::erlang(3, 2.0).uniformize_at_max();
+        let constraint = UniformImc::from_elapse(&delay, "finish", "restart");
+        let job = UniformImc::from_lts(&job_lts());
+        let system = constraint.parallel(&job, &["finish", "restart"]);
+        let labels: Vec<u32> = (0..system.imc().num_states() as u32)
+            .map(|s| {
+                u32::from(
+                    system
+                        .imc()
+                        .interactive_from(s)
+                        .iter()
+                        .any(|t| system.imc().actions().name(t.action) == "restart"),
+                )
+            })
+            .collect();
+        let (small, new_labels) = system.minimize_labeled(&labels);
+        assert!(small.imc().num_states() <= system.imc().num_states());
+        assert_eq!(new_labels.len(), small.imc().num_states());
+        // both label classes survive
+        assert!(new_labels.contains(&0) && new_labels.contains(&1));
+        // minimized-then-analyzed equals directly-analyzed
+        let goal_small: Vec<bool> = new_labels.iter().map(|&l| l == 1).collect();
+        let goal_big: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
+        let p_small = PreparedModel::new(&small.close(), &goal_small)
+            .unwrap()
+            .worst_case_from_initial(1.0, 1e-10)
+            .unwrap();
+        let p_big = PreparedModel::new(&system.close(), &goal_big)
+            .unwrap()
+            .worst_case_from_initial(1.0, 1e-10)
+            .unwrap();
+        assert_close!(p_small, p_big, 1e-8);
+    }
+
+    #[test]
+    fn closed_model_checks_urgency_view() {
+        // A state with a visible action and Markov rate 0 is stable under
+        // maximal progress (open view) but unstable under urgency.
+        let mut b = ImcBuilder::new(2, 0);
+        b.interactive("decide", 0, 1);
+        b.markov(1, 2.0, 0);
+        let imc = b.build();
+        // open view: state 0 stable with rate 0, state 1 stable with 2.0
+        assert!(UniformImc::try_new(imc.clone()).is_err());
+        // closed view: state 0 is pre-empted, only state 1 counts
+        let closed = ClosedModel::try_new(imc).expect("closed-uniform");
+        assert_eq!(closed.rate(), 2.0);
+        assert_eq!(closed.imc().num_states(), 2);
+    }
+
+    #[test]
+    fn close_preserves_rate_and_model() {
+        let u = UniformImc::from_elapse(
+            &PhaseType::exponential(1.5).uniformize_at_max(),
+            "f",
+            "r",
+        );
+        let c = u.close();
+        assert_eq!(c.rate(), u.rate());
+        assert_eq!(c.imc(), u.imc());
+        let inner = c.into_inner();
+        assert_eq!(&inner, u.imc());
+    }
+
+    #[test]
+    fn compose_synchronizes_on_shared_alphabet() {
+        // Two constraints referencing each other's actions: `compose`
+        // must synchronize both shared actions, `parallel(&[], ..)` would
+        // interleave them and break the gating.
+        let a = UniformImc::from_elapse(
+            &PhaseType::exponential(1.0).uniformize_at_max(),
+            "f",
+            "r",
+        );
+        let b = UniformImc::from_elapse(
+            &PhaseType::exponential(2.0).uniformize_at_max(),
+            "r",
+            "f",
+        );
+        let composed = a.compose(&b);
+        assert_eq!(composed.rate(), 3.0);
+        // in the composition, `f` is only enabled when constraint a's
+        // completion state is reached: the initial state offers nothing
+        let f = composed.imc().actions().lookup("f").unwrap();
+        assert!(composed
+            .imc()
+            .interactive_from(composed.imc().initial())
+            .iter()
+            .all(|t| t.action != f));
+        // interleaving instead offers f immediately (via b's restart alone)
+        let interleaved = a.parallel(&b, &[]);
+        let f2 = interleaved.imc().actions().lookup("f").unwrap();
+        assert!(interleaved
+            .imc()
+            .interactive_from(interleaved.imc().initial())
+            .iter()
+            .any(|t| t.action == f2));
+    }
+
+    #[test]
+    fn compose_with_disjoint_alphabets_interleaves() {
+        let a = UniformImc::from_elapse(
+            &PhaseType::exponential(1.0).uniformize_at_max(),
+            "f1",
+            "r1",
+        );
+        let b = UniformImc::from_elapse(
+            &PhaseType::exponential(2.0).uniformize_at_max(),
+            "f2",
+            "r2",
+        );
+        let c1 = a.compose(&b);
+        let c2 = a.parallel(&b, &[]);
+        assert_eq!(c1.imc().num_states(), c2.imc().num_states());
+        assert_eq!(c1.imc().num_interactive(), c2.imc().num_interactive());
+    }
+
+    #[test]
+    fn prepared_model_rejects_mismatched_goal() {
+        let u = UniformImc::from_lts(&job_lts());
+        let result = std::panic::catch_unwind(|| {
+            PreparedModel::new(&u.close(), &[true]) // wrong length
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn worst_dominates_best_with_nondeterminism() {
+        // Two alternative routes to completion: a fast and a slow delay,
+        // chosen nondeterministically via distinct grab actions.
+        let mut b = LtsBuilder::new(5, 0);
+        b.add("go_fast", 0, 1);
+        b.add("go_slow", 0, 2);
+        b.add("finish_fast", 1, 3);
+        b.add("finish_slow", 2, 4);
+        let sys = UniformImc::from_lts(&b.build());
+        let fast = UniformImc::from_elapse(
+            &PhaseType::exponential(5.0).uniformize_at_max(),
+            "finish_fast",
+            "go_fast",
+        );
+        let slow = UniformImc::from_elapse(
+            &PhaseType::exponential(0.5).uniformize_at_max(),
+            "finish_slow",
+            "go_slow",
+        );
+        let combined = fast.parallel(&slow, &[]);
+        let (timed, map) = combined
+            .parallel_with_map(&sys, &["finish_fast", "finish_slow", "go_fast", "go_slow"]);
+        // goal: the job component reached state 3 or 4 (finished)
+        let goal: Vec<bool> = map.iter().map(|&(_, job)| job >= 3).collect();
+        let prepared = PreparedModel::new(&timed.close(), &goal).expect("transformable");
+        let t = 0.8;
+        let worst = prepared.worst_case_from_initial(t, 1e-9).unwrap();
+        let best = prepared
+            .best_case(t, 1e-9)
+            .unwrap()
+            .from_state(prepared.ctmdp.initial());
+        assert!(worst > best + 0.05, "worst {worst} vs best {best}");
+        // sanity: worst is at most the fast route's exponential cdf
+        assert!(worst <= unicon_numeric::special::exponential_cdf(5.0, t) + 1e-6);
+    }
+}

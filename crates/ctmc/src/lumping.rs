@@ -1,0 +1,299 @@
+//! Exact lumping (ordinary lumpability) for CTMCs.
+//!
+//! A partition is *ordinarily lumpable* when all states of a block have the
+//! same cumulative rate into every block; the quotient CTMC then has exactly
+//! the same transient (and steady-state) behaviour on block level. This is
+//! ingredient (2) of the minimization equivalence used in Section 3 of the
+//! paper, and the stochastic half of stochastic branching bisimulation.
+
+use std::collections::HashMap;
+
+use unicon_numeric::NeumaierSum;
+use unicon_sparse::CooBuilder;
+
+use crate::Ctmc;
+
+/// A partition of CTMC states into dense blocks `0..num_blocks`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `block[s]` is the block of state `s`.
+    pub block: Vec<u32>,
+    /// Number of blocks.
+    pub num_blocks: usize,
+}
+
+/// Computes the coarsest ordinarily lumpable partition refining the initial
+/// labelling.
+///
+/// `labels[s]` is an arbitrary state label (e.g. "goal" / "non-goal"); the
+/// resulting partition never merges states with different labels, so any
+/// measure defined on the labels is preserved.
+///
+/// Rates are bucketed with relative tolerance `1e-9` when comparing
+/// signatures.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the number of states.
+pub fn coarsest_lumping(ctmc: &Ctmc, labels: &[u32]) -> Partition {
+    assert_eq!(labels.len(), ctmc.num_states(), "label vector length mismatch");
+    let n = ctmc.num_states();
+    // Initial partition: by label.
+    let mut block = dense_renumber(labels);
+    loop {
+        // Signature: sorted (block, cumulative rate) pairs.
+        let mut keys: HashMap<(u32, Vec<(u32, u64)>), u32> = HashMap::new();
+        let mut next_block = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut per_block: HashMap<u32, NeumaierSum> = HashMap::new();
+            for (t, r) in ctmc.rates().row(s) {
+                per_block.entry(block[t]).or_default().add(r);
+            }
+            let mut sig: Vec<(u32, u64)> = per_block
+                .into_iter()
+                .map(|(b, r)| (b, quantize(r.value())))
+                .collect();
+            sig.sort_unstable();
+            let key = (block[s], sig);
+            let fresh = keys.len() as u32;
+            next_block.push(*keys.entry(key).or_insert(fresh));
+        }
+        let changed = keys.len() != count_blocks(&block);
+        block = next_block;
+        if !changed {
+            return Partition {
+                num_blocks: count_blocks(&block),
+                block,
+            };
+        }
+    }
+}
+
+/// Builds the quotient CTMC of `ctmc` under a lumpable `partition`.
+///
+/// The rate from block `B` to block `C` is read off any representative of
+/// `B` (they agree by lumpability).
+///
+/// # Panics
+///
+/// Panics if the partition length mismatches the model.
+pub fn quotient(ctmc: &Ctmc, partition: &Partition) -> Ctmc {
+    assert_eq!(
+        partition.block.len(),
+        ctmc.num_states(),
+        "partition does not match the model"
+    );
+    let nb = partition.num_blocks;
+    let mut rep = vec![usize::MAX; nb];
+    for s in 0..ctmc.num_states() {
+        let b = partition.block[s] as usize;
+        if rep[b] == usize::MAX {
+            rep[b] = s;
+        }
+    }
+    let mut b = CooBuilder::new(nb, nb);
+    for (block_id, &s) in rep.iter().enumerate() {
+        let mut per_block: HashMap<u32, NeumaierSum> = HashMap::new();
+        for (t, r) in ctmc.rates().row(s) {
+            per_block.entry(partition.block[t]).or_default().add(r);
+        }
+        for (c, r) in per_block {
+            let v = r.value();
+            if v > 0.0 {
+                b.push(block_id, c as usize, v);
+            }
+        }
+    }
+    Ctmc::from_matrix(b.build(), partition.block[ctmc.initial() as usize])
+}
+
+/// Lumps a CTMC to its coarsest quotient respecting `labels`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmc::{Ctmc, lumping};
+///
+/// // Two symmetric paths to a goal state collapse into one.
+/// let c = Ctmc::from_rates(4, 0, [
+///     (0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0),
+/// ]);
+/// let labels = [0, 0, 0, 1]; // state 3 is the goal
+/// let small = lumping::lump(&c, &labels);
+/// assert_eq!(small.num_states(), 3);
+/// ```
+pub fn lump(ctmc: &Ctmc, labels: &[u32]) -> Ctmc {
+    quotient(ctmc, &coarsest_lumping(ctmc, labels))
+}
+
+fn dense_renumber(labels: &[u32]) -> Vec<u32> {
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    labels
+        .iter()
+        .map(|&l| {
+            let fresh = remap.len() as u32;
+            *remap.entry(l).or_insert(fresh)
+        })
+        .collect()
+}
+
+fn count_blocks(block: &[u32]) -> usize {
+    let mut seen: Vec<bool> = Vec::new();
+    let mut count = 0;
+    for &b in block {
+        let b = b as usize;
+        if b >= seen.len() {
+            seen.resize(b + 1, false);
+        }
+        if !seen[b] {
+            seen[b] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Quantizes a rate for signature hashing with ~1e-9 relative tolerance.
+///
+/// Two rates that differ by less than about one part in 10⁹ map to the same
+/// key; rates further apart map to different keys. Shared by the lumping
+/// here and the stochastic bisimulations of `unicon-imc`.
+pub fn quantize(r: f64) -> u64 {
+    // Map to an integer grid: floor(r * 2^30 / scale) with a power-of-two
+    // scale chosen from the exponent, keeping ~9 significant decimal digits.
+    if r == 0.0 {
+        return 0;
+    }
+    let (m, e) = frexp(r);
+    // m in [0.5, 1): keep 30 bits of mantissa plus the exponent.
+    let mant = (m * (1u64 << 30) as f64).round() as u64;
+    ((e + 1024) as u64) << 32 | mant
+}
+
+fn frexp(x: f64) -> (f64, i32) {
+    if x == 0.0 || !x.is_finite() {
+        return (x, 0);
+    }
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    if exp == 0 {
+        // subnormal: scale up
+        let scaled = x * (1u64 << 54) as f64;
+        let (m, e) = frexp(scaled);
+        (m, e - 54)
+    } else {
+        let e = exp - 1022;
+        let mantissa_bits = (bits & !(0x7ffu64 << 52)) | (1022u64 << 52);
+        (f64::from_bits(mantissa_bits), e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::{self, TransientOptions};
+    use unicon_numeric::assert_close;
+
+    #[test]
+    fn symmetric_branches_lump() {
+        let c = Ctmc::from_rates(
+            4,
+            0,
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)],
+        );
+        let p = coarsest_lumping(&c, &[0, 0, 0, 1]);
+        assert_eq!(p.num_blocks, 3);
+        assert_eq!(p.block[1], p.block[2]);
+        let q = quotient(&c, &p);
+        // cumulative rate from block{0} into block{1,2} is 2.0
+        let b0 = p.block[0] as usize;
+        let b12 = p.block[1] as usize;
+        assert_close!(q.rate(b0, b12), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn labels_prevent_merging() {
+        let c = Ctmc::from_rates(2, 0, []);
+        // identical (absorbing) states, but different labels
+        let p = coarsest_lumping(&c, &[0, 1]);
+        assert_eq!(p.num_blocks, 2);
+        let p2 = coarsest_lumping(&c, &[5, 5]);
+        assert_eq!(p2.num_blocks, 1);
+    }
+
+    #[test]
+    fn asymmetric_rates_do_not_lump() {
+        let c = Ctmc::from_rates(
+            4,
+            0,
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.5)],
+        );
+        let p = coarsest_lumping(&c, &[0, 0, 0, 1]);
+        assert_ne!(p.block[1], p.block[2]);
+    }
+
+    #[test]
+    fn lumping_preserves_transient_probabilities() {
+        // Erlang branches: two interchangeable intermediate states.
+        let c = Ctmc::from_rates(
+            5,
+            0,
+            [
+                (0, 1, 0.5),
+                (0, 2, 0.5),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 2.0),
+            ],
+        );
+        let labels = [0, 1, 1, 2, 3];
+        let part = coarsest_lumping(&c, &labels);
+        let q = quotient(&c, &part);
+        assert!(q.num_states() < c.num_states());
+        let opts = TransientOptions::default().with_epsilon(1e-12);
+        for t in [0.5, 2.0] {
+            let pi = transient::distribution(&c, t, &opts);
+            let qi = transient::distribution(&q, t, &opts);
+            // goal state (label 3) probability agrees
+            let goal_block = part.block[4] as usize;
+            assert_close!(pi[4], qi[goal_block], 1e-9);
+        }
+    }
+
+    #[test]
+    fn lump_convenience_matches_quotient() {
+        let c = Ctmc::from_rates(3, 0, [(0, 1, 1.0), (0, 2, 1.0)]);
+        let l = lump(&c, &[0, 1, 1]);
+        assert_eq!(l.num_states(), 2);
+        assert_close!(l.rate(0, 1), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn uniform_chain_stays_uniform_after_lumping() {
+        let c = Ctmc::from_rates(
+            4,
+            0,
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 0, 2.0), (2, 0, 2.0), (3, 3, 2.0)],
+        );
+        assert!(c.is_uniform());
+        let l = lump(&c, &[0, 1, 1, 2]);
+        assert!(l.is_uniform());
+    }
+
+    #[test]
+    fn quantize_distinguishes_far_rates_not_near_ones() {
+        assert_eq!(quantize(1.0), quantize(1.0 + 1e-12));
+        assert_ne!(quantize(1.0), quantize(1.001));
+        assert_ne!(quantize(0.5), quantize(2.0));
+        assert_eq!(quantize(0.0), 0);
+    }
+
+    #[test]
+    fn frexp_reconstructs() {
+        for x in [1.0, 0.3, 123.456, 1e-12, 7e20] {
+            let (m, e) = frexp(x);
+            assert!((0.5..1.0).contains(&m.abs()), "m = {m}");
+            assert_close!(m * 2f64.powi(e), x, x * 1e-15);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The [`Ctmc`] model and its builder.
+
+use unicon_sparse::{CooBuilder, CsrMatrix};
+
+/// A finite continuous-time Markov chain.
+///
+/// Stored as a sparse matrix of transition rates `R(s, s') > 0`; self-loops
+/// are permitted (they arise from uniformization and are probabilistically
+/// irrelevant for transient measures but structurally meaningful for the
+/// uniform-IMC construction). The *exit rate* of a state is its row sum.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmc::Ctmc;
+///
+/// let c = Ctmc::from_rates(2, 0, [(0, 1, 3.0), (1, 0, 1.0)]);
+/// assert_eq!(c.exit_rate(0), 3.0);
+/// assert_eq!(c.rate(0, 1), 3.0);
+/// assert!(!c.is_uniform());
+/// assert!(c.uniformize(3.0).is_uniform());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    rates: CsrMatrix,
+    initial: u32,
+    exit_rates: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Builds a CTMC from `(source, target, rate)` triplets.
+    ///
+    /// Parallel transitions between the same pair of states are merged by
+    /// adding their rates (rates form a relation in the IMC setting, but a
+    /// CTMC's behaviour only depends on the cumulative rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is not strictly positive, or a state is out of
+    /// bounds.
+    pub fn from_rates<I>(num_states: usize, initial: u32, rates: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut b = CooBuilder::new(num_states, num_states);
+        for (s, t, r) in rates {
+            assert!(r > 0.0, "rates must be strictly positive, got {r}");
+            b.push(s, t, r);
+        }
+        Self::from_matrix(b.build(), initial)
+    }
+
+    /// Wraps an existing rate matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, contains negative entries, or the
+    /// initial state is out of bounds.
+    pub fn from_matrix(rates: CsrMatrix, initial: u32) -> Self {
+        assert_eq!(rates.rows(), rates.cols(), "rate matrix must be square");
+        assert!(
+            (initial as usize) < rates.rows(),
+            "initial state out of bounds"
+        );
+        let exit_rates: Vec<f64> = (0..rates.rows()).map(|s| rates.row_sum(s)).collect();
+        for (r, c, v) in rates.triplets() {
+            assert!(v > 0.0, "rate R({r},{c}) = {v} must be positive");
+        }
+        Self {
+            rates,
+            initial,
+            exit_rates,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rates.rows()
+    }
+
+    /// Number of stored transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.rates.nnz()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// The sparse rate matrix.
+    pub fn rates(&self) -> &CsrMatrix {
+        &self.rates
+    }
+
+    /// Cumulative rate from `s` to `t` (0 if absent).
+    pub fn rate(&self, s: usize, t: usize) -> f64 {
+        self.rates.get(s, t)
+    }
+
+    /// Exit rate `E_s` of state `s`.
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.exit_rates[s]
+    }
+
+    /// The maximal exit rate over all states.
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit_rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Whether `s` is absorbing (no outgoing rate).
+    pub fn is_absorbing(&self, s: usize) -> bool {
+        self.exit_rates[s] == 0.0
+    }
+
+    /// Whether all exit rates are equal (to each other; the common value may
+    /// be 0 only in the degenerate one-state case).
+    pub fn is_uniform(&self) -> bool {
+        self.uniform_rate().is_some()
+    }
+
+    /// The common exit rate if the CTMC is uniform.
+    pub fn uniform_rate(&self) -> Option<f64> {
+        let first = self.exit_rates.first().copied()?;
+        let tol = 1e-9 * first.abs().max(1.0);
+        self.exit_rates
+            .iter()
+            .all(|&e| (e - first).abs() <= tol)
+            .then_some(first)
+    }
+
+    /// Jensen's uniformization: every state is padded with a self-loop so
+    /// that all exit rates equal `rate`.
+    ///
+    /// The transient behaviour (state probabilities at every time point) is
+    /// unchanged; the resulting chain is uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is smaller than the maximal exit rate (within
+    /// rounding), or not strictly positive.
+    pub fn uniformize(&self, rate: f64) -> Ctmc {
+        assert!(rate > 0.0, "uniformization rate must be positive");
+        let max = self.max_exit_rate();
+        assert!(
+            rate >= max - 1e-12 * max.max(1.0),
+            "uniformization rate {rate} below maximal exit rate {max}"
+        );
+        let n = self.num_states();
+        let mut b = CooBuilder::new(n, n);
+        for (s, t, v) in self.rates.triplets() {
+            b.push(s, t, v);
+        }
+        for s in 0..n {
+            let pad = rate - self.exit_rates[s];
+            if pad > 1e-12 * rate {
+                b.push(s, s, pad);
+            }
+        }
+        Ctmc::from_matrix(b.build(), self.initial)
+    }
+
+    /// The uniformized jump-probability matrix `P = R / rate` with
+    /// `P(s,s) += 1 − E_s / rate`: the DTMC stepped by the Poisson process
+    /// of uniformization.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Ctmc::uniformize`].
+    pub fn uniformized_jump_matrix(&self, rate: f64) -> CsrMatrix {
+        assert!(rate > 0.0, "uniformization rate must be positive");
+        let max = self.max_exit_rate();
+        assert!(
+            rate >= max - 1e-12 * max.max(1.0),
+            "uniformization rate {rate} below maximal exit rate {max}"
+        );
+        let n = self.num_states();
+        let mut b = CooBuilder::new(n, n);
+        for (s, t, v) in self.rates.triplets() {
+            b.push(s, t, v / rate);
+        }
+        for s in 0..n {
+            let stay = 1.0 - self.exit_rates[s] / rate;
+            if stay > 1e-15 {
+                b.push(s, s, stay);
+            }
+        }
+        b.build()
+    }
+
+    /// The embedded jump chain: `P(s,s') = R(s,s') / E_s` (absorbing states
+    /// keep a self-loop with probability 1).
+    pub fn embedded_dtmc(&self) -> CsrMatrix {
+        let n = self.num_states();
+        let mut b = CooBuilder::new(n, n);
+        for s in 0..n {
+            if self.is_absorbing(s) {
+                b.push(s, s, 1.0);
+            } else {
+                for (t, v) in self.rates.row(s) {
+                    b.push(s, t, v / self.exit_rates[s]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Returns a copy with a different initial state (useful when studying
+    /// reachability from several starting points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of bounds.
+    pub fn with_initial(mut self, initial: u32) -> Self {
+        assert!(
+            (initial as usize) < self.num_states(),
+            "initial state out of bounds"
+        );
+        self.initial = initial;
+        self
+    }
+}
+
+/// Incremental builder for [`Ctmc`].
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmc::CtmcBuilder;
+///
+/// let mut b = CtmcBuilder::new(3, 0);
+/// b.rate(0, 1, 1.0).rate(1, 2, 2.0).rate(2, 0, 3.0);
+/// let c = b.build();
+/// assert_eq!(c.num_transitions(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    num_states: usize,
+    initial: u32,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CtmcBuilder {
+    /// Starts a builder with the given state count and initial state.
+    pub fn new(num_states: usize, initial: u32) -> Self {
+        Self {
+            num_states,
+            initial,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Adds a transition rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn rate(&mut self, source: usize, target: usize, rate: f64) -> &mut Self {
+        assert!(rate > 0.0, "rates must be strictly positive");
+        self.triplets.push((source, target, rate));
+        self
+    }
+
+    /// Finalizes the CTMC.
+    pub fn build(self) -> Ctmc {
+        Ctmc::from_rates(self.num_states, self.initial, self.triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon_numeric::assert_close;
+
+    fn two_state() -> Ctmc {
+        Ctmc::from_rates(2, 0, [(0, 1, 2.0), (1, 0, 0.5)])
+    }
+
+    #[test]
+    fn basic_queries() {
+        let c = two_state();
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.exit_rate(0), 2.0);
+        assert_eq!(c.exit_rate(1), 0.5);
+        assert_eq!(c.max_exit_rate(), 2.0);
+        assert!(!c.is_absorbing(0));
+        assert!(!c.is_uniform());
+    }
+
+    #[test]
+    fn parallel_rates_merge() {
+        let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(c.rate(0, 1), 3.5);
+        assert_eq!(c.num_transitions(), 1);
+    }
+
+    #[test]
+    fn uniformize_pads_self_loops() {
+        let u = two_state().uniformize(4.0);
+        assert!(u.is_uniform());
+        assert_close!(u.uniform_rate().unwrap(), 4.0, 1e-12);
+        assert_close!(u.rate(0, 0), 2.0, 1e-12);
+        assert_close!(u.rate(1, 1), 3.5, 1e-12);
+        // original rates untouched
+        assert_close!(u.rate(0, 1), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn uniformize_at_exact_max_rate() {
+        let u = two_state().uniformize(2.0);
+        assert!(u.is_uniform());
+        assert_eq!(u.rate(0, 0), 0.0);
+        assert_close!(u.rate(1, 1), 1.5, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "below maximal exit rate")]
+    fn uniformize_rejects_small_rate() {
+        two_state().uniformize(1.0);
+    }
+
+    #[test]
+    fn jump_matrix_rows_are_stochastic() {
+        let p = two_state().uniformized_jump_matrix(5.0);
+        for s in 0..2 {
+            assert_close!(p.row_sum(s), 1.0, 1e-12);
+        }
+        assert_close!(p.get(0, 1), 0.4, 1e-12);
+        assert_close!(p.get(0, 0), 0.6, 1e-12);
+    }
+
+    #[test]
+    fn embedded_dtmc_is_stochastic() {
+        let mut b = CtmcBuilder::new(3, 0);
+        b.rate(0, 1, 1.0).rate(0, 2, 3.0);
+        let c = b.build(); // states 1 and 2 absorbing
+        let p = c.embedded_dtmc();
+        for s in 0..3 {
+            assert_close!(p.row_sum(s), 1.0, 1e-12);
+        }
+        assert_close!(p.get(0, 2), 0.75, 1e-12);
+        assert_eq!(p.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn absorbing_state_detected() {
+        let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0)]);
+        assert!(c.is_absorbing(1));
+        assert!(!c.is_uniform()); // exit rates 1 and 0
+    }
+
+    #[test]
+    fn degenerate_single_state_is_uniform() {
+        let c = Ctmc::from_rates(1, 0, []);
+        assert!(c.is_uniform());
+        assert_eq!(c.uniform_rate(), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn rejects_zero_rate() {
+        Ctmc::from_rates(2, 0, [(0, 1, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_bad_initial() {
+        Ctmc::from_rates(1, 3, []);
+    }
+}

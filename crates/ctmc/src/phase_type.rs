@@ -1,0 +1,372 @@
+//! Phase-type distributions as absorbing CTMCs.
+//!
+//! A phase-type distribution is the distribution of the time until
+//! absorption in a finite absorbing CTMC (Neuts). Any distribution on
+//! `[0, ∞)` can be approximated arbitrarily closely by one. The paper's
+//! *elapse* operator consumes a **uniformized** phase-type CTMC; the
+//! absorbing state then re-enters itself via the uniformization self-loop,
+//! which is exactly what keeps the resulting time-constraint IMC uniform.
+
+use crate::transient::{self, TransientOptions};
+use crate::Ctmc;
+
+/// A phase-type distribution: an absorbing CTMC with a distinguished
+/// initial phase `i` and a single absorbing state `a`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmc::PhaseType;
+///
+/// let erl = PhaseType::erlang(3, 2.0);
+/// assert!((erl.mean() - 1.5).abs() < 1e-9);
+/// let exp = PhaseType::exponential(0.5);
+/// assert!((exp.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseType {
+    ctmc: Ctmc,
+    absorbing: u32,
+}
+
+impl PhaseType {
+    /// Wraps an absorbing CTMC as a phase-type distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absorbing` is out of bounds, is not actually absorbing, or
+    /// is not reachable from the initial state, or if some state cannot
+    /// reach the absorbing state (the distribution would be defective).
+    pub fn new(ctmc: Ctmc, absorbing: u32) -> Self {
+        let n = ctmc.num_states();
+        assert!((absorbing as usize) < n, "absorbing state out of bounds");
+        assert!(
+            ctmc.is_absorbing(absorbing as usize),
+            "state {absorbing} has outgoing rates"
+        );
+        // Every state must reach the absorbing state (non-defective).
+        let reaches = backward_reach(&ctmc, absorbing);
+        assert!(
+            reaches.iter().all(|&r| r),
+            "phase-type chain has states that never get absorbed"
+        );
+        Self { ctmc, absorbing }
+    }
+
+    /// The exponential distribution with the given rate (one phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn exponential(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self::new(Ctmc::from_rates(2, 0, [(0, 1, rate)]), 1)
+    }
+
+    /// The Erlang distribution: `phases` sequential exponentials of equal
+    /// `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0` or `rate <= 0`.
+    pub fn erlang(phases: u32, rate: f64) -> Self {
+        assert!(phases > 0, "Erlang needs at least one phase");
+        assert!(rate > 0.0, "rate must be positive");
+        let n = phases as usize + 1;
+        let rates = (0..phases as usize).map(|k| (k, k + 1, rate));
+        Self::new(Ctmc::from_rates(n, 0, rates), phases)
+    }
+
+    /// A hypoexponential distribution: sequential exponential phases with
+    /// individual rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or contains a nonpositive rate.
+    pub fn hypoexponential(rates: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "need at least one phase");
+        let n = rates.len() + 1;
+        let triplets = rates
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| {
+                assert!(r > 0.0, "rate must be positive");
+                (k, k + 1, r)
+            })
+            .collect::<Vec<_>>();
+        Self::new(Ctmc::from_rates(n, 0, triplets), rates.len() as u32)
+    }
+
+    /// A Coxian distribution: after phase `k` (rate `rates[k]`), continue to
+    /// phase `k+1` with probability `continue_prob[k]`, otherwise absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, nonpositive rates, mismatched lengths
+    /// (`continue_prob.len()` must be `rates.len() - 1`), or probabilities
+    /// outside `[0, 1)`. The last phase always absorbs.
+    pub fn coxian(rates: &[f64], continue_prob: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "need at least one phase");
+        assert_eq!(
+            continue_prob.len(),
+            rates.len() - 1,
+            "need one continuation probability per non-final phase"
+        );
+        let n = rates.len() + 1;
+        let absorbing = rates.len();
+        let mut triplets = Vec::new();
+        for (k, &r) in rates.iter().enumerate() {
+            assert!(r > 0.0, "rate must be positive");
+            if k < rates.len() - 1 {
+                let p = continue_prob[k];
+                assert!((0.0..1.0).contains(&p), "continuation probability {p} not in [0,1)");
+                if p > 0.0 {
+                    triplets.push((k, k + 1, r * p));
+                }
+                triplets.push((k, absorbing, r * (1.0 - p)));
+            } else {
+                triplets.push((k, absorbing, r));
+            }
+        }
+        Self::new(Ctmc::from_rates(n, 0, triplets), absorbing as u32)
+    }
+
+    /// The underlying absorbing CTMC.
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// The initial phase.
+    pub fn initial(&self) -> u32 {
+        self.ctmc.initial()
+    }
+
+    /// The absorbing state.
+    pub fn absorbing(&self) -> u32 {
+        self.absorbing
+    }
+
+    /// Number of phases (states excluding the absorbing one).
+    pub fn num_phases(&self) -> usize {
+        self.ctmc.num_states() - 1
+    }
+
+    /// `P[T <= t]`, computed by transient analysis of the absorbing chain.
+    pub fn cdf(&self, t: f64) -> f64 {
+        let opts = TransientOptions::default().with_epsilon(1e-12);
+        let pi = transient::distribution(&self.ctmc, t, &opts);
+        pi[self.absorbing as usize].clamp(0.0, 1.0)
+    }
+
+    /// Expected time to absorption.
+    ///
+    /// Computed from the mean-holding-time equations
+    /// `m(s) = 1/E_s + Σ P(s,s')·m(s')` solved by Gauss–Seidel iteration
+    /// (the chains here are small and absorbing, so convergence is fast).
+    pub fn mean(&self) -> f64 {
+        let n = self.ctmc.num_states();
+        let p = self.ctmc.embedded_dtmc();
+        let mut m = vec![0.0; n];
+        for _ in 0..200_000 {
+            let mut delta = 0.0f64;
+            for s in 0..n {
+                if s == self.absorbing as usize {
+                    continue;
+                }
+                let mut v = 1.0 / self.ctmc.exit_rate(s);
+                for (t, pr) in p.row(s) {
+                    if t != s {
+                        v += pr * m[t];
+                    }
+                }
+                // solve for self-loop mass: m = v + P(s,s) m
+                let self_p = p.get(s, s);
+                if self_p < 1.0 {
+                    v /= 1.0 - self_p;
+                }
+                delta = delta.max((v - m[s]).abs());
+                m[s] = v;
+            }
+            if delta < 1e-14 {
+                break;
+            }
+        }
+        m[self.ctmc.initial() as usize]
+    }
+
+    /// Uniformizes the underlying chain at `rate`, preserving the
+    /// distribution. The absorbing state becomes a self-loop state, as
+    /// required by the elapse operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is below the maximal exit rate.
+    pub fn uniformize(&self, rate: f64) -> UniformPhaseType {
+        UniformPhaseType {
+            ctmc: self.ctmc.uniformize(rate),
+            absorbing: self.absorbing,
+            rate,
+        }
+    }
+
+    /// Uniformizes at the maximal exit rate.
+    pub fn uniformize_at_max(&self) -> UniformPhaseType {
+        self.uniformize(self.ctmc.max_exit_rate())
+    }
+}
+
+/// A uniformized phase-type distribution: every state (including the former
+/// absorbing state) has exit rate exactly `rate`.
+///
+/// This is the input shape required by the elapse operator of
+/// `unicon-imc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformPhaseType {
+    ctmc: Ctmc,
+    absorbing: u32,
+    rate: f64,
+}
+
+impl UniformPhaseType {
+    /// The uniformized chain (all exit rates equal [`Self::rate`]).
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// The distinguished completion state (formerly absorbing).
+    pub fn absorbing(&self) -> u32 {
+        self.absorbing
+    }
+
+    /// The initial phase.
+    pub fn initial(&self) -> u32 {
+        self.ctmc.initial()
+    }
+
+    /// The uniform rate `E`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+fn backward_reach(ctmc: &Ctmc, target: u32) -> Vec<bool> {
+    let n = ctmc.num_states();
+    // predecessors via transpose
+    let tr = ctmc.rates().transpose();
+    let mut seen = vec![false; n];
+    seen[target as usize] = true;
+    let mut stack = vec![target as usize];
+    while let Some(s) = stack.pop() {
+        for (p, _) in tr.row(s) {
+            if !seen[p] {
+                seen[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon_numeric::assert_close;
+    use unicon_numeric::special::{erlang_cdf, exponential_cdf};
+
+    #[test]
+    fn exponential_matches_closed_form() {
+        let ph = PhaseType::exponential(1.3);
+        for t in [0.1, 1.0, 3.0] {
+            assert_close!(ph.cdf(t), exponential_cdf(1.3, t), 1e-10);
+        }
+        assert_close!(ph.mean(), 1.0 / 1.3, 1e-9);
+    }
+
+    #[test]
+    fn erlang_matches_closed_form() {
+        let ph = PhaseType::erlang(4, 2.0);
+        for t in [0.5, 2.0, 5.0] {
+            assert_close!(ph.cdf(t), erlang_cdf(4, 2.0, t), 1e-10);
+        }
+        assert_close!(ph.mean(), 2.0, 1e-9);
+        assert_eq!(ph.num_phases(), 4);
+    }
+
+    #[test]
+    fn hypoexponential_mean_is_sum_of_inverse_rates() {
+        let ph = PhaseType::hypoexponential(&[1.0, 2.0, 4.0]);
+        assert_close!(ph.mean(), 1.0 + 0.5 + 0.25, 1e-9);
+    }
+
+    #[test]
+    fn coxian_with_full_continuation_is_hypoexponential() {
+        let cox = PhaseType::coxian(&[1.0, 2.0], &[0.999999999999]);
+        let hypo = PhaseType::hypoexponential(&[1.0, 2.0]);
+        for t in [0.5, 2.0] {
+            assert_close!(cox.cdf(t), hypo.cdf(t), 1e-6);
+        }
+    }
+
+    #[test]
+    fn coxian_with_zero_continuation_is_exponential() {
+        let cox = PhaseType::coxian(&[1.5, 9.0], &[0.0]);
+        let exp = PhaseType::exponential(1.5);
+        for t in [0.5, 2.0] {
+            assert_close!(cox.cdf(t), exp.cdf(t), 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniformize_preserves_cdf() {
+        let ph = PhaseType::hypoexponential(&[1.0, 3.0]);
+        let u = ph.uniformize(5.0);
+        assert!(u.ctmc().is_uniform());
+        assert_close!(u.ctmc().uniform_rate().unwrap(), 5.0, 1e-12);
+        // transient mass on the completion state is the cdf
+        let opts = TransientOptions::default().with_epsilon(1e-12);
+        for t in [0.3, 1.0, 4.0] {
+            let pi = transient::distribution(u.ctmc(), t, &opts);
+            assert_close!(pi[u.absorbing() as usize], ph.cdf(t), 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniformize_at_max_picks_max_exit_rate() {
+        let ph = PhaseType::hypoexponential(&[1.0, 3.0]);
+        let u = ph.uniformize_at_max();
+        assert_close!(u.rate(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let ph = PhaseType::coxian(&[2.0, 1.0, 0.5], &[0.7, 0.4]);
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let c = ph.cdf(i as f64 * 0.3);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(prev <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has outgoing rates")]
+    fn new_rejects_non_absorbing() {
+        let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0), (1, 0, 1.0)]);
+        PhaseType::new(c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never get absorbed")]
+    fn new_rejects_defective_chain() {
+        // state 2 cannot reach absorbing state 1
+        let c = Ctmc::from_rates(3, 0, [(0, 1, 1.0)]);
+        PhaseType::new(c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn erlang_rejects_zero_phases() {
+        PhaseType::erlang(0, 1.0);
+    }
+}

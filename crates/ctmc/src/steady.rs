@@ -1,0 +1,213 @@
+//! Long-run (steady-state) analysis for CTMCs.
+//!
+//! Not needed for the paper's timed-reachability trajectory, but a natural
+//! companion: the classic FTWC studies also report steady-state premium
+//! availability. We solve `π Q = 0, Σπ = 1` by power iteration on the
+//! uniformized jump chain `P = I + Q/Λ` — for an irreducible chain `π` is
+//! also `P`'s stationary vector, and uniformization keeps `P` aperiodic
+//! (every state has a self-loop when `Λ` exceeds the maximal exit rate).
+
+use unicon_numeric::NeumaierSum;
+
+use crate::Ctmc;
+
+/// Options for [`stationary_distribution`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyStateOptions {
+    /// Convergence threshold on the L∞ distance of successive iterates.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for SteadyStateOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-12,
+            max_iterations: 2_000_000,
+        }
+    }
+}
+
+/// Error: the power iteration did not converge (e.g. the chain is
+/// reducible with several closed classes, where the limit depends on the
+/// start vector but the iteration itself still converges — failures here
+/// indicate an extreme stiffness or a too-small iteration cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceError {
+    /// Residual after the last iteration.
+    pub residual: f64,
+}
+
+impl std::fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steady-state iteration did not converge (residual {:.3e})",
+            self.residual
+        )
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
+/// Computes the stationary distribution reached from the initial state.
+///
+/// For an irreducible chain this is *the* steady-state distribution; for a
+/// reducible chain it is the limit distribution of the embedded uniformized
+/// chain started at the initial state.
+///
+/// # Errors
+///
+/// [`ConvergenceError`] if the iteration cap is hit first.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmc::{steady, Ctmc};
+///
+/// // failure/repair: π = (μ, λ) / (λ + μ)
+/// let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0), (1, 0, 4.0)]);
+/// let pi = steady::stationary_distribution(&c, &Default::default()).unwrap();
+/// assert!((pi[0] - 0.8).abs() < 1e-9);
+/// assert!((pi[1] - 0.2).abs() < 1e-9);
+/// ```
+pub fn stationary_distribution(
+    ctmc: &Ctmc,
+    opts: &SteadyStateOptions,
+) -> Result<Vec<f64>, ConvergenceError> {
+    let n = ctmc.num_states();
+    // Strictly dominate the maximal exit rate so P has self-loops
+    // everywhere (aperiodicity).
+    let lambda = 1.05 * ctmc.max_exit_rate().max(1e-9) + 0.01;
+    let p = ctmc.uniformized_jump_matrix(lambda);
+    let mut pi = vec![0.0; n];
+    pi[ctmc.initial() as usize] = 1.0;
+    let mut residual = f64::INFINITY;
+    for _ in 0..opts.max_iterations {
+        let next = p.matvec_transposed(&pi);
+        residual = pi
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        pi = next;
+        if residual < opts.tolerance {
+            // renormalize against drift
+            let mut total = NeumaierSum::new();
+            total.extend(pi.iter().copied());
+            let total = total.value();
+            for x in &mut pi {
+                *x /= total;
+            }
+            return Ok(pi);
+        }
+    }
+    Err(ConvergenceError { residual })
+}
+
+/// Long-run fraction of time spent in the states marked by `set`.
+///
+/// # Errors
+///
+/// See [`stationary_distribution`].
+///
+/// # Panics
+///
+/// Panics if `set.len()` does not match the state count.
+pub fn long_run_availability(
+    ctmc: &Ctmc,
+    set: &[bool],
+    opts: &SteadyStateOptions,
+) -> Result<f64, ConvergenceError> {
+    assert_eq!(set.len(), ctmc.num_states(), "set length mismatch");
+    let pi = stationary_distribution(ctmc, opts)?;
+    let mut acc = NeumaierSum::new();
+    for (p, &m) in pi.iter().zip(set) {
+        if m {
+            acc.add(*p);
+        }
+    }
+    Ok(acc.value().clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon_numeric::assert_close;
+
+    #[test]
+    fn two_state_closed_form() {
+        let (lambda, mu) = (0.3, 1.7);
+        let c = Ctmc::from_rates(2, 0, [(0, 1, lambda), (1, 0, mu)]);
+        let pi = stationary_distribution(&c, &Default::default()).unwrap();
+        assert_close!(pi[0], mu / (lambda + mu), 1e-9);
+        assert_close!(pi[1], lambda / (lambda + mu), 1e-9);
+    }
+
+    #[test]
+    fn birth_death_chain_detailed_balance() {
+        // M/M/1/3 queue: arrival 1.0, service 2.0 → π_k ∝ (1/2)^k
+        let c = Ctmc::from_rates(
+            4,
+            0,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (1, 0, 2.0),
+                (2, 1, 2.0),
+                (3, 2, 2.0),
+            ],
+        );
+        let pi = stationary_distribution(&c, &Default::default()).unwrap();
+        let z: f64 = (0..4).map(|k| 0.5f64.powi(k)).sum();
+        for (k, &p) in pi.iter().enumerate() {
+            assert_close!(p, 0.5f64.powi(k as i32) / z, 1e-8);
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_concentrates() {
+        let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0)]);
+        let pi = stationary_distribution(&c, &Default::default()).unwrap();
+        assert_close!(pi[1], 1.0, 1e-9);
+    }
+
+    #[test]
+    fn distribution_is_stochastic_and_invariant() {
+        let c = Ctmc::from_rates(
+            3,
+            0,
+            [(0, 1, 0.5), (1, 2, 1.0), (2, 0, 0.25), (2, 1, 0.5)],
+        );
+        let pi = stationary_distribution(&c, &Default::default()).unwrap();
+        assert_close!(pi.iter().sum::<f64>(), 1.0, 1e-9);
+        // invariance: flow balance per state
+        for s in 0..3 {
+            let outflow = pi[s] * c.exit_rate(s);
+            let inflow: f64 = (0..3)
+                .map(|u| pi[u] * c.rate(u, s))
+                .sum();
+            assert_close!(outflow, inflow, 1e-8);
+        }
+    }
+
+    #[test]
+    fn availability_helper() {
+        let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0), (1, 0, 3.0)]);
+        let a = long_run_availability(&c, &[true, false], &Default::default()).unwrap();
+        assert_close!(a, 0.75, 1e-9);
+    }
+
+    #[test]
+    fn iteration_cap_reports_error() {
+        let c = Ctmc::from_rates(2, 0, [(0, 1, 1.0), (1, 0, 1.0)]);
+        let opts = SteadyStateOptions {
+            tolerance: 0.0, // unreachable
+            max_iterations: 10,
+        };
+        let e = stationary_distribution(&c, &opts).unwrap_err();
+        assert!(e.to_string().contains("did not converge"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for CTMC analyses: uniformization invariance,
+//! lumping correctness, phase-type identities.
+
+use proptest::prelude::*;
+use unicon_ctmc::transient::{self, TransientOptions};
+use unicon_ctmc::{lumping, Ctmc, PhaseType};
+
+/// Random CTMC on up to 8 states with rates in a benign range.
+fn raw_ctmc() -> impl Strategy<Value = (usize, Vec<(u8, u8, f64)>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        let nn = n as u8;
+        (
+            Just(n),
+            prop::collection::vec((0..nn, 0..nn, 0.05f64..4.0), 1..20),
+        )
+    })
+}
+
+fn build(n: usize, triplets: &[(u8, u8, f64)]) -> Ctmc {
+    Ctmc::from_rates(
+        n,
+        0,
+        triplets
+            .iter()
+            .map(|&(s, t, r)| (s as usize, t as usize, r)),
+    )
+}
+
+fn opts() -> TransientOptions {
+    TransientOptions::default().with_epsilon(1e-12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Jensen: uniformization does not change transient probabilities.
+    #[test]
+    fn uniformization_is_transient_invariant(
+        (n, ts) in raw_ctmc(),
+        extra in 0.0f64..5.0,
+        t in 0.1f64..10.0
+    ) {
+        let c = build(n, &ts);
+        let u = c.uniformize(c.max_exit_rate() + extra);
+        let a = transient::distribution(&c, t, &opts());
+        let b = transient::distribution(&u, t, &opts());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    /// Transient distributions stay stochastic.
+    #[test]
+    fn transient_is_stochastic((n, ts) in raw_ctmc(), t in 0.0f64..20.0) {
+        let c = build(n, &ts);
+        let pi = transient::distribution(&c, t, &opts());
+        let sum: f64 = pi.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8);
+        prop_assert!(pi.iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
+    }
+
+    /// Backward reachability agrees with forward transient mass when the
+    /// goal is absorbing.
+    #[test]
+    fn backward_forward_consistency((n, ts) in raw_ctmc(), t in 0.1f64..10.0) {
+        // make state n-1 the absorbing goal
+        let filtered: Vec<(u8, u8, f64)> = ts
+            .iter()
+            .copied()
+            .filter(|&(s, _, _)| (s as usize) != n - 1)
+            .collect();
+        prop_assume!(!filtered.is_empty());
+        let goal: Vec<bool> = (0..n).map(|s| s == n - 1).collect();
+        let cc = build(n, &filtered);
+        let back = transient::reachability(&cc, &goal, t, &opts());
+        let forward = transient::distribution(&cc, t, &opts());
+        prop_assert!((back.from_state(0) - forward[n - 1]).abs() < 1e-8);
+    }
+
+    /// Reachability is monotone in the horizon.
+    #[test]
+    fn reachability_monotone((n, ts) in raw_ctmc(), t in 0.1f64..5.0) {
+        let c = build(n, &ts);
+        let goal: Vec<bool> = (0..n).map(|s| s % 2 == 1).collect();
+        let p1 = transient::reachability(&c, &goal, t, &opts()).from_state(0);
+        let p2 = transient::reachability(&c, &goal, 2.0 * t, &opts()).from_state(0);
+        prop_assert!(p2 >= p1 - 1e-9);
+    }
+
+    /// Lumping preserves label-aggregated transient probabilities.
+    #[test]
+    fn lumping_preserves_transients(
+        (n, ts) in raw_ctmc(),
+        labels in prop::collection::vec(0u32..2, 8),
+        t in 0.1f64..5.0
+    ) {
+        let c = build(n, &ts);
+        let labels = &labels[..n];
+        let part = lumping::coarsest_lumping(&c, labels);
+        let q = lumping::quotient(&c, &part);
+        let pi = transient::distribution(&c, t, &opts());
+        let qi = transient::distribution(&q, t, &opts());
+        // aggregate per block
+        let mut agg = vec![0.0; part.num_blocks];
+        for (s, &p) in pi.iter().enumerate() {
+            agg[part.block[s] as usize] += p;
+        }
+        for (b, (&x, &y)) in agg.iter().zip(qi.iter()).enumerate() {
+            prop_assert!((x - y).abs() < 1e-7, "block {b}: {x} vs {y}");
+        }
+    }
+
+    /// Lumping never merges differently labeled states and is idempotent.
+    #[test]
+    fn lumping_respects_labels((n, ts) in raw_ctmc(), labels in prop::collection::vec(0u32..3, 8)) {
+        let c = build(n, &ts);
+        let labels = &labels[..n];
+        let part = lumping::coarsest_lumping(&c, labels);
+        for s in 0..n {
+            for t2 in 0..n {
+                if part.block[s] == part.block[t2] {
+                    prop_assert_eq!(labels[s], labels[t2]);
+                }
+            }
+        }
+        // idempotence: lumping the quotient with block labels changes nothing
+        let q = lumping::quotient(&c, &part);
+        let block_labels: Vec<u32> = (0..part.num_blocks as u32).collect();
+        let part2 = lumping::coarsest_lumping(&q, &block_labels);
+        prop_assert_eq!(part2.num_blocks, part.num_blocks);
+    }
+
+    /// Phase-type cdfs are monotone, bounded, and the uniformized chain
+    /// keeps the distribution.
+    #[test]
+    fn phase_type_cdf_properties(rates in prop::collection::vec(0.2f64..5.0, 1..5), t in 0.01f64..10.0) {
+        let ph = PhaseType::hypoexponential(&rates);
+        let c1 = ph.cdf(t);
+        let c2 = ph.cdf(t * 1.5);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c2 >= c1 - 1e-10);
+        let u = ph.uniformize_at_max();
+        let pi = transient::distribution(u.ctmc(), t, &opts());
+        prop_assert!((pi[u.absorbing() as usize] - c1).abs() < 1e-8);
+    }
+
+    /// Mean of a hypoexponential is the sum of phase means.
+    #[test]
+    fn hypoexponential_mean(rates in prop::collection::vec(0.2f64..5.0, 1..5)) {
+        let ph = PhaseType::hypoexponential(&rates);
+        let expect: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        prop_assert!((ph.mean() - expect).abs() < 1e-6 * expect);
+    }
+
+    /// The embedded DTMC and the uniformized jump matrix are stochastic.
+    #[test]
+    fn jump_matrices_are_stochastic((n, ts) in raw_ctmc()) {
+        let c = build(n, &ts);
+        let p = c.embedded_dtmc();
+        let u = c.uniformized_jump_matrix(c.max_exit_rate() + 1.0);
+        for s in 0..n {
+            prop_assert!((p.row_sum(s) - 1.0).abs() < 1e-9);
+            prop_assert!((u.row_sum(s) - 1.0).abs() < 1e-9);
+        }
+    }
+}

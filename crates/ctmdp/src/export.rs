@@ -1,0 +1,116 @@
+//! Diagnostic exports for CTMDPs.
+
+use std::fmt::Write as _;
+
+use crate::model::Ctmdp;
+
+/// Renders a CTMDP as a GraphViz DOT digraph: boxes for states, one dot
+/// node per transition `(s, a, R)` (mirroring the hyperedge reading of rate
+/// functions), solid edges for the action selection, dashed rate-labeled
+/// edges for the probabilistic branching.
+///
+/// Intended for small models (debugging, papers); the output grows with
+/// `Σ |R|`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmdp::{export, CtmdpBuilder};
+///
+/// let mut b = CtmdpBuilder::new(2, 0);
+/// b.transition(0, "go", &[(1, 2.0)]);
+/// b.transition(1, "back", &[(0, 2.0)]);
+/// let dot = export::to_dot(&b.build(), "two_states");
+/// assert!(dot.contains("label=\"go\""));
+/// ```
+pub fn to_dot(ctmdp: &Ctmdp, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{name}\" {{").expect("writing to a String cannot fail");
+    writeln!(out, "  rankdir=LR;").expect("writing to a String cannot fail");
+    writeln!(out, "  node [shape=box];").expect("writing to a String cannot fail");
+    writeln!(out, "  s{} [style=bold];", ctmdp.initial()).expect("writing to a String cannot fail");
+    for s in 0..ctmdp.num_states() as u32 {
+        writeln!(out, "  s{s} [label=\"{s}\"];").expect("writing to a String cannot fail");
+        for (i, tr) in ctmdp.transitions_from(s).iter().enumerate() {
+            let mid = format!("t{s}_{i}");
+            let action = ctmdp.actions().name(tr.action);
+            writeln!(out, "  {mid} [shape=point];").expect("writing to a String cannot fail");
+            writeln!(out, "  s{s} -> {mid} [label=\"{action}\"];")
+                .expect("writing to a String cannot fail");
+            for &(tgt, rate) in ctmdp.rate_function(tr.rate_fn).targets() {
+                writeln!(out, "  {mid} -> s{tgt} [label=\"{rate}\", style=dashed];")
+                    .expect("writing to a String cannot fail");
+            }
+        }
+    }
+    writeln!(out, "}}").expect("writing to a String cannot fail");
+    out
+}
+
+/// A one-line textual summary of a CTMDP (sizes, uniformity, branching).
+pub fn summary(ctmdp: &Ctmdp) -> String {
+    let nondet_states = (0..ctmdp.num_states() as u32)
+        .filter(|&s| ctmdp.transitions_from(s).len() > 1)
+        .count();
+    let max_choices = (0..ctmdp.num_states() as u32)
+        .map(|s| ctmdp.transitions_from(s).len())
+        .max()
+        .unwrap_or(0);
+    let uniform = match ctmdp.uniform_rate() {
+        Ok(e) => format!("uniform (E = {e})"),
+        Err(e) => format!("non-uniform ({e})"),
+    };
+    format!(
+        "{} states, {} transitions, {} rate functions ({} entries), {} \
+         nondeterministic states (max {} choices), {}",
+        ctmdp.num_states(),
+        ctmdp.num_transitions(),
+        ctmdp.num_rate_functions(),
+        ctmdp.num_rate_entries(),
+        nondet_states,
+        max_choices,
+        uniform
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CtmdpBuilder;
+
+    fn sample() -> Ctmdp {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "left", &[(1, 1.0), (2, 1.0)]);
+        b.transition(0, "right", &[(2, 2.0)]);
+        b.transition(1, "stay", &[(1, 2.0)]);
+        b.transition(2, "stay", &[(2, 2.0)]);
+        b.build()
+    }
+
+    #[test]
+    fn dot_contains_all_parts() {
+        let d = to_dot(&sample(), "m");
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("label=\"left\""));
+        assert!(d.contains("label=\"right\""));
+        assert!(d.contains("style=dashed"));
+        assert!(d.contains("s0 [style=bold]"));
+    }
+
+    #[test]
+    fn summary_reports_nondeterminism_and_uniformity() {
+        let s = summary(&sample());
+        assert!(s.contains("3 states"));
+        assert!(s.contains("4 transitions"));
+        assert!(s.contains("1 nondeterministic states (max 2 choices)"));
+        assert!(s.contains("uniform (E = 2)"));
+    }
+
+    #[test]
+    fn summary_flags_non_uniform() {
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.transition(0, "a", &[(1, 1.0)]);
+        b.transition(1, "b", &[(0, 3.0)]);
+        assert!(summary(&b.build()).contains("non-uniform"));
+    }
+}

@@ -1,0 +1,528 @@
+//! Algorithm 1: timed reachability in uniform CTMDPs
+//! (Baier, Haverkort, Hermanns & Katoen, TCS 345, 2005).
+//!
+//! For a uniform CTMDP with rate `E`, the maximal probability to reach the
+//! goal set `B` within `t` time units over all randomized time-abstract
+//! history-dependent schedulers is computed by `k = k(ε, E, t)` backward
+//! value-iteration steps — `k` is the Fox–Glynn right truncation point of
+//! the Poisson(`E·t`) distribution, the iteration counts reported in the
+//! paper's Table 1.
+//!
+//! Following the paper's variant, the maximization at each state ranges
+//! over all emanating *transitions* (not merely all actions), because a
+//! state may carry several transitions with the same label.
+
+use std::time::Instant;
+
+use unicon_numeric::FoxGlynn;
+
+use crate::model::{Ctmdp, NotUniformError};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// `sup_D Pr_D` — the worst case for safety goals.
+    #[default]
+    Maximize,
+    /// `inf_D Pr_D`.
+    Minimize,
+}
+
+/// Options for [`timed_reachability`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachOptions {
+    /// Truncation precision ε (the paper uses 1e-6).
+    pub epsilon: f64,
+    /// Maximize or minimize over schedulers.
+    pub objective: Objective,
+    /// Record the optimizing decision of every step, enabling
+    /// scheduler extraction. Memory is `O(k · |S|)` — keep an eye on it for
+    /// long horizons.
+    pub record_decisions: bool,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-6,
+            objective: Objective::Maximize,
+            record_decisions: false,
+        }
+    }
+}
+
+impl ReachOptions {
+    /// Sets the precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Enables decision recording.
+    pub fn recording_decisions(mut self) -> Self {
+        self.record_decisions = true;
+        self
+    }
+}
+
+/// Result of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachResult {
+    /// `values[s] = opt_D Pr_D(s ⤳≤t B)`.
+    pub values: Vec<f64>,
+    /// Number of value-iteration steps `k(ε, E, t)`.
+    pub iterations: usize,
+    /// The uniform rate `E`.
+    pub uniform_rate: f64,
+    /// Wall-clock time of the iteration itself.
+    pub runtime: std::time::Duration,
+    /// When requested: `decisions[i][s]` is the index (into
+    /// `transitions_from(s)`) chosen at step `i+1` (1-based step `i+1`,
+    /// i.e. `decisions[0]` is used for the first jump). Empty otherwise.
+    pub decisions: Vec<Vec<u16>>,
+}
+
+impl ReachResult {
+    /// The value from the model's initial state.
+    pub fn from_state(&self, s: u32) -> f64 {
+        self.values[s as usize]
+    }
+}
+
+/// Computes `opt_D Pr_D(s ⤳≤t B)` for every state `s` of a **uniform**
+/// CTMDP (Algorithm 1).
+///
+/// `goal[s]` marks the states of `B`. States without outgoing transitions
+/// are allowed (treated as unable to make further progress).
+///
+/// # Errors
+///
+/// Returns [`NotUniformError`] if the transitions' exit rates differ.
+///
+/// # Panics
+///
+/// Panics if `goal.len()` mismatches the state count or `t` is negative or
+/// not finite.
+pub fn timed_reachability(
+    ctmdp: &Ctmdp,
+    goal: &[bool],
+    t: f64,
+    opts: &ReachOptions,
+) -> Result<ReachResult, NotUniformError> {
+    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
+    assert!(t.is_finite() && t >= 0.0, "time bound must be finite and >= 0");
+    let e = ctmdp.uniform_rate()?;
+    let n = ctmdp.num_states();
+
+    if t == 0.0 || e == 0.0 {
+        return Ok(ReachResult {
+            values: goal.iter().map(|&g| f64::from(u8::from(g))).collect(),
+            iterations: 0,
+            uniform_rate: e,
+            runtime: std::time::Duration::ZERO,
+            decisions: Vec::new(),
+        });
+    }
+
+    let start = Instant::now();
+    let fg = FoxGlynn::new(e * t);
+    let k = fg.right_truncation(opts.epsilon);
+
+    // Precompute, per rate function: branching probabilities and the
+    // one-step probability into B.
+    let rfs = ctmdp.rate_functions();
+    let probs: Vec<Vec<(u32, f64)>> = rfs.iter().map(|rf| rf.probs().collect()).collect();
+    let prob_goal: Vec<f64> = rfs
+        .iter()
+        .map(|rf| rf.rate_into(goal) / rf.total())
+        .collect();
+
+    let maximize = opts.objective == Objective::Maximize;
+    let mut decisions: Vec<Vec<u16>> = Vec::new();
+    if opts.record_decisions {
+        decisions.resize(k, Vec::new());
+    }
+
+    let mut q_next = vec![0.0f64; n]; // q_{k+1} = 0
+    let mut q = vec![0.0f64; n];
+    for i in (1..=k).rev() {
+        let psi = fg.psi(i);
+        let mut step_decisions: Vec<u16> = if opts.record_decisions {
+            vec![0; n]
+        } else {
+            Vec::new()
+        };
+        for s in 0..n {
+            if goal[s] {
+                q[s] = psi + q_next[s];
+                continue;
+            }
+            let trans = ctmdp.transitions_from(s as u32);
+            if trans.is_empty() {
+                q[s] = 0.0;
+                continue;
+            }
+            let mut best = if maximize { -1.0f64 } else { f64::INFINITY };
+            let mut best_idx = 0u16;
+            for (idx, tr) in trans.iter().enumerate() {
+                let rf = tr.rate_fn as usize;
+                let mut v = psi * prob_goal[rf];
+                for &(tgt, p) in &probs[rf] {
+                    v += p * q_next[tgt as usize];
+                }
+                let better = if maximize { v > best } else { v < best };
+                if better {
+                    best = v;
+                    best_idx = idx as u16;
+                }
+            }
+            q[s] = best;
+            if opts.record_decisions {
+                step_decisions[s] = best_idx;
+            }
+        }
+        if opts.record_decisions {
+            decisions[i - 1] = step_decisions;
+        }
+        std::mem::swap(&mut q, &mut q_next);
+    }
+    // q_next holds q_1.
+    let values = (0..n)
+        .map(|s| if goal[s] { 1.0 } else { q_next[s].clamp(0.0, 1.0) })
+        .collect();
+    Ok(ReachResult {
+        values,
+        iterations: k,
+        uniform_rate: e,
+        runtime: start.elapsed(),
+        decisions,
+    })
+}
+
+/// Step-bounded reachability: the optimal probability to reach `B` within
+/// at most `k` Markov jumps, ignoring time.
+///
+/// This is the DTMDP core that Algorithm 1 weights with Poisson
+/// probabilities; unlike the timed analysis it does **not** require
+/// uniformity (jump counting is oblivious to exit rates).
+///
+/// # Panics
+///
+/// Panics if `goal.len()` mismatches the state count.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmdp::CtmdpBuilder;
+/// use unicon_ctmdp::reachability::{step_bounded_reachability, Objective};
+///
+/// let mut b = CtmdpBuilder::new(3, 0);
+/// b.transition(0, "a", &[(1, 1.0), (2, 1.0)]);
+/// b.transition(1, "a", &[(2, 2.0)]);
+/// b.transition(2, "a", &[(2, 2.0)]);
+/// let m = b.build();
+/// let goal = [false, false, true];
+/// let one = step_bounded_reachability(&m, &goal, 1, Objective::Maximize);
+/// assert_eq!(one[0], 0.5); // one jump: the 50/50 branch
+/// let two = step_bounded_reachability(&m, &goal, 2, Objective::Maximize);
+/// assert_eq!(two[0], 1.0); // two jumps always suffice
+/// ```
+pub fn step_bounded_reachability(
+    ctmdp: &Ctmdp,
+    goal: &[bool],
+    k: usize,
+    objective: Objective,
+) -> Vec<f64> {
+    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
+    let n = ctmdp.num_states();
+    let maximize = objective == Objective::Maximize;
+    let mut p: Vec<f64> = goal.iter().map(|&g| f64::from(u8::from(g))).collect();
+    let mut next = vec![0.0f64; n];
+    for _ in 0..k {
+        for s in 0..n {
+            if goal[s] {
+                next[s] = 1.0;
+                continue;
+            }
+            let trans = ctmdp.transitions_from(s as u32);
+            if trans.is_empty() {
+                next[s] = 0.0;
+                continue;
+            }
+            let mut best = if maximize { -1.0f64 } else { f64::INFINITY };
+            for tr in trans {
+                let rf = ctmdp.rate_function(tr.rate_fn);
+                let mut v = 0.0;
+                for (tgt, prob) in rf.probs() {
+                    v += prob * p[tgt as usize];
+                }
+                best = if maximize { best.max(v) } else { best.min(v) };
+            }
+            next[s] = best;
+        }
+        std::mem::swap(&mut p, &mut next);
+    }
+    p
+}
+
+/// Convenience wrapper returning only the value from the initial state.
+///
+/// # Errors
+///
+/// See [`timed_reachability`].
+pub fn timed_reachability_from_initial(
+    ctmdp: &Ctmdp,
+    goal: &[bool],
+    t: f64,
+    opts: &ReachOptions,
+) -> Result<f64, NotUniformError> {
+    Ok(timed_reachability(ctmdp, goal, t, opts)?.from_state(ctmdp.initial()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CtmdpBuilder;
+    use unicon_ctmc::transient::{self, TransientOptions};
+    use unicon_ctmc::Ctmc;
+    use unicon_numeric::assert_close;
+    use unicon_numeric::special::exponential_cdf;
+
+    /// A CTMDP with exactly one transition per state, mirroring a CTMC.
+    fn chain_as_ctmdp() -> (Ctmdp, Ctmc) {
+        // uniform rate 2: 0 -> {1: 1.0, 0: 1.0}; 1 -> {2: 2.0}; 2 -> {2: 2.0}
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "a", &[(1, 1.0), (0, 1.0)]);
+        b.transition(1, "a", &[(2, 2.0)]);
+        b.transition(2, "a", &[(2, 2.0)]);
+        let ctmc = Ctmc::from_rates(
+            3,
+            0,
+            [(0, 1, 1.0), (0, 0, 1.0), (1, 2, 2.0), (2, 2, 2.0)],
+        );
+        (b.build(), ctmc)
+    }
+
+    #[test]
+    fn zero_time_is_indicator() {
+        let (m, _) = chain_as_ctmdp();
+        let r = timed_reachability(&m, &[false, false, true], 0.0, &ReachOptions::default())
+            .unwrap();
+        assert_eq!(r.values, vec![0.0, 0.0, 1.0]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn singleton_transitions_match_ctmc_oracle() {
+        let (m, c) = chain_as_ctmdp();
+        let goal = [false, false, true];
+        let copts = TransientOptions::default().with_epsilon(1e-12);
+        for t in [0.3, 1.0, 4.0] {
+            let mdp = timed_reachability(
+                &m,
+                &goal,
+                t,
+                &ReachOptions::default().with_epsilon(1e-12),
+            )
+            .unwrap();
+            let oracle = transient::reachability(&c, &goal, t, &copts);
+            for s in 0..3 {
+                assert_close!(mdp.values[s], oracle.values[s], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn max_picks_the_better_transition() {
+        // From state 0: action into goal at rate 2, or detour at rate 2.
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "direct", &[(1, 2.0)]);
+        b.transition(0, "detour", &[(2, 2.0)]);
+        b.transition(1, "stay", &[(1, 2.0)]);
+        b.transition(2, "stay", &[(2, 2.0)]);
+        let m = b.build();
+        let goal = [false, true, false];
+        let t = 1.0;
+        let r = timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(1e-10))
+            .unwrap();
+        // Max scheduler takes "direct": hit B iff a jump occurs by t.
+        assert_close!(r.values[0], exponential_cdf(2.0, t), 1e-8);
+        // Min scheduler never reaches B.
+        let rmin = timed_reachability(
+            &m,
+            &goal,
+            t,
+            &ReachOptions::default()
+                .with_epsilon(1e-10)
+                .with_objective(Objective::Minimize),
+        )
+        .unwrap();
+        assert_close!(rmin.values[0], 0.0, 1e-9);
+    }
+
+    #[test]
+    fn max_dominates_min() {
+        let mut b = CtmdpBuilder::new(4, 0);
+        b.transition(0, "x", &[(1, 1.0), (2, 1.0)]);
+        b.transition(0, "y", &[(2, 1.5), (3, 0.5)]);
+        b.transition(1, "x", &[(3, 2.0)]);
+        b.transition(2, "x", &[(0, 2.0)]);
+        b.transition(3, "x", &[(3, 2.0)]);
+        let m = b.build();
+        let goal = [false, false, false, true];
+        for t in [0.5, 2.0, 8.0] {
+            let mx = timed_reachability(&m, &goal, t, &ReachOptions::default()).unwrap();
+            let mn = timed_reachability(
+                &m,
+                &goal,
+                t,
+                &ReachOptions::default().with_objective(Objective::Minimize),
+            )
+            .unwrap();
+            for s in 0..4 {
+                assert!(mx.values[s] >= mn.values[s] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn values_monotone_in_time_and_bounded() {
+        let (m, _) = chain_as_ctmdp();
+        let goal = [false, false, true];
+        let mut prev = 0.0;
+        for i in 1..8 {
+            let t = 0.5 * i as f64;
+            let v = timed_reachability(&m, &goal, t, &ReachOptions::default())
+                .unwrap()
+                .from_state(0);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn iteration_count_matches_foxglynn() {
+        let (m, _) = chain_as_ctmdp();
+        let r = timed_reachability(&m, &[false, false, true], 50.0, &ReachOptions::default())
+            .unwrap();
+        let fg = FoxGlynn::new(2.0 * 50.0);
+        assert_eq!(r.iterations, fg.right_truncation(1e-6));
+        assert_close!(r.uniform_rate, 2.0, 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_uniform() {
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.transition(0, "a", &[(1, 1.0)]);
+        b.transition(1, "a", &[(0, 3.0)]);
+        let m = b.build();
+        assert!(timed_reachability(&m, &[false, true], 1.0, &ReachOptions::default()).is_err());
+    }
+
+    #[test]
+    fn absorbing_non_goal_state_has_value_zero() {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "a", &[(1, 1.0), (2, 1.0)]);
+        b.transition(1, "a", &[(1, 2.0)]);
+        // state 2 has no transitions
+        let m = b.build();
+        let r = timed_reachability(&m, &[false, true, false], 3.0, &ReachOptions::default())
+            .unwrap();
+        assert_eq!(r.values[2], 0.0);
+        assert!(r.values[0] > 0.0);
+    }
+
+    #[test]
+    fn decisions_are_recorded_when_asked() {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "to_goal", &[(1, 2.0)]);
+        b.transition(0, "away", &[(2, 2.0)]);
+        b.transition(1, "s", &[(1, 2.0)]);
+        b.transition(2, "s", &[(2, 2.0)]);
+        let m = b.build();
+        let r = timed_reachability(
+            &m,
+            &[false, true, false],
+            1.0,
+            &ReachOptions::default().recording_decisions(),
+        )
+        .unwrap();
+        assert_eq!(r.decisions.len(), r.iterations);
+        // at every step the maximizer picks transition 0 ("to_goal")
+        for step in &r.decisions {
+            assert_eq!(step[0], 0);
+        }
+    }
+
+    #[test]
+    fn step_bounded_is_monotone_and_bounds_timed() {
+        let (m, _) = chain_as_ctmdp();
+        let goal = [false, false, true];
+        let mut prev = 0.0;
+        for k in 0..8 {
+            let p = step_bounded_reachability(&m, &goal, k, Objective::Maximize)[0];
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        // the timed value at precision ε is below the step-bounded value at
+        // the truncation point, plus ε
+        let t = 1.5;
+        let eps = 1e-9;
+        let timed = timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(eps))
+            .unwrap();
+        let stepped = step_bounded_reachability(&m, &goal, timed.iterations, Objective::Maximize);
+        assert!(timed.values[0] <= stepped[0] + eps);
+    }
+
+    #[test]
+    fn step_bounded_works_on_non_uniform_models() {
+        // non-uniform: exit rates 1 and 3 — jump counting does not care
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "a", &[(1, 0.5), (2, 0.5)]);
+        b.transition(1, "a", &[(2, 3.0)]);
+        b.transition(2, "a", &[(2, 3.0)]);
+        let m = b.build();
+        assert!(m.uniform_rate().is_err());
+        let goal = [false, false, true];
+        let p1 = step_bounded_reachability(&m, &goal, 1, Objective::Maximize);
+        assert_close!(p1[0], 0.5, 1e-12);
+        let p2 = step_bounded_reachability(&m, &goal, 2, Objective::Maximize);
+        assert_close!(p2[0], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn step_bounded_min_vs_max() {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "good", &[(1, 1.0)]);
+        b.transition(0, "bad", &[(2, 1.0)]);
+        b.transition(1, "s", &[(1, 1.0)]);
+        b.transition(2, "s", &[(2, 1.0)]);
+        let m = b.build();
+        let goal = [false, true, false];
+        let mx = step_bounded_reachability(&m, &goal, 3, Objective::Maximize);
+        let mn = step_bounded_reachability(&m, &goal, 3, Objective::Minimize);
+        assert_eq!(mx[0], 1.0);
+        assert_eq!(mn[0], 0.0);
+    }
+
+    #[test]
+    fn goal_state_value_is_exactly_one() {
+        let (m, _) = chain_as_ctmdp();
+        let r = timed_reachability(&m, &[true, false, false], 2.0, &ReachOptions::default())
+            .unwrap();
+        assert_eq!(r.values[0], 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Time-abstract schedulers for CTMDPs.
+//!
+//! A scheduler resolves the nondeterminism of a CTMDP (Definition 2). The
+//! timed-reachability algorithm optimizes over randomized time-abstract
+//! history-dependent schedulers; its optimum is attained by a deterministic
+//! *step-dependent* scheduler (the decision depends only on the current
+//! state and the number of Markov jumps so far), which
+//! [`reachability`](crate::reachability) can extract and the
+//! [`simulate`](crate::simulate) engine can replay.
+
+use rand::{Rng, RngExt};
+
+use crate::reachability::ReachResult;
+
+/// A policy choosing one of the transitions emanating from a state.
+///
+/// `step` counts Markov jumps, starting at 1 for the first jump;
+/// `num_choices` is the length of `transitions_from(state)` and is always
+/// at least 1 when this is called. The returned index must be smaller than
+/// `num_choices`.
+pub trait Scheduler {
+    /// Chooses a transition index.
+    fn choose<R: Rng>(
+        &self,
+        step: usize,
+        state: u32,
+        num_choices: usize,
+        rng: &mut R,
+    ) -> usize;
+}
+
+/// Always takes the first transition (the deterministic baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstChoice;
+
+impl Scheduler for FirstChoice {
+    fn choose<R: Rng>(&self, _: usize, _: u32, _: usize, _: &mut R) -> usize {
+        0
+    }
+}
+
+/// Uniformly randomizes over the available transitions — the crude
+/// approximation of nondeterminism that probabilistic models of the FTWC
+/// (high-rate Γ choices) effectively bake in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformRandom;
+
+impl Scheduler for UniformRandom {
+    fn choose<R: Rng>(
+        &self,
+        _: usize,
+        _: u32,
+        num_choices: usize,
+        rng: &mut R,
+    ) -> usize {
+        rng.random_range(0..num_choices)
+    }
+}
+
+/// A stationary deterministic scheduler: one fixed choice per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stationary {
+    choices: Vec<u16>,
+}
+
+impl Stationary {
+    /// Creates a stationary scheduler from one choice per state.
+    pub fn new(choices: Vec<u16>) -> Self {
+        Self { choices }
+    }
+
+    /// The stored choice for a state.
+    pub fn choice(&self, state: u32) -> u16 {
+        self.choices[state as usize]
+    }
+}
+
+impl Scheduler for Stationary {
+    fn choose<R: Rng>(
+        &self,
+        _: usize,
+        state: u32,
+        num_choices: usize,
+        _: &mut R,
+    ) -> usize {
+        (self.choices[state as usize] as usize).min(num_choices - 1)
+    }
+}
+
+/// The step-dependent deterministic scheduler extracted from a value
+/// iteration run with decision recording (the optimal scheduler `D₀` of
+/// Algorithm 1).
+///
+/// Step `i` (1-based) uses `decisions[i-1]`; steps beyond the recorded
+/// horizon fall back to the last recorded step, whose decisions are the
+/// long-horizon limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepDependent {
+    decisions: Vec<Vec<u16>>,
+}
+
+impl StepDependent {
+    /// Builds from raw per-step decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decisions` is empty.
+    pub fn new(decisions: Vec<Vec<u16>>) -> Self {
+        assert!(!decisions.is_empty(), "need at least one step of decisions");
+        Self { decisions }
+    }
+
+    /// Extracts the optimal scheduler from a [`ReachResult`] computed with
+    /// [`ReachOptions::recording_decisions`](crate::reachability::ReachOptions::recording_decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was computed without decision recording.
+    pub fn from_result(result: &ReachResult) -> Self {
+        assert!(
+            !result.decisions.is_empty(),
+            "reachability result carries no recorded decisions"
+        );
+        Self::new(result.decisions.clone())
+    }
+
+    /// Number of recorded steps.
+    pub fn horizon(&self) -> usize {
+        self.decisions.len()
+    }
+}
+
+impl Scheduler for StepDependent {
+    fn choose<R: Rng>(
+        &self,
+        step: usize,
+        state: u32,
+        num_choices: usize,
+        _: &mut R,
+    ) -> usize {
+        let idx = step.saturating_sub(1).min(self.decisions.len() - 1);
+        (self.decisions[idx][state as usize] as usize).min(num_choices - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn first_choice_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(FirstChoice.choose(5, 3, 7, &mut rng), 0);
+    }
+
+    #[test]
+    fn uniform_random_in_range_and_covers() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let c = UniformRandom.choose(1, 0, 3, &mut rng);
+            assert!(c < 3);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stationary_uses_fixed_choice() {
+        let s = Stationary::new(vec![2, 0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.choose(9, 0, 5, &mut rng), 2);
+        assert_eq!(s.choose(1, 1, 5, &mut rng), 0);
+        // clamped when fewer choices exist
+        assert_eq!(s.choose(1, 0, 2, &mut rng), 1);
+    }
+
+    #[test]
+    fn step_dependent_indexes_steps() {
+        let d = StepDependent::new(vec![vec![0, 1], vec![1, 0]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.choose(1, 0, 2, &mut rng), 0);
+        assert_eq!(d.choose(2, 0, 2, &mut rng), 1);
+        // beyond horizon: sticks to the last step
+        assert_eq!(d.choose(99, 0, 2, &mut rng), 1);
+        assert_eq!(d.horizon(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn step_dependent_rejects_empty() {
+        StepDependent::new(vec![]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Discrete-event simulation of CTMDPs under a scheduler.
+//!
+//! Used to cross-validate Algorithm 1: replaying the extracted optimal
+//! scheduler through a Monte-Carlo engine must reproduce the computed
+//! reachability probability within sampling error.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::model::Ctmdp;
+use crate::scheduler::Scheduler;
+
+/// Options for [`estimate_reachability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationOptions {
+    /// Number of independent runs.
+    pub runs: usize,
+    /// RNG seed (simulations are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        Self {
+            runs: 10_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Fraction of runs that hit the goal within the time bound.
+    pub probability: f64,
+    /// Standard error `sqrt(p(1-p)/runs)`.
+    pub std_error: f64,
+    /// Number of runs performed.
+    pub runs: usize,
+}
+
+impl Estimate {
+    /// Whether `value` lies within `sigmas` standard errors of the
+    /// estimate (with a small absolute floor for degenerate cases).
+    pub fn is_consistent_with(&self, value: f64, sigmas: f64) -> bool {
+        (value - self.probability).abs() <= sigmas * self.std_error + 1e-9
+    }
+}
+
+/// Samples one timed path and reports whether it hits the goal within `t`.
+///
+/// The path starts at the initial state; at each visited state the
+/// scheduler picks a transition, an exponential sojourn with that
+/// transition's exit rate elapses, and the successor is drawn from the
+/// discrete branching distribution.
+pub fn simulate_run<S: Scheduler, R: Rng>(
+    ctmdp: &Ctmdp,
+    goal: &[bool],
+    t: f64,
+    scheduler: &S,
+    rng: &mut R,
+) -> bool {
+    let mut state = ctmdp.initial();
+    if goal[state as usize] {
+        return true;
+    }
+    let mut time = 0.0f64;
+    let mut step = 1usize;
+    loop {
+        let trans = ctmdp.transitions_from(state);
+        if trans.is_empty() {
+            return false;
+        }
+        let choice = scheduler.choose(step, state, trans.len(), rng);
+        debug_assert!(choice < trans.len(), "scheduler chose out of range");
+        let rf = ctmdp.rate_function(trans[choice].rate_fn);
+        // Exponential sojourn with rate E_R.
+        let u: f64 = rng.random::<f64>();
+        time += -u.max(f64::MIN_POSITIVE).ln() / rf.total();
+        if time > t {
+            return false;
+        }
+        // Discrete branching.
+        let mut x: f64 = rng.random::<f64>() * rf.total();
+        let mut next = rf.targets()[rf.targets().len() - 1].0;
+        for &(tgt, r) in rf.targets() {
+            if x < r {
+                next = tgt;
+                break;
+            }
+            x -= r;
+        }
+        state = next;
+        if goal[state as usize] {
+            return true;
+        }
+        step += 1;
+    }
+}
+
+/// Estimates `Pr(s₀ ⤳≤t B)` under the given scheduler by Monte-Carlo
+/// simulation.
+///
+/// # Panics
+///
+/// Panics if `goal.len()` mismatches, `t` is negative/not finite, or
+/// `runs == 0`.
+pub fn estimate_reachability<S: Scheduler>(
+    ctmdp: &Ctmdp,
+    goal: &[bool],
+    t: f64,
+    scheduler: &S,
+    opts: &SimulationOptions,
+) -> Estimate {
+    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
+    assert!(t.is_finite() && t >= 0.0, "time bound must be finite and >= 0");
+    assert!(opts.runs > 0, "need at least one run");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut hits = 0usize;
+    for _ in 0..opts.runs {
+        if simulate_run(ctmdp, goal, t, scheduler, &mut rng) {
+            hits += 1;
+        }
+    }
+    let p = hits as f64 / opts.runs as f64;
+    Estimate {
+        probability: p,
+        std_error: (p * (1.0 - p) / opts.runs as f64).sqrt(),
+        runs: opts.runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CtmdpBuilder;
+    use crate::reachability::{timed_reachability, ReachOptions};
+    use crate::scheduler::{FirstChoice, StepDependent, UniformRandom};
+    use unicon_numeric::special::exponential_cdf;
+
+    fn race_model() -> Ctmdp {
+        // state 0: "good" goes to goal at rate 2; "bad" loops away at rate 2.
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "good", &[(1, 2.0)]);
+        b.transition(0, "bad", &[(2, 2.0)]);
+        b.transition(1, "stay", &[(1, 2.0)]);
+        b.transition(2, "back", &[(0, 2.0)]);
+        b.build()
+    }
+
+    #[test]
+    fn simulation_matches_exponential_cdf() {
+        let m = race_model();
+        let goal = [false, true, false];
+        let t = 0.8;
+        let est = estimate_reachability(
+            &m,
+            &goal,
+            t,
+            &FirstChoice,
+            &SimulationOptions {
+                runs: 40_000,
+                seed: 7,
+            },
+        );
+        let exact = exponential_cdf(2.0, t);
+        assert!(
+            est.is_consistent_with(exact, 4.0),
+            "est {} vs exact {exact}",
+            est.probability
+        );
+    }
+
+    #[test]
+    fn extracted_optimal_scheduler_reproduces_algorithm_value() {
+        let m = race_model();
+        let goal = [false, true, false];
+        let t = 1.2;
+        let res = timed_reachability(
+            &m,
+            &goal,
+            t,
+            &ReachOptions::default()
+                .with_epsilon(1e-9)
+                .recording_decisions(),
+        )
+        .unwrap();
+        let sched = StepDependent::from_result(&res);
+        let est = estimate_reachability(
+            &m,
+            &goal,
+            t,
+            &sched,
+            &SimulationOptions {
+                runs: 40_000,
+                seed: 99,
+            },
+        );
+        assert!(
+            est.is_consistent_with(res.from_state(0), 4.0),
+            "est {} vs algorithm {}",
+            est.probability,
+            res.from_state(0)
+        );
+    }
+
+    #[test]
+    fn no_scheduler_beats_the_sup() {
+        let m = race_model();
+        let goal = [false, true, false];
+        let t = 1.0;
+        let sup = timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(1e-9))
+            .unwrap()
+            .from_state(0);
+        for seed in 0..5 {
+            let est = estimate_reachability(
+                &m,
+                &goal,
+                t,
+                &UniformRandom,
+                &SimulationOptions { runs: 20_000, seed },
+            );
+            assert!(
+                est.probability <= sup + 4.0 * est.std_error,
+                "simulation {} exceeded sup {sup}",
+                est.probability
+            );
+        }
+    }
+
+    #[test]
+    fn goal_at_start_hits_immediately() {
+        let m = race_model();
+        let goal = [true, false, false];
+        let est = estimate_reachability(
+            &m,
+            &goal,
+            0.0,
+            &FirstChoice,
+            &SimulationOptions { runs: 10, seed: 1 },
+        );
+        assert_eq!(est.probability, 1.0);
+        assert_eq!(est.std_error, 0.0);
+    }
+
+    #[test]
+    fn absorbing_dead_end_never_hits() {
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.transition(0, "a", &[(1, 1.0)]);
+        let m = b.build(); // state 1 has no transitions, not a goal
+        let est = estimate_reachability(
+            &m,
+            &[false, false],
+            100.0,
+            &FirstChoice,
+            &SimulationOptions { runs: 100, seed: 3 },
+        );
+        assert_eq!(est.probability, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = race_model();
+        let goal = [false, true, false];
+        let opts = SimulationOptions {
+            runs: 1000,
+            seed: 123,
+        };
+        let a = estimate_reachability(&m, &goal, 1.0, &UniformRandom, &opts);
+        let b = estimate_reachability(&m, &goal, 1.0, &UniformRandom, &opts);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,596 @@
+//! Counter-abstraction FTWC generator — the paper's "PRISM route".
+//!
+//! Workstations within a sub-cluster are interchangeable, so the model
+//! tracks only *how many* are operational on each side, plus the status of
+//! the two switches, the backbone and the repair unit. The probabilistic
+//! high-rate Γ choice of the classic CTMC model is replaced by genuinely
+//! nondeterministic interactive transitions (`g_wsL`, …, `g_bb`), exactly
+//! as the paper describes.
+//!
+//! **Uniformity by construction.** Every Markov state carries the same exit
+//! rate `E = E_rep + 2N·λ_ws + 2λ_sw + λ_bb`:
+//!
+//! * each failure timer is uniformized: a side with `l` of `N` workstations
+//!   up advances with rate `l·λ_ws` and self-loops with the slack
+//!   `(N−l)·λ_ws`; switches and backbone likewise,
+//! * the single repair unit carries one shared repair timer uniformized at
+//!   the maximal repair rate `E_rep`: repairing component `c` advances with
+//!   `ρ_c` and self-loops with `E_rep − ρ_c`; an idle unit self-loops at
+//!   `E_rep`.
+//!
+//! The slowly growing `E` is what keeps the paper's Table 1 iteration
+//! counts almost flat in `N`.
+
+use unicon_core::ClosedModel;
+use unicon_ctmc::Ctmc;
+use unicon_imc::ImcBuilder;
+
+use crate::params::{Component, FtwcParams};
+use crate::premium::{premium, Config};
+
+/// Repair-unit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ru {
+    /// No repair in progress.
+    Idle,
+    /// Repairing one component of the given type, in the given Erlang
+    /// phase (`0..params.repair_phases`; phase 0 with a single phase is the
+    /// plain exponential repair of the published model).
+    Busy(Component, u32),
+}
+
+/// A fully decoded generator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GenState {
+    /// Structural configuration.
+    pub config: Config,
+    /// Repair-unit status.
+    pub ru: Ru,
+}
+
+/// The generated nondeterministic uniform model.
+#[derive(Debug, Clone)]
+pub struct GeneratedModel {
+    /// The uniform-by-construction closed IMC (reachable states only).
+    ///
+    /// Closed because the repair-assignment decisions are modelled with
+    /// *visible* actions (`g_wsL`, …) for legible CTMDP words; under the
+    /// maximal-progress (open) view those decision states would count as
+    /// stable. The model is complete, so the closed view is the right one.
+    pub uniform: ClosedModel,
+    /// Per-state goal flag: premium service **not** guaranteed.
+    pub premium_down: Vec<bool>,
+    /// Per-state decoded configuration.
+    pub states: Vec<GenState>,
+}
+
+fn comp_index(c: Component) -> usize {
+    Component::ALL.iter().position(|&x| x == c).expect("known component")
+}
+
+/// Number of repair-unit status values for `k` phases: idle plus one per
+/// (component, phase).
+fn ru_count(phases: u32) -> usize {
+    1 + 5 * phases as usize
+}
+
+fn ru_index(ru: Ru, phases: u32) -> usize {
+    match ru {
+        Ru::Idle => 0,
+        Ru::Busy(c, p) => {
+            debug_assert!(p < phases);
+            1 + comp_index(c) * phases as usize + p as usize
+        }
+    }
+}
+
+fn ru_decode(idx: usize, phases: u32) -> Ru {
+    if idx == 0 {
+        Ru::Idle
+    } else {
+        let i = idx - 1;
+        Ru::Busy(
+            Component::ALL[i / phases as usize],
+            (i % phases as usize) as u32,
+        )
+    }
+}
+
+fn encode(n: usize, phases: u32, s: &GenState) -> u32 {
+    let bits = usize::from(s.config.switch_left)
+        | usize::from(s.config.switch_right) << 1
+        | usize::from(s.config.backbone) << 2;
+    let idx = ((s.config.left as usize * (n + 1) + s.config.right as usize) * 8 + bits)
+        * ru_count(phases)
+        + ru_index(s.ru, phases);
+    idx as u32
+}
+
+fn decode(n: usize, phases: u32, id: u32) -> GenState {
+    let mut x = id as usize;
+    let ru = ru_decode(x % ru_count(phases), phases);
+    x /= ru_count(phases);
+    let bits = x % 8;
+    x /= 8;
+    let right = (x % (n + 1)) as u32;
+    let left = (x / (n + 1)) as u32;
+    GenState {
+        config: Config {
+            left,
+            right,
+            switch_left: bits & 1 != 0,
+            switch_right: bits & 2 != 0,
+            backbone: bits & 4 != 0,
+        },
+        ru,
+    }
+}
+
+fn failed_components(n: usize, s: &GenState) -> Vec<Component> {
+    let mut out = Vec::new();
+    if (s.config.left as usize) < n {
+        out.push(Component::WsLeft);
+    }
+    if (s.config.right as usize) < n {
+        out.push(Component::WsRight);
+    }
+    if !s.config.switch_left {
+        out.push(Component::SwitchLeft);
+    }
+    if !s.config.switch_right {
+        out.push(Component::SwitchRight);
+    }
+    if !s.config.backbone {
+        out.push(Component::Backbone);
+    }
+    // A component currently under repair is still failed, but the repair
+    // unit cannot be assigned twice.
+    if let Ru::Busy(c, _) = s.ru {
+        out.retain(|&x| x != c);
+    }
+    out
+}
+
+/// Whether the repair unit must be (re)assigned in this state: it is idle
+/// and something is failed. Such states are the interactive decision
+/// states of the model.
+fn decision_pending(n: usize, s: &GenState) -> bool {
+    s.ru == Ru::Idle && !failed_components(n, s).is_empty()
+}
+
+fn apply_repair(s: &GenState, c: Component) -> Config {
+    let mut cfg = s.config;
+    match c {
+        Component::WsLeft => cfg.left += 1,
+        Component::WsRight => cfg.right += 1,
+        Component::SwitchLeft => cfg.switch_left = true,
+        Component::SwitchRight => cfg.switch_right = true,
+        Component::Backbone => cfg.backbone = true,
+    }
+    cfg
+}
+
+/// Builds the nondeterministic, uniform-by-construction FTWC model.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies only.
+pub fn build_uimc(params: &FtwcParams) -> GeneratedModel {
+    let n = params.n;
+    let phases = params.repair_phases;
+    let num_raw = (n + 1) * (n + 1) * 8 * ru_count(phases);
+    let initial = GenState {
+        config: Config::all_up(n),
+        ru: Ru::Idle,
+    };
+    let mut b = ImcBuilder::new(num_raw, encode(n, phases, &initial));
+    let e_rep = params.repair_timer_rate();
+
+    for id in 0..num_raw as u32 {
+        let s = decode(n, phases, id);
+        // Skip structurally invalid states (repairing a component that is
+        // not failed); they are unreachable anyway.
+        if let Ru::Busy(c, _) = s.ru {
+            let valid = match c {
+                Component::WsLeft => (s.config.left as usize) < n,
+                Component::WsRight => (s.config.right as usize) < n,
+                Component::SwitchLeft => !s.config.switch_left,
+                Component::SwitchRight => !s.config.switch_right,
+                Component::Backbone => !s.config.backbone,
+            };
+            if !valid {
+                continue;
+            }
+        }
+
+        if decision_pending(n, &s) {
+            // Interactive decision state: assign the repair unit.
+            for c in failed_components(n, &s) {
+                let tgt = GenState {
+                    config: s.config,
+                    ru: Ru::Busy(c, 0),
+                };
+                b.interactive(&format!("g_{}", c.suffix()), id, encode(n, phases, &tgt));
+            }
+            continue;
+        }
+
+        // Markov state: uniformized timers. All slack goes into a single
+        // merged self-loop (parallel identical Markov transitions would
+        // collapse under the relation's set semantics).
+        let mut slack = 0.0f64;
+
+        // Workstation failures.
+        let (l, r) = (s.config.left, s.config.right);
+        if l > 0 {
+            let tgt = GenState {
+                config: Config {
+                    left: l - 1,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            b.markov(id, f64::from(l) * params.ws_fail, encode(n, phases, &tgt));
+        }
+        slack += (n as f64 - f64::from(l)) * params.ws_fail;
+        if r > 0 {
+            let tgt = GenState {
+                config: Config {
+                    right: r - 1,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            b.markov(id, f64::from(r) * params.ws_fail, encode(n, phases, &tgt));
+        }
+        slack += (n as f64 - f64::from(r)) * params.ws_fail;
+
+        // Switch and backbone failures.
+        if s.config.switch_left {
+            let tgt = GenState {
+                config: Config {
+                    switch_left: false,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            b.markov(id, params.sw_fail, encode(n, phases, &tgt));
+        } else {
+            slack += params.sw_fail;
+        }
+        if s.config.switch_right {
+            let tgt = GenState {
+                config: Config {
+                    switch_right: false,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            b.markov(id, params.sw_fail, encode(n, phases, &tgt));
+        } else {
+            slack += params.sw_fail;
+        }
+        if s.config.backbone {
+            let tgt = GenState {
+                config: Config {
+                    backbone: false,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            b.markov(id, params.bb_fail, encode(n, phases, &tgt));
+        } else {
+            slack += params.bb_fail;
+        }
+
+        // The shared repair timer: an Erlang delay advancing phase by phase
+        // at the per-phase rate, completing from the last phase.
+        match s.ru {
+            Ru::Idle => slack += e_rep,
+            Ru::Busy(c, p) => {
+                let rho = params.repair_phase_rate(c);
+                let tgt = if p + 1 == phases {
+                    GenState {
+                        config: apply_repair(&s, c),
+                        ru: Ru::Idle,
+                    }
+                } else {
+                    GenState {
+                        config: s.config,
+                        ru: Ru::Busy(c, p + 1),
+                    }
+                };
+                b.markov(id, rho, encode(n, phases, &tgt));
+                slack += e_rep - rho;
+            }
+        }
+
+        if slack > 0.0 {
+            b.markov(id, slack, id);
+        }
+    }
+
+    let (imc, old_of_new) = b.build().restrict_to_reachable_with_map();
+    let states: Vec<GenState> = old_of_new.iter().map(|&o| decode(n, phases, o)).collect();
+    let premium_down: Vec<bool> = states.iter().map(|s| !premium(&s.config, n)).collect();
+    let uniform = ClosedModel::try_new(imc).expect("generator output is uniform by construction");
+    GeneratedModel {
+        uniform,
+        premium_down,
+        states,
+    }
+}
+
+/// Builds the classic Γ-resolved CTMC (the modelling style of the original
+/// FTWC studies): the nondeterministic repair assignment is replaced by a
+/// race of rate-Γ transitions. Uniformization self-loops are omitted —
+/// they are probabilistically irrelevant for a CTMC.
+///
+/// Returns the chain, the per-state premium-down flags and the decoded
+/// states (reachable states only).
+pub fn build_ctmc(params: &FtwcParams) -> (Ctmc, Vec<bool>, Vec<GenState>) {
+    let n = params.n;
+    let phases = params.repair_phases;
+    let initial = GenState {
+        config: Config::all_up(n),
+        ru: Ru::Idle,
+    };
+    // Reachable exploration with on-the-fly numbering.
+    let mut index = std::collections::HashMap::new();
+    let mut states: Vec<GenState> = Vec::new();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    index.insert(encode(n, phases, &initial), 0usize);
+    states.push(initial);
+    let mut frontier = vec![initial];
+
+    let alloc = |index: &mut std::collections::HashMap<u32, usize>,
+                     states: &mut Vec<GenState>,
+                     frontier: &mut Vec<GenState>,
+                     s: GenState|
+     -> usize {
+        let key = encode(n, phases, &s);
+        *index.entry(key).or_insert_with(|| {
+            states.push(s);
+            frontier.push(s);
+            states.len() - 1
+        })
+    };
+
+    while let Some(s) = frontier.pop() {
+        let src = index[&encode(n, phases, &s)];
+        // The classic model replaces the urgent nondeterministic assignment
+        // by rate-Γ transitions that *race against the ordinary failure
+        // rates* — the artificial races the paper identifies as the source
+        // of the CTMC's overestimation.
+        if decision_pending(n, &s) {
+            for c in failed_components(n, &s) {
+                let tgt = GenState {
+                    config: s.config,
+                    ru: Ru::Busy(c, 0),
+                };
+                let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+                triplets.push((src, t, params.gamma));
+            }
+        }
+        let (l, r) = (s.config.left, s.config.right);
+        if l > 0 {
+            let tgt = GenState {
+                config: Config {
+                    left: l - 1,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+            triplets.push((src, t, f64::from(l) * params.ws_fail));
+        }
+        if r > 0 {
+            let tgt = GenState {
+                config: Config {
+                    right: r - 1,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+            triplets.push((src, t, f64::from(r) * params.ws_fail));
+        }
+        if s.config.switch_left {
+            let tgt = GenState {
+                config: Config {
+                    switch_left: false,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+            triplets.push((src, t, params.sw_fail));
+        }
+        if s.config.switch_right {
+            let tgt = GenState {
+                config: Config {
+                    switch_right: false,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+            triplets.push((src, t, params.sw_fail));
+        }
+        if s.config.backbone {
+            let tgt = GenState {
+                config: Config {
+                    backbone: false,
+                    ..s.config
+                },
+                ru: s.ru,
+            };
+            let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+            triplets.push((src, t, params.bb_fail));
+        }
+        if let Ru::Busy(c, p) = s.ru {
+            let tgt = if p + 1 == phases {
+                GenState {
+                    config: apply_repair(&s, c),
+                    ru: Ru::Idle,
+                }
+            } else {
+                GenState {
+                    config: s.config,
+                    ru: Ru::Busy(c, p + 1),
+                }
+            };
+            let t = alloc(&mut index, &mut states, &mut frontier, tgt);
+            triplets.push((src, t, params.repair_phase_rate(c)));
+        }
+    }
+
+    let num = states.len();
+    let ctmc = Ctmc::from_rates(num, 0, triplets);
+    let premium_down: Vec<bool> = states.iter().map(|s| !premium(&s.config, n)).collect();
+    (ctmc, premium_down, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon_imc::{StateKind, View};
+    use unicon_numeric::assert_close;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for phases in [1u32, 3] {
+            let n = 3;
+            let raw = (n + 1) * (n + 1) * 8 * ru_count(phases);
+            for id in 0..raw as u32 {
+                let s = decode(n, phases, id);
+                assert_eq!(encode(n, phases, &s), id);
+            }
+        }
+    }
+
+    #[test]
+    fn model_is_uniform_with_predicted_rate() {
+        for n in [1, 2, 5] {
+            let p = FtwcParams::new(n);
+            let m = build_uimc(&p);
+            assert_close!(m.uniform.rate(), p.uniform_rate(), 1e-9);
+            // double-check against the model itself
+            assert!(m.uniform.imc().is_uniform(View::Closed));
+        }
+    }
+
+    #[test]
+    fn initial_state_is_all_up_markov() {
+        let p = FtwcParams::new(2);
+        let m = build_uimc(&p);
+        let init = m.uniform.imc().initial();
+        assert_eq!(m.states[init as usize].config, Config::all_up(2));
+        assert_eq!(m.states[init as usize].ru, Ru::Idle);
+        assert_eq!(m.uniform.imc().kind(init), StateKind::Markov);
+        assert!(!m.premium_down[init as usize]);
+    }
+
+    #[test]
+    fn decision_states_offer_one_grab_per_failed_component() {
+        let p = FtwcParams::new(2);
+        let m = build_uimc(&p);
+        let imc = m.uniform.imc();
+        let mut saw_decision = false;
+        for s in 0..imc.num_states() as u32 {
+            let st = &m.states[s as usize];
+            if st.ru == Ru::Idle {
+                let failed = failed_components(p.n, st);
+                if !failed.is_empty() {
+                    saw_decision = true;
+                    assert_eq!(imc.kind(s), StateKind::Interactive);
+                    assert_eq!(imc.interactive_from(s).len(), failed.len());
+                }
+            }
+        }
+        assert!(saw_decision);
+    }
+
+    #[test]
+    fn no_absorbing_states_and_no_interactive_cycles() {
+        let p = FtwcParams::new(2);
+        let m = build_uimc(&p);
+        let imc = m.uniform.imc();
+        assert!(unicon_imc::analysis::absorbing_states(imc).is_empty());
+        assert!(unicon_imc::analysis::is_zeno_free(imc));
+    }
+
+    #[test]
+    fn state_count_grows_quadratically() {
+        let s2 = build_uimc(&FtwcParams::new(2)).uniform.imc().num_states();
+        let s4 = build_uimc(&FtwcParams::new(4)).uniform.imc().num_states();
+        let s8 = build_uimc(&FtwcParams::new(8)).uniform.imc().num_states();
+        // ratio of consecutive sizes approaches 4 for quadratic growth
+        let r1 = s4 as f64 / s2 as f64;
+        let r2 = s8 as f64 / s4 as f64;
+        assert!(r1 > 1.8 && r2 > 2.2, "sizes {s2} {s4} {s8}");
+    }
+
+    #[test]
+    fn premium_down_states_exist_and_are_labeled() {
+        let p = FtwcParams::new(1);
+        let m = build_uimc(&p);
+        assert!(m.premium_down.iter().any(|&d| d));
+        assert!(m.premium_down.iter().any(|&d| !d));
+        // a state with the left workstation and the backbone down for N=1
+        // with right up and switches up is premium (right side alone works)
+        for (s, st) in m.states.iter().enumerate() {
+            if st.config.left == 0
+                && st.config.right == 1
+                && st.config.switch_left
+                && st.config.switch_right
+                && !st.config.backbone
+            {
+                assert!(!m.premium_down[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn ctmc_variant_matches_state_space_scale() {
+        let p = FtwcParams::new(2);
+        let m = build_uimc(&p);
+        let (ctmc, down, states) = build_ctmc(&p);
+        assert_eq!(ctmc.num_states(), states.len());
+        assert_eq!(down.len(), states.len());
+        // essentially the same reachable state space as the nondeterministic
+        // model; the Γ races reach a few extra configurations (failures can
+        // pile up while an assignment is pending, which urgency forbids)
+        assert!(ctmc.num_states() >= m.uniform.imc().num_states());
+        assert!(ctmc.num_states() <= m.uniform.imc().num_states() + 8);
+        // decision states race at rate gamma
+        let decision = states
+            .iter()
+            .position(|s| decision_pending(p.n, s))
+            .expect("decision state");
+        assert!(ctmc.exit_rate(decision) >= p.gamma);
+    }
+
+    #[test]
+    fn repair_busy_states_tick_at_uniform_repair_slack() {
+        let p = FtwcParams::new(1);
+        let m = build_uimc(&p);
+        let imc = m.uniform.imc();
+        for s in 0..imc.num_states() as u32 {
+            if let Ru::Busy(c, phase) = m.states[s as usize].ru {
+                // exit rate is the uniform rate regardless of c
+                assert_close!(imc.exit_rate(s), p.uniform_rate(), 1e-9);
+                // completion happens from the last phase (= phase 0 here)
+                assert_eq!(phase, 0);
+                let decoded = &m.states[s as usize];
+                let repaired = apply_repair(decoded, c);
+                let has_completion = imc.markov_from(s).iter().any(|t| {
+                    m.states[t.target as usize].config == repaired
+                        && m.states[t.target as usize].ru == Ru::Idle
+                        && (t.rate - p.repair_rate(c)).abs() < 1e-12
+                });
+                assert!(has_completion, "missing completion from state {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! FTWC model parameters.
+
+/// The five repairable component types of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// A workstation in the left sub-cluster.
+    WsLeft,
+    /// A workstation in the right sub-cluster.
+    WsRight,
+    /// The left switch.
+    SwitchLeft,
+    /// The right switch.
+    SwitchRight,
+    /// The backbone.
+    Backbone,
+}
+
+impl Component {
+    /// All component types, in a fixed order.
+    pub const ALL: [Component; 5] = [
+        Component::WsLeft,
+        Component::WsRight,
+        Component::SwitchLeft,
+        Component::SwitchRight,
+        Component::Backbone,
+    ];
+
+    /// The suffix used in the paper's action names (`g_wsL`, `r_swR`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Component::WsLeft => "wsL",
+            Component::WsRight => "wsR",
+            Component::SwitchLeft => "swL",
+            Component::SwitchRight => "swR",
+            Component::Backbone => "bb",
+        }
+    }
+}
+
+/// Failure and repair rates of the FTWC (per hour), plus the cluster size.
+///
+/// Defaults are the published constants of the Haverkort/Hermanns/Katoen
+/// SRDS 2000 study (also the PRISM "cluster" benchmark): workstation MTTF
+/// 500 h, switch 4000 h, backbone 5000 h; mean repair times 0.5 h, 4 h and
+/// 8 h respectively; one repair unit for the whole cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtwcParams {
+    /// Workstations per sub-cluster.
+    pub n: usize,
+    /// Workstation failure rate (1/500 per hour).
+    pub ws_fail: f64,
+    /// Switch failure rate (1/4000).
+    pub sw_fail: f64,
+    /// Backbone failure rate (1/5000).
+    pub bb_fail: f64,
+    /// Workstation repair rate (2).
+    pub ws_repair: f64,
+    /// Switch repair rate (0.25).
+    pub sw_repair: f64,
+    /// Backbone repair rate (0.125).
+    pub bb_repair: f64,
+    /// The high rate used by the classic CTMC treatment to approximate the
+    /// nondeterministic repair assignment probabilistically.
+    pub gamma: f64,
+    /// Number of Erlang phases of every repair delay (1 = exponential, the
+    /// published model). More phases keep the mean repair times but reduce
+    /// their variance — an extension showcasing phase-type support in the
+    /// scalable generator.
+    pub repair_phases: u32,
+}
+
+impl FtwcParams {
+    /// Published parameters for a cluster with `n` workstations per side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one workstation per sub-cluster");
+        Self {
+            n,
+            ws_fail: 1.0 / 500.0,
+            sw_fail: 1.0 / 4000.0,
+            bb_fail: 1.0 / 5000.0,
+            ws_repair: 2.0,
+            sw_repair: 0.25,
+            bb_repair: 0.125,
+            gamma: 1000.0,
+            repair_phases: 1,
+        }
+    }
+
+    /// Failure rate of one component of the given type.
+    pub fn fail_rate(&self, c: Component) -> f64 {
+        match c {
+            Component::WsLeft | Component::WsRight => self.ws_fail,
+            Component::SwitchLeft | Component::SwitchRight => self.sw_fail,
+            Component::Backbone => self.bb_fail,
+        }
+    }
+
+    /// Repair rate of one component of the given type.
+    pub fn repair_rate(&self, c: Component) -> f64 {
+        match c {
+            Component::WsLeft | Component::WsRight => self.ws_repair,
+            Component::SwitchLeft | Component::SwitchRight => self.sw_repair,
+            Component::Backbone => self.bb_repair,
+        }
+    }
+
+    /// The maximal repair rate — the uniformization rate of the shared
+    /// repair-delay timer in the exponential (single-phase) case.
+    pub fn max_repair_rate(&self) -> f64 {
+        self.ws_repair.max(self.sw_repair).max(self.bb_repair)
+    }
+
+    /// Uniformization rate of the shared repair timer: each repair delay of
+    /// mean `1/ρ` is an Erlang with `repair_phases` phases of rate
+    /// `repair_phases · ρ`, so the timer ticks at
+    /// `repair_phases · max_repair_rate`.
+    pub fn repair_timer_rate(&self) -> f64 {
+        f64::from(self.repair_phases) * self.max_repair_rate()
+    }
+
+    /// Per-phase rate of the Erlang repair delay of component `c`.
+    pub fn repair_phase_rate(&self, c: Component) -> f64 {
+        f64::from(self.repair_phases) * self.repair_rate(c)
+    }
+
+    /// The uniform rate of the counter-abstraction uIMC: one shared repair
+    /// timer plus the always-on failure timers of every component.
+    pub fn uniform_rate(&self) -> f64 {
+        self.repair_timer_rate()
+            + 2.0 * self.n as f64 * self.ws_fail
+            + 2.0 * self.sw_fail
+            + self.bb_fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon_numeric::assert_close;
+
+    #[test]
+    fn published_constants() {
+        let p = FtwcParams::new(4);
+        assert_close!(p.ws_fail, 0.002, 1e-15);
+        assert_close!(p.sw_fail, 0.00025, 1e-15);
+        assert_close!(p.bb_fail, 0.0002, 1e-15);
+        assert_close!(p.max_repair_rate(), 2.0, 1e-15);
+    }
+
+    #[test]
+    fn uniform_rate_grows_slowly_with_n() {
+        // the paper's Table 1 iteration counts imply E ≈ 2.0 … 2.5
+        let e1 = FtwcParams::new(1).uniform_rate();
+        let e128 = FtwcParams::new(128).uniform_rate();
+        assert!(e1 > 2.0 && e1 < 2.01, "E(1) = {e1}");
+        assert!(e128 > 2.5 && e128 < 2.6, "E(128) = {e128}");
+    }
+
+    #[test]
+    fn component_rates_match_type() {
+        let p = FtwcParams::new(1);
+        assert_eq!(p.fail_rate(Component::Backbone), p.bb_fail);
+        assert_eq!(p.repair_rate(Component::WsRight), p.ws_repair);
+        assert_eq!(Component::SwitchLeft.suffix(), "swL");
+        assert_eq!(Component::ALL.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workstation")]
+    fn rejects_empty_cluster() {
+        FtwcParams::new(0);
+    }
+}

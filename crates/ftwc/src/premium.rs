@@ -1,0 +1,138 @@
+//! The *premium quality* service predicate.
+//!
+//! The cluster operates in premium quality when at least `N` workstations
+//! are operational **and connected**: either one sub-cluster provides all
+//! `N` on its own (its switch must be up), or the two sub-clusters together
+//! provide `N`, which additionally needs both switches and the backbone.
+
+/// A structural configuration of the cluster (ignoring the repair unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Operational workstations in the left sub-cluster.
+    pub left: u32,
+    /// Operational workstations in the right sub-cluster.
+    pub right: u32,
+    /// Left switch operational?
+    pub switch_left: bool,
+    /// Right switch operational?
+    pub switch_right: bool,
+    /// Backbone operational?
+    pub backbone: bool,
+}
+
+impl Config {
+    /// The fully operational configuration.
+    pub fn all_up(n: usize) -> Self {
+        Self {
+            left: n as u32,
+            right: n as u32,
+            switch_left: true,
+            switch_right: true,
+            backbone: true,
+        }
+    }
+}
+
+/// Does `config` provide premium quality for cluster size `n`?
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ftwc::premium::{premium, Config};
+///
+/// assert!(premium(&Config::all_up(4), 4));
+/// let degraded = Config { left: 2, right: 2, ..Config::all_up(4) };
+/// assert!(premium(&degraded, 4)); // 4 in total, fully connected
+/// let cut = Config { backbone: false, ..degraded };
+/// assert!(!premium(&cut, 4)); // the two halves cannot combine
+/// ```
+pub fn premium(config: &Config, n: usize) -> bool {
+    let n = n as u32;
+    let left_alone = config.left >= n && config.switch_left;
+    let right_alone = config.right >= n && config.switch_right;
+    let combined = config.left + config.right >= n
+        && config.switch_left
+        && config.switch_right
+        && config.backbone;
+    left_alone || right_alone || combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_up_is_premium() {
+        for n in [1, 4, 16] {
+            assert!(premium(&Config::all_up(n), n));
+        }
+    }
+
+    #[test]
+    fn one_side_suffices_with_its_switch() {
+        let c = Config {
+            left: 4,
+            right: 0,
+            switch_left: true,
+            switch_right: false,
+            backbone: false,
+        };
+        assert!(premium(&c, 4));
+        let c = Config {
+            switch_left: false,
+            ..c
+        };
+        assert!(!premium(&c, 4));
+    }
+
+    #[test]
+    fn combining_needs_everything() {
+        let base = Config {
+            left: 2,
+            right: 2,
+            switch_left: true,
+            switch_right: true,
+            backbone: true,
+        };
+        assert!(premium(&base, 4));
+        assert!(!premium(
+            &Config {
+                switch_right: false,
+                ..base
+            },
+            4
+        ));
+        assert!(!premium(
+            &Config {
+                backbone: false,
+                ..base
+            },
+            4
+        ));
+        assert!(!premium(&Config { left: 1, ..base }, 4));
+    }
+
+    #[test]
+    fn too_few_workstations_is_never_premium() {
+        let c = Config {
+            left: 1,
+            right: 1,
+            switch_left: true,
+            switch_right: true,
+            backbone: true,
+        };
+        assert!(!premium(&c, 3));
+    }
+
+    #[test]
+    fn switch_down_but_other_side_full() {
+        let c = Config {
+            left: 0,
+            right: 3,
+            switch_left: false,
+            switch_right: true,
+            backbone: false,
+        };
+        assert!(premium(&c, 3));
+    }
+}

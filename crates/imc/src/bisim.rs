@@ -1,0 +1,642 @@
+//! Stochastic branching bisimulation and strong stochastic bisimulation.
+//!
+//! The minimization equivalence of the paper (Definition 6) must
+//!
+//! 1. abstract from internal computation (branching-style τ treatment),
+//! 2. lump Markov transitions (Kemeny–Snell style),
+//! 3. leave the branching structure otherwise untouched.
+//!
+//! We implement both relations by Blom–Orzan-style *signature refinement*:
+//! the partition is repeatedly split by a per-state signature until it
+//! stabilizes, then the quotient IMC is read off. For the branching variant
+//! the signature closes over *inert* τ steps (τ transitions that stay
+//! inside the current block).
+//!
+//! The computed partition is a **sound** stochastic branching bisimulation —
+//! every pair of merged states satisfies Definition 6 — and on the
+//! divergence-free models of the modelling trajectory (Zenoness is excluded
+//! before analysis) it is the coarsest one in all our test cases. Lemma 3 /
+//! Corollary 1 (quotienting preserves uniformity, in both directions) is
+//! exercised by the property tests.
+
+use std::collections::{BTreeSet, HashMap};
+
+use unicon_ctmc::lumping::quantize;
+use unicon_lts::Transition;
+use unicon_numeric::NeumaierSum;
+
+use crate::model::{Imc, MarkovTransition, View};
+
+/// A partition of IMC states into dense blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `block[s]` is the block of state `s`.
+    pub block: Vec<u32>,
+    /// Number of blocks.
+    pub num_blocks: usize,
+}
+
+impl Partition {
+    fn universal(n: usize) -> Self {
+        Self {
+            block: vec![0; n],
+            num_blocks: usize::from(n > 0),
+        }
+    }
+
+    /// Builds an initial partition from arbitrary per-state labels (states
+    /// with different labels are never merged), renumbering densely.
+    pub fn from_labels(labels: &[u32]) -> Self {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let block: Vec<u32> = labels
+            .iter()
+            .map(|&l| {
+                let fresh = remap.len() as u32;
+                *remap.entry(l).or_insert(fresh)
+            })
+            .collect();
+        Self {
+            num_blocks: remap.len(),
+            block,
+        }
+    }
+}
+
+/// A state signature: visible/non-inert moves plus the set of stable rate
+/// profiles reachable through inert internal steps.
+type Signature = (BTreeSet<(u32, u32)>, BTreeSet<Vec<(u32, u64)>>);
+
+/// Computes a stochastic branching bisimulation partition of `imc`.
+///
+/// `view` selects which actions pre-empt Markov transitions (τ only under
+/// [`View::Open`]; every interactive transition under [`View::Closed`]) and
+/// which transitions can be inert (always τ).
+pub fn stochastic_branching_bisimulation(imc: &Imc, view: View) -> Partition {
+    stochastic_branching_bisimulation_from(imc, view, Partition::universal(imc.num_states()))
+}
+
+/// Like [`stochastic_branching_bisimulation`] but refining an initial
+/// partition given by per-state labels: states with different labels are
+/// never merged, so any label-defined measure (e.g. a goal set) survives
+/// quotienting.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the number of states.
+pub fn stochastic_branching_bisimulation_labeled(
+    imc: &Imc,
+    view: View,
+    labels: &[u32],
+) -> Partition {
+    assert_eq!(labels.len(), imc.num_states(), "label vector length mismatch");
+    stochastic_branching_bisimulation_from(imc, view, Partition::from_labels(labels))
+}
+
+fn stochastic_branching_bisimulation_from(imc: &Imc, view: View, init: Partition) -> Partition {
+    // Rates of unstable states are semantically irrelevant: cut them first.
+    let m = imc.apply_pre_emption(view);
+    let n = m.num_states();
+    let mut part = init;
+    loop {
+        let sigs: Vec<Signature> = (0..n as u32).map(|s| signature(&m, view, &part, s)).collect();
+        let (next, changed) = refine(&part, &sigs);
+        part = next;
+        if !changed {
+            return part;
+        }
+    }
+}
+
+/// Computes a strong stochastic bisimulation partition (no τ abstraction).
+pub fn strong_stochastic_bisimulation(imc: &Imc, view: View) -> Partition {
+    let m = imc.apply_pre_emption(view);
+    let n = m.num_states();
+    let mut part = Partition::universal(n);
+    loop {
+        let sigs: Vec<Signature> = (0..n as u32)
+            .map(|s| {
+                let mut moves = BTreeSet::new();
+                for t in m.interactive_from(s) {
+                    moves.insert((t.action.0, part.block[t.target as usize]));
+                }
+                let mut profiles = BTreeSet::new();
+                profiles.insert(rate_profile(&m, &part, s));
+                (moves, profiles)
+            })
+            .collect();
+        let (next, changed) = refine(&part, &sigs);
+        part = next;
+        if !changed {
+            return part;
+        }
+    }
+}
+
+/// Computes a stochastic **weak** bisimulation partition.
+///
+/// Weak bisimulation abstracts more aggressively than the branching
+/// variant: a visible move may be matched by `τ* a τ*`, so e.g.
+/// `a.(b + τ.c) + a.c` and `a.(b + τ.c)` are weakly but not branching
+/// bisimilar. The paper remarks that the uniformity-preservation result
+/// (Lemma 3) equally holds for this relation.
+///
+/// Implemented by signature refinement over the full τ*-closure (computed
+/// once); like the branching variant, the result is a sound bisimulation —
+/// every merged pair is weakly bisimilar — intended for divergence-free
+/// (non-Zeno) models.
+pub fn stochastic_weak_bisimulation(imc: &Imc, view: View) -> Partition {
+    stochastic_weak_bisimulation_from(imc, view, Partition::universal(imc.num_states()))
+}
+
+/// Label-respecting variant of [`stochastic_weak_bisimulation`].
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the number of states.
+pub fn stochastic_weak_bisimulation_labeled(imc: &Imc, view: View, labels: &[u32]) -> Partition {
+    assert_eq!(labels.len(), imc.num_states(), "label vector length mismatch");
+    stochastic_weak_bisimulation_from(imc, view, Partition::from_labels(labels))
+}
+
+fn stochastic_weak_bisimulation_from(imc: &Imc, view: View, init: Partition) -> Partition {
+    let m = imc.apply_pre_emption(view);
+    let n = m.num_states();
+    // Full τ*-closure, independent of the partition: compute once.
+    let closure: Vec<Vec<u32>> = (0..n as u32).map(|s| tau_closure(&m, s)).collect();
+    let mut part = init;
+    loop {
+        let sigs: Vec<Signature> = (0..n)
+            .map(|s| {
+                let my_block = part.block[s];
+                let mut moves = BTreeSet::new();
+                let mut profiles = BTreeSet::new();
+                for &s1 in &closure[s] {
+                    // τ moves that change block (weak: s ⇒τ* t).
+                    let b1 = part.block[s1 as usize];
+                    if b1 != my_block {
+                        moves.insert((unicon_lts::ActionId::TAU.0, b1));
+                    }
+                    // visible moves with τ*-closure on the target side.
+                    for t in m.interactive_from(s1) {
+                        if t.action.is_tau() {
+                            continue;
+                        }
+                        for &t2 in &closure[t.target as usize] {
+                            moves.insert((t.action.0, part.block[t2 as usize]));
+                        }
+                    }
+                    if m.is_stable(s1, view) {
+                        profiles.insert(rate_profile(&m, &part, s1));
+                    }
+                }
+                (moves, profiles)
+            })
+            .collect();
+        let (next, changed) = refine(&part, &sigs);
+        part = next;
+        if !changed {
+            return part;
+        }
+    }
+}
+
+/// Minimizes modulo stochastic weak bisimilarity.
+pub fn minimize_weak(imc: &Imc, view: View) -> Imc {
+    let part = stochastic_weak_bisimulation(imc, view);
+    quotient(imc, &part, view).restrict_to_reachable()
+}
+
+/// Reflexive-transitive closure over τ transitions (all of them, not just
+/// inert ones), including `s` itself.
+fn tau_closure(m: &Imc, s: u32) -> Vec<u32> {
+    let mut seen = vec![s];
+    let mut stack = vec![s];
+    while let Some(x) = stack.pop() {
+        for t in m.interactive_from(x) {
+            if t.action.is_tau() && !seen.contains(&t.target) {
+                seen.push(t.target);
+                stack.push(t.target);
+            }
+        }
+    }
+    seen
+}
+
+/// Splits every block by signature; returns the new partition and whether
+/// the block count grew.
+fn refine(part: &Partition, sigs: &[Signature]) -> (Partition, bool) {
+    let mut keys: HashMap<(u32, &Signature), u32> = HashMap::new();
+    let mut block = Vec::with_capacity(sigs.len());
+    for (s, sig) in sigs.iter().enumerate() {
+        let fresh = keys.len() as u32;
+        block.push(*keys.entry((part.block[s], sig)).or_insert(fresh));
+    }
+    let num_blocks = keys.len();
+    let changed = num_blocks != part.num_blocks;
+    (Partition { block, num_blocks }, changed)
+}
+
+/// Branching signature of `s` under the current partition: all non-inert
+/// moves reachable via inert τ steps, plus the rate profiles of the stable
+/// states reachable via inert τ steps.
+fn signature(m: &Imc, view: View, part: &Partition, s: u32) -> Signature {
+    let closure = inert_closure(m, part, s);
+    let my_block = part.block[s as usize];
+    let mut moves = BTreeSet::new();
+    let mut profiles = BTreeSet::new();
+    for &s2 in &closure {
+        for t in m.interactive_from(s2) {
+            let tgt_block = part.block[t.target as usize];
+            if !(t.action.is_tau() && tgt_block == my_block) {
+                moves.insert((t.action.0, tgt_block));
+            }
+        }
+        if m.is_stable(s2, view) {
+            profiles.insert(rate_profile(m, part, s2));
+        }
+    }
+    (moves, profiles)
+}
+
+/// The τ-closure of `s` within its own block (inert steps only), including
+/// `s` itself.
+fn inert_closure(m: &Imc, part: &Partition, s: u32) -> Vec<u32> {
+    let my_block = part.block[s as usize];
+    let mut seen = vec![s];
+    let mut stack = vec![s];
+    while let Some(x) = stack.pop() {
+        for t in m.interactive_from(x) {
+            if t.action.is_tau()
+                && part.block[t.target as usize] == my_block
+                && !seen.contains(&t.target)
+            {
+                seen.push(t.target);
+                stack.push(t.target);
+            }
+        }
+    }
+    seen
+}
+
+/// Per-block cumulative rate vector of one state, quantized for hashing.
+fn rate_profile(m: &Imc, part: &Partition, s: u32) -> Vec<(u32, u64)> {
+    let mut per_block: HashMap<u32, NeumaierSum> = HashMap::new();
+    for t in m.markov_from(s) {
+        per_block
+            .entry(part.block[t.target as usize])
+            .or_default()
+            .add(t.rate);
+    }
+    let mut v: Vec<(u32, u64)> = per_block
+        .into_iter()
+        .map(|(b, r)| (b, quantize(r.value())))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Builds the quotient IMC of `imc` under `partition`.
+///
+/// Interactive transitions: `B --a--> C` iff some `s ∈ B` moves `a` to
+/// `C`, except inert τ self-loops, which vanish. Markov transitions: the
+/// per-block rates of any *stable* member of `B` (all stable members agree
+/// once the partition is a bisimulation); blocks without stable members get
+/// none — their rates are pre-empted anyway.
+///
+/// # Panics
+///
+/// Panics if the partition length does not match the model.
+pub fn quotient(imc: &Imc, partition: &Partition, view: View) -> Imc {
+    assert_eq!(
+        partition.block.len(),
+        imc.num_states(),
+        "partition does not match the model"
+    );
+    let m = imc.apply_pre_emption(view);
+    let nb = partition.num_blocks;
+
+    let mut interactive: Vec<Transition> = Vec::new();
+    for t in m.interactive() {
+        let sb = partition.block[t.source as usize];
+        let tb = partition.block[t.target as usize];
+        if t.action.is_tau() && sb == tb {
+            continue; // inert
+        }
+        interactive.push(Transition {
+            source: sb,
+            action: t.action,
+            target: tb,
+        });
+    }
+
+    // One stable representative per block.
+    let mut rep: Vec<Option<u32>> = vec![None; nb];
+    for s in 0..m.num_states() as u32 {
+        let b = partition.block[s as usize] as usize;
+        if rep[b].is_none() && m.is_stable(s, view) && !m.markov_from(s).is_empty() {
+            rep[b] = Some(s);
+        }
+    }
+    let mut markov: Vec<MarkovTransition> = Vec::new();
+    for (b, r) in rep.iter().enumerate() {
+        if let Some(s) = r {
+            let mut per_block: HashMap<u32, NeumaierSum> = HashMap::new();
+            for t in m.markov_from(*s) {
+                per_block
+                    .entry(partition.block[t.target as usize])
+                    .or_default()
+                    .add(t.rate);
+            }
+            for (c, acc) in per_block {
+                let rate = acc.value();
+                if rate > 0.0 {
+                    markov.push(MarkovTransition {
+                        source: b as u32,
+                        rate,
+                        target: c,
+                    });
+                }
+            }
+        }
+    }
+
+    Imc::from_raw(
+        imc.actions().clone(),
+        nb,
+        partition.block[imc.initial() as usize],
+        interactive,
+        markov,
+    )
+}
+
+/// Minimizes an IMC modulo stochastic branching bisimilarity and restricts
+/// to the reachable part (the `StoBraBi` quotient of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use unicon_imc::{bisim, ImcBuilder, View};
+///
+/// // A τ step in front of a Markov state collapses into it: the quotient
+/// // keeps only {0,1} and the observably different goal state {2}.
+/// let mut b = ImcBuilder::new(3, 0);
+/// b.tau(0, 1);
+/// b.markov(1, 2.0, 2);
+/// b.interactive("goal", 2, 2);
+/// let min = bisim::minimize(&b.build(), View::Open);
+/// assert_eq!(min.num_states(), 2);
+/// ```
+pub fn minimize(imc: &Imc, view: View) -> Imc {
+    let part = stochastic_branching_bisimulation(imc, view);
+    quotient(imc, &part, view).restrict_to_reachable()
+}
+
+/// Minimizes modulo strong stochastic bisimilarity.
+pub fn minimize_strong(imc: &Imc, view: View) -> Imc {
+    let part = strong_stochastic_bisimulation(imc, view);
+    quotient(imc, &part, view).restrict_to_reachable()
+}
+
+/// Label-respecting minimization: quotients modulo the coarsest stochastic
+/// branching bisimulation refining `labels`, and returns the quotient
+/// together with its per-state labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the number of states.
+pub fn minimize_labeled(imc: &Imc, view: View, labels: &[u32]) -> (Imc, Vec<u32>) {
+    let part = stochastic_branching_bisimulation_labeled(imc, view, labels);
+    let q = quotient(imc, &part, view);
+    let mut block_labels = vec![0u32; part.num_blocks];
+    for (s, &b) in part.block.iter().enumerate() {
+        block_labels[b as usize] = labels[s];
+    }
+    let (reduced, old_of_new) = q.restrict_to_reachable_with_map();
+    let new_labels = old_of_new
+        .iter()
+        .map(|&b| block_labels[b as usize])
+        .collect();
+    (reduced, new_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ImcBuilder, Uniformity};
+    use unicon_numeric::assert_close;
+
+    #[test]
+    fn tau_prefix_collapses() {
+        // 0 --τ--> 1 --1.0--> 2 --1.0--> 1: all three states are stochastic
+        // branching bisimilar (unlabeled rate-1 ticking into the own class),
+        // so the quotient is a single state with a rate-1 self-loop.
+        let mut b = ImcBuilder::new(3, 0);
+        b.tau(0, 1);
+        b.markov(1, 1.0, 2);
+        b.markov(2, 1.0, 1);
+        let min = minimize(&b.build(), View::Open);
+        assert_eq!(min.num_states(), 1);
+        assert_eq!(min.num_interactive(), 0);
+        assert_close!(min.exit_rate(min.initial()), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn tau_prefix_collapses_with_observable_goal() {
+        // Same chain, but state 2 is observably different (offers `goal`),
+        // so only the τ prefix merges: blocks {0,1} and {2}.
+        let mut b = ImcBuilder::new(3, 0);
+        b.tau(0, 1);
+        b.markov(1, 1.0, 2);
+        b.markov(2, 1.0, 1);
+        b.interactive("goal", 2, 2);
+        let m = b.build();
+        let part = stochastic_branching_bisimulation(&m, View::Open);
+        assert_eq!(part.num_blocks, 2);
+        assert_eq!(part.block[0], part.block[1]);
+        let min = minimize(&m, View::Open);
+        assert_eq!(min.num_states(), 2);
+        assert_close!(min.exit_rate(min.initial()), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn symmetric_markov_branches_lump() {
+        // 0 branches at equal rates into two states with identical behaviour.
+        let mut b = ImcBuilder::new(4, 0);
+        b.markov(0, 1.0, 1);
+        b.markov(0, 1.0, 2);
+        b.interactive("done", 1, 3);
+        b.interactive("done", 2, 3);
+        let min = minimize(&b.build(), View::Open);
+        // blocks: {0}, {1,2}, {3}
+        assert_eq!(min.num_states(), 3);
+        // rate from {0} into {1,2} lumps to 2.0
+        let init = min.initial();
+        assert_close!(min.exit_rate(init), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn different_rates_do_not_merge() {
+        let mut b = ImcBuilder::new(3, 0);
+        b.markov(0, 1.0, 2);
+        b.markov(1, 2.0, 2);
+        b.interactive("x", 2, 0);
+        b.interactive("x", 2, 1);
+        let part = stochastic_branching_bisimulation(&b.build(), View::Open);
+        assert_ne!(part.block[0], part.block[1]);
+    }
+
+    #[test]
+    fn visible_actions_block_merging() {
+        let mut b = ImcBuilder::new(2, 0);
+        b.interactive("a", 0, 0);
+        b.interactive("b", 1, 1);
+        let part = stochastic_branching_bisimulation(&b.build(), View::Open);
+        assert_eq!(part.num_blocks, 2);
+    }
+
+    #[test]
+    fn quotient_preserves_uniformity_corollary1() {
+        // uniform model with redundant states
+        let mut b = ImcBuilder::new(4, 0);
+        b.markov(0, 2.0, 1);
+        b.markov(0, 1.0, 0);
+        b.markov(1, 3.0, 2);
+        b.markov(2, 3.0, 1);
+        b.tau(3, 0); // unreachable tau state
+        let m = b.build();
+        assert!(m.is_uniform(View::Open));
+        let min = minimize(&m, View::Open);
+        assert!(min.is_uniform(View::Open));
+        // and the rate is preserved
+        assert_eq!(
+            min.uniformity(View::Open),
+            Uniformity::Uniform(3.0)
+        );
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let mut b = ImcBuilder::new(5, 0);
+        b.tau(0, 1);
+        b.tau(0, 2);
+        b.markov(1, 1.0, 3);
+        b.markov(2, 1.0, 4);
+        b.interactive("end", 3, 3);
+        b.interactive("end", 4, 4);
+        let once = minimize(&b.build(), View::Open);
+        let twice = minimize(&once, View::Open);
+        assert_eq!(once.num_states(), twice.num_states());
+        assert_eq!(once.num_interactive(), twice.num_interactive());
+        assert_eq!(once.num_markov(), twice.num_markov());
+    }
+
+    #[test]
+    fn strong_is_finer_than_branching() {
+        let mut b = ImcBuilder::new(3, 0);
+        b.tau(0, 1);
+        b.markov(1, 1.0, 2);
+        b.markov(2, 1.0, 1);
+        let m = b.build();
+        let strong = strong_stochastic_bisimulation(&m, View::Open);
+        let branching = stochastic_branching_bisimulation(&m, View::Open);
+        assert!(strong.num_blocks >= branching.num_blocks);
+        // strong keeps the tau state separate; branching merges everything
+        assert_eq!(strong.num_blocks, 2);
+        assert_eq!(branching.num_blocks, 1);
+    }
+
+    #[test]
+    fn closed_view_pre_emption_changes_result() {
+        // Visible self-loop + Markov: hybrid state.
+        let mut b = ImcBuilder::new(2, 0);
+        b.interactive("v", 0, 1);
+        b.markov(0, 5.0, 1); // pre-empted under Closed
+        b.interactive("v", 1, 1);
+        let m = b.build();
+        let closed = minimize(&m, View::Closed);
+        // under urgency both states behave identically: only `v` matters
+        assert_eq!(closed.num_states(), 1);
+        let open = minimize(&m, View::Open);
+        assert_eq!(open.num_states(), 2);
+    }
+
+    #[test]
+    fn quotient_respects_initial_state() {
+        let mut b = ImcBuilder::new(3, 2);
+        b.tau(2, 0);
+        b.markov(0, 1.0, 1);
+        b.markov(1, 1.0, 0);
+        let m = b.build();
+        let min = minimize(&m, View::Open);
+        // everything merges into one ticking state; the quotient's initial
+        // state must carry the Markov behaviour
+        assert_eq!(min.num_states(), 1);
+        assert!(min.exit_rate(min.initial()) > 0.0);
+    }
+
+    #[test]
+    fn weak_is_coarser_than_branching() {
+        // a.(b + τ.c) + a.c  vs  a.(b + τ.c): weakly bisimilar initial
+        // states, not branching bisimilar.
+        let mut b = ImcBuilder::new(12, 0);
+        // process A at 0
+        b.interactive("a", 0, 1);
+        b.interactive("b", 1, 2);
+        b.tau(1, 3);
+        b.interactive("c", 3, 4);
+        // process B at 5 (extra a.c summand)
+        b.interactive("a", 5, 6);
+        b.interactive("b", 6, 7);
+        b.tau(6, 8);
+        b.interactive("c", 8, 9);
+        b.interactive("a", 5, 10);
+        b.interactive("c", 10, 11);
+        let m = b.build();
+        let weak = stochastic_weak_bisimulation(&m, View::Open);
+        assert_eq!(weak.block[0], weak.block[5], "weakly bisimilar");
+        let branching = stochastic_branching_bisimulation(&m, View::Open);
+        assert_ne!(branching.block[0], branching.block[5], "not branching");
+        assert!(weak.num_blocks <= branching.num_blocks);
+    }
+
+    #[test]
+    fn weak_quotient_preserves_uniformity() {
+        let mut b = ImcBuilder::new(4, 0);
+        b.markov(0, 2.0, 1);
+        b.tau(1, 2);
+        b.markov(2, 2.0, 3);
+        b.markov(3, 2.0, 0);
+        let m = b.build();
+        assert!(m.is_uniform(View::Open));
+        let q = minimize_weak(&m, View::Open);
+        assert!(q.is_uniform(View::Open));
+        assert_eq!(q.uniformity(View::Open).rate(), Some(2.0));
+    }
+
+    #[test]
+    fn weak_respects_labels() {
+        let mut b = ImcBuilder::new(2, 0);
+        b.markov(0, 1.0, 1);
+        b.markov(1, 1.0, 0);
+        let m = b.build();
+        let part = stochastic_weak_bisimulation_labeled(&m, View::Open, &[7, 9]);
+        assert_eq!(part.num_blocks, 2);
+        let part_unlabeled = stochastic_weak_bisimulation(&m, View::Open);
+        assert_eq!(part_unlabeled.num_blocks, 1);
+    }
+
+    #[test]
+    fn interactive_duplicates_dedup_in_quotient() {
+        let mut b = ImcBuilder::new(4, 0);
+        b.interactive("a", 0, 1);
+        b.interactive("a", 0, 2);
+        b.markov(1, 1.0, 3);
+        b.markov(2, 1.0, 3);
+        b.markov(3, 1.0, 1);
+        let min = minimize(&b.build(), View::Open);
+        // states 1,2,3 merge (rate-1 ticking within the class); the two
+        // duplicate a-transitions collapse into one
+        assert_eq!(min.num_states(), 2);
+        assert_eq!(min.num_interactive(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! The *elapse* operator: phase-type time constraints as uniform IMCs.
+//!
+//! `El(Ph, f, r)` enriches a **uniformized** phase-type distribution `Ph`
+//! with the synchronization potential needed to impose "between an
+//! occurrence of `r` and the next occurrence of `f` there must be a
+//! `Ph`-distributed delay" on a system by parallel composition:
+//!
+//! * the states are the states of the uniformized chain of `Ph` — every one
+//!   of them, including the (formerly absorbing) completion state, has
+//!   Markov exit rate exactly `E`, which is what makes the operator preserve
+//!   uniformity *and* lets parallel composition add rates deterministically
+//!   (Lemma 2);
+//! * the completion state offers `f` as a self-loop — the constraint keeps
+//!   offering `f` until the environment takes it, and the gating of when `f`
+//!   actually happens is left to the synchronized partner;
+//! * **every** state offers `r` back to the initial phase — an occurrence of
+//!   `r` (re)starts the delay, wherever the chain currently is. Thanks to
+//!   memorylessness, a delay that "keeps running while nobody watches" is
+//!   statistically indistinguishable from one started on demand.
+
+use unicon_ctmc::phase_type::UniformPhaseType;
+use unicon_lts::{ActionTable, Transition};
+
+use crate::model::{Imc, MarkovTransition};
+
+/// Builds the time-constraint IMC `El(Ph, f, r)`.
+///
+/// `f` is the action whose occurrence the delay gates; `r` is the action
+/// that (re)starts the delay.
+///
+/// # Panics
+///
+/// Panics if `f` or `r` is the internal action τ, or if `f == r`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmc::PhaseType;
+/// use unicon_imc::{elapse, View};
+///
+/// let ph = PhaseType::erlang(2, 4.0).uniformize_at_max();
+/// let tc = elapse::elapse(&ph, "fail", "repair");
+/// // Uniform with the phase-type's uniformization rate.
+/// assert_eq!(tc.uniformity(View::Open).rate(), Some(4.0));
+/// // Three states: two phases plus the completion state.
+/// assert_eq!(tc.num_states(), 3);
+/// ```
+pub fn elapse(ph: &UniformPhaseType, f: &str, r: &str) -> Imc {
+    assert_ne!(f, unicon_lts::TAU_NAME, "f must be a visible action");
+    assert_ne!(r, unicon_lts::TAU_NAME, "r must be a visible action");
+    assert_ne!(f, r, "the gated action and the restart action must differ");
+
+    let chain = ph.ctmc();
+    let n = chain.num_states();
+    let mut actions = ActionTable::new();
+    let f_id = actions.intern(f);
+    let r_id = actions.intern(r);
+
+    let markov: Vec<MarkovTransition> = chain
+        .rates()
+        .triplets()
+        .map(|(s, t, rate)| MarkovTransition {
+            source: s as u32,
+            rate,
+            target: t as u32,
+        })
+        .collect();
+
+    let mut interactive = Vec::with_capacity(n + 1);
+    // The completion state offers `f` (self-loop: the constraint stays
+    // "elapsed" until restarted).
+    interactive.push(Transition {
+        source: ph.absorbing(),
+        action: f_id,
+        target: ph.absorbing(),
+    });
+    // Every state offers `r`, restarting the delay.
+    for s in 0..n as u32 {
+        interactive.push(Transition {
+            source: s,
+            action: r_id,
+            target: ph.initial(),
+        });
+    }
+    Imc::from_raw(actions, n, ph.initial(), interactive, markov)
+}
+
+/// A multi-way elapse: one shared timer serving several `(f_i, r_i)` pairs
+/// at once, used when a mutually exclusive resource (the paper's single
+/// repair unit) means at most one of the delays can be running.
+///
+/// Given `branches = [(f_1, r_1, Ph_1), …]` where all `Ph_i` are uniformized
+/// at the *same* rate `E`, the constraint starts in an idle state whose
+/// Markov behaviour is a rate-`E` self-loop; `r_i` moves it into the chain
+/// of `Ph_i`; the completion state of `Ph_i` offers `f_i` and returns to
+/// idle when `f_i` is taken.
+///
+/// This contributes a constant rate `E` to the composition — instead of
+/// `Σ E_i` for independent per-branch constraints — which is how the paper's
+/// FTWC model keeps its uniform rate (and hence its iteration counts) small.
+///
+/// # Panics
+///
+/// Panics if `branches` is empty, the rates disagree (relative tolerance
+/// `1e-9`), τ is used, or some `f_i == r_i`.
+pub fn shared_elapse(branches: &[(&str, &str, &UniformPhaseType)]) -> Imc {
+    assert!(!branches.is_empty(), "need at least one branch");
+    let e = branches[0].2.rate();
+    for (f, r, ph) in branches {
+        assert_ne!(*f, unicon_lts::TAU_NAME, "f must be a visible action");
+        assert_ne!(*r, unicon_lts::TAU_NAME, "r must be a visible action");
+        assert_ne!(f, r, "the gated action and the start action must differ");
+        assert!(
+            (ph.rate() - e).abs() <= 1e-9 * e.abs().max(1.0),
+            "all branches must be uniformized at the same rate"
+        );
+    }
+
+    let mut actions = ActionTable::new();
+    // State numbering: 0 = idle; then the chains of the branches in order.
+    let mut markov: Vec<MarkovTransition> = vec![MarkovTransition {
+        source: 0,
+        rate: e,
+        target: 0,
+    }];
+    let mut interactive: Vec<Transition> = Vec::new();
+    let mut offset = 1u32;
+    for (f, r, ph) in branches {
+        let f_id = actions.intern(f);
+        let r_id = actions.intern(r);
+        let chain = ph.ctmc();
+        for (s, t, rate) in chain.rates().triplets() {
+            markov.push(MarkovTransition {
+                source: offset + s as u32,
+                rate,
+                target: offset + t as u32,
+            });
+        }
+        // Start the delay: from idle (and only idle — the resource is
+        // exclusive) on r_i.
+        interactive.push(Transition {
+            source: 0,
+            action: r_id,
+            target: offset + ph.initial(),
+        });
+        // Completion offers f_i and returns to idle.
+        interactive.push(Transition {
+            source: offset + ph.absorbing(),
+            action: f_id,
+            target: 0,
+        });
+        offset += chain.num_states() as u32;
+    }
+    Imc::from_raw(actions, offset as usize, 0, interactive, markov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::View;
+    use unicon_ctmc::PhaseType;
+    use unicon_lts::LtsBuilder;
+    use unicon_numeric::assert_close;
+
+    #[test]
+    fn elapse_exponential_shape() {
+        let ph = PhaseType::exponential(0.5).uniformize_at_max();
+        let tc = elapse(&ph, "f", "r");
+        assert_eq!(tc.num_states(), 2);
+        // Markov: 0 -> 1 at 0.5 and completion self-loop 1 -> 1 at 0.5.
+        assert_close!(tc.rate(0, 1), 0.5, 1e-12);
+        assert_close!(tc.rate(1, 1), 0.5, 1e-12);
+        // f offered exactly at the completion state.
+        let f = tc.actions().lookup("f").unwrap();
+        let offering: Vec<u32> = tc
+            .interactive()
+            .iter()
+            .filter(|t| t.action == f)
+            .map(|t| t.source)
+            .collect();
+        assert_eq!(offering, vec![1]);
+        // r offered everywhere, leading back to the initial phase.
+        let r = tc.actions().lookup("r").unwrap();
+        let restarts: Vec<(u32, u32)> = tc
+            .interactive()
+            .iter()
+            .filter(|t| t.action == r)
+            .map(|t| (t.source, t.target))
+            .collect();
+        assert_eq!(restarts, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn elapse_is_uniform_every_state_full_rate() {
+        for ph in [
+            PhaseType::exponential(2.0).uniformize_at_max(),
+            PhaseType::erlang(3, 1.0).uniformize_at_max(),
+            PhaseType::hypoexponential(&[1.0, 4.0]).uniformize(4.0),
+        ] {
+            let e = ph.rate();
+            let tc = elapse(&ph, "f", "r");
+            for s in 0..tc.num_states() as u32 {
+                assert_close!(tc.exit_rate(s), e, 1e-9);
+            }
+            assert_eq!(tc.uniformity(View::Open).rate(), Some(e));
+        }
+    }
+
+    #[test]
+    fn composed_constraint_gates_the_action() {
+        // LTS: work -> done via "f"; constraint delays f by Exp(1).
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("f", 0, 1);
+        let sys = Imc::from_lts(&b.build());
+        let ph = PhaseType::exponential(1.0).uniformize_at_max();
+        let tc = elapse(&ph, "f", "r");
+        let timed = tc.parallel(&sys, &["f", "r"]);
+        // Initial product state must NOT offer f (delay still running).
+        let f = timed.actions().lookup("f").unwrap();
+        assert!(timed
+            .interactive_from(timed.initial())
+            .iter()
+            .all(|t| t.action != f));
+        // But after the Markov step the action becomes available somewhere.
+        assert!(timed.interactive().iter().any(|t| t.action == f));
+        // Uniform with rate 1 by construction.
+        assert_eq!(timed.uniformity(View::Open).rate(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn elapse_rejects_equal_actions() {
+        let ph = PhaseType::exponential(1.0).uniformize_at_max();
+        elapse(&ph, "x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "visible action")]
+    fn elapse_rejects_tau() {
+        let ph = PhaseType::exponential(1.0).uniformize_at_max();
+        elapse(&ph, "tau", "r");
+    }
+
+    #[test]
+    fn shared_elapse_has_constant_rate() {
+        let fast = PhaseType::exponential(2.0).uniformize(2.0);
+        let slow = PhaseType::exponential(0.25).uniformize(2.0);
+        let tc = shared_elapse(&[("rep_ws", "go_ws", &fast), ("rep_sw", "go_sw", &slow)]);
+        for s in 0..tc.num_states() as u32 {
+            assert_close!(tc.exit_rate(s), 2.0, 1e-9);
+        }
+        assert_eq!(tc.uniformity(View::Open).rate(), Some(2.0));
+        // idle state offers both start actions
+        assert_eq!(tc.interactive_from(0).len(), 2);
+    }
+
+    #[test]
+    fn shared_elapse_serializes_delays() {
+        let a = PhaseType::exponential(1.0).uniformize(1.0);
+        let b = PhaseType::exponential(1.0).uniformize(1.0);
+        let tc = shared_elapse(&[("fa", "ra", &a), ("fb", "rb", &b)]);
+        // After starting branch a, rb is not offered until fa returns to idle.
+        let ra = tc.actions().lookup("ra").unwrap();
+        let start_a = tc
+            .interactive_from(0)
+            .iter()
+            .find(|t| t.action == ra)
+            .unwrap()
+            .target;
+        let rb = tc.actions().lookup("rb").unwrap();
+        assert!(tc
+            .interactive_from(start_a)
+            .iter()
+            .all(|t| t.action != rb));
+    }
+
+    #[test]
+    #[should_panic(expected = "same rate")]
+    fn shared_elapse_rejects_mismatched_rates() {
+        let a = PhaseType::exponential(1.0).uniformize(1.0);
+        let b = PhaseType::exponential(1.0).uniformize(2.0);
+        shared_elapse(&[("fa", "ra", &a), ("fb", "rb", &b)]);
+    }
+}

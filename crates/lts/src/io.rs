@@ -1,0 +1,253 @@
+//! Aldebaran (`.aut`) and GraphViz DOT serialization.
+//!
+//! The Aldebaran format is the textual LTS exchange format of the CADP
+//! toolbox the paper's tool chain is built on:
+//!
+//! ```text
+//! des (<initial>, <#transitions>, <#states>)
+//! (<from>, "<label>", <to>)
+//! ...
+//! ```
+//!
+//! CADP spells the internal action `i`; we convert to and from our `tau`.
+
+use std::fmt::Write as _;
+
+use crate::model::{Lts, LtsBuilder};
+
+/// Error raised when parsing an Aldebaran file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAutError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseAutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "aut parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAutError {}
+
+/// Serializes an LTS in Aldebaran format.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_lts::{io, LtsBuilder};
+///
+/// let mut b = LtsBuilder::new(2, 0);
+/// b.add("go", 0, 1);
+/// let text = io::to_aut(&b.build());
+/// assert!(text.starts_with("des (0, 1, 2)"));
+/// ```
+pub fn to_aut(lts: &Lts) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "des ({}, {}, {})",
+        lts.initial(),
+        lts.num_transitions(),
+        lts.num_states()
+    )
+    .expect("writing to a String cannot fail");
+    for t in lts.transitions() {
+        let name = lts.actions().name(t.action);
+        let label = if t.action.is_tau() { "i" } else { name };
+        writeln!(out, "({}, \"{}\", {})", t.source, label, t.target)
+            .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Parses an LTS from Aldebaran format.
+///
+/// # Errors
+///
+/// Returns [`ParseAutError`] on malformed headers or transition lines, out
+/// of range state numbers, or a missing `des` header.
+pub fn from_aut(text: &str) -> Result<Lts, ParseAutError> {
+    let mut lines = text.lines().enumerate();
+    let (first_no, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or_else(|| ParseAutError {
+            line: 1,
+            message: "empty input".into(),
+        })?;
+    let header = header.trim();
+    let err = |line: usize, message: &str| ParseAutError {
+        line: line + 1,
+        message: message.into(),
+    };
+    let body = header
+        .strip_prefix("des")
+        .ok_or_else(|| err(first_no, "expected 'des (...)' header"))?
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err(first_no, "malformed des header"))?;
+    let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(err(first_no, "des header needs three fields"));
+    }
+    let initial: u32 = parts[0]
+        .parse()
+        .map_err(|_| err(first_no, "bad initial state"))?;
+    let num_transitions: usize = parts[1]
+        .parse()
+        .map_err(|_| err(first_no, "bad transition count"))?;
+    let num_states: usize = parts[2]
+        .parse()
+        .map_err(|_| err(first_no, "bad state count"))?;
+    if num_states == 0 {
+        return Err(err(first_no, "an LTS needs at least one state"));
+    }
+    if (initial as usize) >= num_states {
+        return Err(err(first_no, "initial state out of range"));
+    }
+
+    let mut builder = LtsBuilder::new(num_states, initial);
+    let mut seen = 0usize;
+    for (no, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let inner = line
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| err(no, "expected '(from, \"label\", to)'"))?;
+        // label may contain commas, so split once from each end
+        let (from_str, rest) = inner
+            .split_once(',')
+            .ok_or_else(|| err(no, "missing fields"))?;
+        let (label_part, to_str) = rest
+            .rsplit_once(',')
+            .ok_or_else(|| err(no, "missing fields"))?;
+        let from: u32 = from_str
+            .trim()
+            .parse()
+            .map_err(|_| err(no, "bad source state"))?;
+        let to: u32 = to_str
+            .trim()
+            .parse()
+            .map_err(|_| err(no, "bad target state"))?;
+        if (from as usize) >= num_states || (to as usize) >= num_states {
+            return Err(err(no, "state out of range"));
+        }
+        let label = label_part.trim();
+        let label = label
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or(label);
+        let label = if label == "i" { crate::TAU_NAME } else { label };
+        builder.add(label, from, to);
+        seen += 1;
+    }
+    if seen != num_transitions {
+        return Err(ParseAutError {
+            line: first_no + 1,
+            message: format!("header promised {num_transitions} transitions, found {seen}"),
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Renders an LTS as a GraphViz DOT digraph (for debugging / papers).
+pub fn to_dot(lts: &Lts, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{name}\" {{").expect("writing to a String cannot fail");
+    writeln!(out, "  rankdir=LR;").expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "  {} [shape=circle, style=bold];",
+        lts.initial()
+    )
+    .expect("writing to a String cannot fail");
+    for t in lts.transitions() {
+        let label = lts.actions().name(t.action);
+        writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            t.source, t.target, label
+        )
+        .expect("writing to a String cannot fail");
+    }
+    writeln!(out, "}}").expect("writing to a String cannot fail");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Lts {
+        let mut b = LtsBuilder::new(3, 0);
+        b.add("fail", 0, 1);
+        b.add_tau(1, 2);
+        b.add("repair", 2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn aut_roundtrip() {
+        let l = sample();
+        let text = to_aut(&l);
+        let back = from_aut(&text).expect("roundtrip parse");
+        assert_eq!(back.num_states(), l.num_states());
+        assert_eq!(back.num_transitions(), l.num_transitions());
+        assert_eq!(back.initial(), l.initial());
+        // tau survives the i <-> tau conversion
+        assert!(back.has_tau(1));
+    }
+
+    #[test]
+    fn aut_uses_i_for_tau() {
+        let text = to_aut(&sample());
+        assert!(text.contains("\"i\""));
+        assert!(!text.contains("\"tau\""));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_header() {
+        assert!(from_aut("nonsense").is_err());
+        assert!(from_aut("des (0, 0)").is_err());
+        assert!(from_aut("des (5, 0, 2)").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_transition_count() {
+        let e = from_aut("des (0, 2, 2)\n(0, \"a\", 1)\n").unwrap_err();
+        assert!(e.message.contains("promised"));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_states() {
+        assert!(from_aut("des (0, 1, 2)\n(0, \"a\", 7)\n").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_blank_lines_and_unquoted_labels() {
+        let l = from_aut("\ndes (0, 1, 2)\n\n(0, a, 1)\n").expect("parse");
+        assert_eq!(l.num_transitions(), 1);
+        assert_eq!(l.actions().name(l.transitions()[0].action), "a");
+    }
+
+    #[test]
+    fn dot_mentions_all_labels() {
+        let d = to_dot(&sample(), "test");
+        assert!(d.contains("fail") && d.contains("repair") && d.contains("tau"));
+        assert!(d.starts_with("digraph"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = from_aut("des (0, 9, 1)").unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("line"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Labeled transition systems (LTSs) for the `unicon` workspace.
+//!
+//! LTSs are the purely functional component models of the paper's modelling
+//! trajectory: the workstations, switches, backbone and repair unit of the
+//! fault-tolerant workstation cluster are all plain LTSs, later enriched with
+//! timing by composition with *time-constraint* IMCs. An LTS is also the
+//! degenerate uniform IMC with rate `E = 0`.
+//!
+//! The crate provides:
+//!
+//! * interned [`action`] labels with the distinguished internal action τ,
+//! * the [`Lts`] model with a builder,
+//! * the process-algebraic operators of the paper — [`Lts::hide`],
+//!   [`Lts::relabel`], and CSP/LOTOS-style parallel composition
+//!   [`Lts::parallel`] with a synchronization set,
+//! * strong [`bisim`]ulation minimization,
+//! * Aldebaran (`.aut`, CADP-compatible) and GraphViz DOT [`io`].
+//!
+//! # Examples
+//!
+//! ```
+//! use unicon_lts::LtsBuilder;
+//!
+//! // A component that can fail and be repaired.
+//! let mut b = LtsBuilder::new(2, 0);
+//! b.add("fail", 0, 1);
+//! b.add("repair", 1, 0);
+//! let component = b.build();
+//!
+//! // Two interleaved copies, synchronized on nothing.
+//! let two = component.parallel(&component, &[]);
+//! assert_eq!(two.num_states(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod bisim;
+pub mod io;
+mod model;
+pub mod ops;
+
+pub use action::{ActionId, ActionTable, TAU_NAME};
+pub use model::{Lts, LtsBuilder, Transition};

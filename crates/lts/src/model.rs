@@ -1,0 +1,286 @@
+//! The [`Lts`] model and its builder.
+
+use crate::action::{ActionId, ActionTable};
+
+/// One labeled transition `source --action--> target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transition {
+    /// Source state.
+    pub source: u32,
+    /// Action label.
+    pub action: ActionId,
+    /// Target state.
+    pub target: u32,
+}
+
+/// A finite labeled transition system.
+///
+/// States are `0..num_states()`; transitions are stored grouped by source
+/// state. The model is immutable after construction — build one with
+/// [`LtsBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use unicon_lts::LtsBuilder;
+///
+/// let mut b = LtsBuilder::new(3, 0);
+/// b.add("a", 0, 1);
+/// b.add("b", 1, 2);
+/// let lts = b.build();
+/// assert_eq!(lts.num_transitions(), 2);
+/// assert_eq!(lts.successors(0).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lts {
+    actions: ActionTable,
+    num_states: usize,
+    initial: u32,
+    /// Transition list sorted by (source, action, target), deduplicated.
+    transitions: Vec<Transition>,
+    /// `offsets[s]..offsets[s+1]` indexes the transitions of source `s`.
+    offsets: Vec<usize>,
+}
+
+impl Lts {
+    pub(crate) fn from_raw(
+        actions: ActionTable,
+        num_states: usize,
+        initial: u32,
+        mut transitions: Vec<Transition>,
+    ) -> Self {
+        assert!(num_states > 0, "an LTS needs at least one state");
+        assert!(
+            (initial as usize) < num_states,
+            "initial state {initial} out of bounds"
+        );
+        for t in &transitions {
+            assert!(
+                (t.source as usize) < num_states && (t.target as usize) < num_states,
+                "transition {t:?} out of bounds for {num_states} states"
+            );
+        }
+        transitions.sort_unstable();
+        transitions.dedup();
+        let mut offsets = vec![0usize; num_states + 1];
+        for t in &transitions {
+            offsets[t.source as usize + 1] += 1;
+        }
+        for s in 0..num_states {
+            offsets[s + 1] += offsets[s];
+        }
+        Self {
+            actions,
+            num_states,
+            initial,
+            transitions,
+            offsets,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// The action table of this model.
+    pub fn actions(&self) -> &ActionTable {
+        &self.actions
+    }
+
+    /// All transitions, sorted by `(source, action, target)`.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions emanating from `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn successors(&self, state: u32) -> impl Iterator<Item = &Transition> {
+        let s = state as usize;
+        assert!(s < self.num_states, "state {state} out of bounds");
+        self.transitions[self.offsets[s]..self.offsets[s + 1]].iter()
+    }
+
+    /// Whether `state` has an outgoing τ-transition (i.e. is *unstable*
+    /// under the closed-system urgency convention when all actions count;
+    /// for plain LTSs only τ matters).
+    pub fn has_tau(&self, state: u32) -> bool {
+        self.successors(state).any(|t| t.action.is_tau())
+    }
+
+    /// The set of states reachable from the initial state.
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states];
+        let mut stack = vec![self.initial];
+        seen[self.initial as usize] = true;
+        while let Some(s) = stack.pop() {
+            for t in self.successors(s) {
+                if !seen[t.target as usize] {
+                    seen[t.target as usize] = true;
+                    stack.push(t.target);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` if every state is reachable from the initial state.
+    pub fn is_fully_reachable(&self) -> bool {
+        self.reachable_states().iter().all(|&r| r)
+    }
+}
+
+/// Builder for [`Lts`].
+///
+/// # Examples
+///
+/// ```
+/// use unicon_lts::LtsBuilder;
+///
+/// let mut b = LtsBuilder::new(2, 0);
+/// b.add("go", 0, 1);
+/// b.add_tau(1, 0);
+/// let lts = b.build();
+/// assert!(lts.has_tau(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LtsBuilder {
+    actions: ActionTable,
+    num_states: usize,
+    initial: u32,
+    transitions: Vec<Transition>,
+}
+
+impl LtsBuilder {
+    /// Starts a builder for an LTS with `num_states` states and the given
+    /// initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states == 0` or the initial state is out of bounds.
+    pub fn new(num_states: usize, initial: u32) -> Self {
+        assert!(num_states > 0, "an LTS needs at least one state");
+        assert!(
+            (initial as usize) < num_states,
+            "initial state out of bounds"
+        );
+        Self {
+            actions: ActionTable::new(),
+            num_states,
+            initial,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds `source --action--> target`, interning the action name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of bounds.
+    pub fn add(&mut self, action: &str, source: u32, target: u32) -> &mut Self {
+        assert!(
+            (source as usize) < self.num_states && (target as usize) < self.num_states,
+            "transition endpoint out of bounds"
+        );
+        let action = self.actions.intern(action);
+        self.transitions.push(Transition {
+            source,
+            action,
+            target,
+        });
+        self
+    }
+
+    /// Adds an internal `source --τ--> target` transition.
+    pub fn add_tau(&mut self, source: u32, target: u32) -> &mut Self {
+        self.add(crate::TAU_NAME, source, target)
+    }
+
+    /// Finalizes the LTS.
+    pub fn build(self) -> Lts {
+        Lts::from_raw(self.actions, self.num_states, self.initial, self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Lts {
+        let mut b = LtsBuilder::new(3, 0);
+        b.add("a", 0, 1);
+        b.add("b", 1, 2);
+        b.add("c", 2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let l = abc();
+        assert_eq!(l.num_states(), 3);
+        assert_eq!(l.num_transitions(), 3);
+        assert_eq!(l.initial(), 0);
+    }
+
+    #[test]
+    fn successors_grouped() {
+        let l = abc();
+        let succ: Vec<_> = l.successors(1).map(|t| t.target).collect();
+        assert_eq!(succ, vec![2]);
+        assert_eq!(l.successors(0).count(), 1);
+    }
+
+    #[test]
+    fn duplicate_transitions_are_merged() {
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("a", 0, 1);
+        b.add("a", 0, 1);
+        assert_eq!(b.build().num_transitions(), 1);
+    }
+
+    #[test]
+    fn tau_detection() {
+        let mut b = LtsBuilder::new(2, 0);
+        b.add_tau(0, 1);
+        b.add("v", 1, 0);
+        let l = b.build();
+        assert!(l.has_tau(0));
+        assert!(!l.has_tau(1));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut b = LtsBuilder::new(3, 0);
+        b.add("a", 0, 1);
+        // state 2 unreachable
+        let l = b.build();
+        assert_eq!(l.reachable_states(), vec![true, true, false]);
+        assert!(!l.is_fully_reachable());
+        assert!(abc().is_fully_reachable());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn builder_rejects_bad_state() {
+        LtsBuilder::new(1, 0).add("a", 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn builder_rejects_empty() {
+        LtsBuilder::new(0, 0);
+    }
+}

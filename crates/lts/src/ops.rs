@@ -1,0 +1,424 @@
+//! Process-algebraic operators on LTSs: hiding, relabelling, parallel
+//! composition with CSP/LOTOS-style synchronization sets, and restriction to
+//! reachable states.
+//!
+//! These mirror the structural operational semantics rules of Section 3 of
+//! the paper (minus the Markov rules, which live in `unicon-imc`).
+
+use std::collections::HashMap;
+
+use crate::action::{ActionId, ActionTable};
+use crate::model::{Lts, Transition};
+
+impl Lts {
+    /// Hides (internalizes) the named actions: each becomes τ.
+    ///
+    /// Unknown action names are ignored (hiding an action the model does not
+    /// use is a no-op, as in CADP's SVL).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use unicon_lts::LtsBuilder;
+    ///
+    /// let mut b = LtsBuilder::new(2, 0);
+    /// b.add("fail", 0, 1);
+    /// let h = b.build().hide(&["fail"]);
+    /// assert!(h.has_tau(0));
+    /// ```
+    pub fn hide(&self, actions: &[&str]) -> Lts {
+        let hidden: Vec<ActionId> = actions
+            .iter()
+            .filter_map(|a| self.actions().lookup(a))
+            .collect();
+        self.rename_actions(|id, table| {
+            if hidden.contains(&id) {
+                ActionId::TAU
+            } else {
+                let _ = table;
+                id
+            }
+        })
+    }
+
+    /// Hides every action *except* the named ones (and τ).
+    pub fn hide_all_but(&self, keep: &[&str]) -> Lts {
+        let kept: Vec<ActionId> = keep
+            .iter()
+            .filter_map(|a| self.actions().lookup(a))
+            .collect();
+        self.rename_actions(|id, _| {
+            if id.is_tau() || kept.contains(&id) {
+                id
+            } else {
+                ActionId::TAU
+            }
+        })
+    }
+
+    /// Renames actions according to `(from, to)` pairs (process-algebraic
+    /// relabelling, used to instantiate the generic `g`/`r` actions of a
+    /// component as `g_wsL`/`r_wsL` etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `from` action is τ (τ cannot be relabelled).
+    pub fn relabel(&self, map: &[(&str, &str)]) -> Lts {
+        let mut new_actions = ActionTable::new();
+        let rename: HashMap<&str, &str> = map.iter().copied().collect();
+        assert!(
+            !rename.contains_key(crate::TAU_NAME),
+            "the internal action tau cannot be relabelled"
+        );
+        let mut translate = Vec::with_capacity(self.actions().len());
+        for (_, name) in self.actions().iter() {
+            let new_name = rename.get(name).copied().unwrap_or(name);
+            translate.push(new_actions.intern(new_name));
+        }
+        let transitions = self
+            .transitions()
+            .iter()
+            .map(|t| Transition {
+                source: t.source,
+                action: translate[t.action.index()],
+                target: t.target,
+            })
+            .collect();
+        Lts::from_raw(new_actions, self.num_states(), self.initial(), transitions)
+    }
+
+    fn rename_actions<F>(&self, mut f: F) -> Lts
+    where
+        F: FnMut(ActionId, &ActionTable) -> ActionId,
+    {
+        let mut new_actions = ActionTable::new();
+        let mut translate = Vec::with_capacity(self.actions().len());
+        for (id, name) in self.actions().iter() {
+            let mapped = f(id, self.actions());
+            if mapped.is_tau() {
+                translate.push(ActionId::TAU);
+            } else {
+                translate.push(new_actions.intern(name));
+            }
+        }
+        let transitions = self
+            .transitions()
+            .iter()
+            .map(|t| Transition {
+                source: t.source,
+                action: translate[t.action.index()],
+                target: t.target,
+            })
+            .collect();
+        Lts::from_raw(new_actions, self.num_states(), self.initial(), transitions)
+    }
+
+    /// CSP/LOTOS-style parallel composition `self |[sync]| other`.
+    ///
+    /// Actions in `sync` must be performed jointly; all other actions (and τ)
+    /// interleave. Only the reachable part of the product is constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sync` contains τ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use unicon_lts::LtsBuilder;
+    ///
+    /// let mut a = LtsBuilder::new(2, 0);
+    /// a.add("go", 0, 1);
+    /// let a = a.build();
+    /// let mut b = LtsBuilder::new(2, 0);
+    /// b.add("go", 0, 1);
+    /// let b = b.build();
+    ///
+    /// // Synchronized: both move together, 2 reachable states.
+    /// assert_eq!(a.parallel(&b, &["go"]).num_states(), 2);
+    /// // Interleaved: 4 reachable states.
+    /// assert_eq!(a.parallel(&b, &[]).num_states(), 4);
+    /// ```
+    pub fn parallel(&self, other: &Lts, sync: &[&str]) -> Lts {
+        assert!(
+            !sync.contains(&crate::TAU_NAME),
+            "tau cannot be in a synchronization set"
+        );
+        let mut actions = ActionTable::new();
+        // Translate both alphabets into the union table.
+        let left_tr: Vec<ActionId> = self
+            .actions()
+            .iter()
+            .map(|(_, n)| actions.intern(n))
+            .collect();
+        let right_tr: Vec<ActionId> = other
+            .actions()
+            .iter()
+            .map(|(_, n)| actions.intern(n))
+            .collect();
+        let sync_ids: Vec<ActionId> = sync.iter().map(|a| actions.intern(a)).collect();
+        let is_sync = |a: ActionId| sync_ids.contains(&a);
+
+        // On-the-fly reachable product construction.
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut states: Vec<(u32, u32)> = Vec::new();
+        let mut transitions: Vec<Transition> = Vec::new();
+        let start = (self.initial(), other.initial());
+        index.insert(start, 0);
+        states.push(start);
+        let mut frontier = vec![start];
+        while let Some((ls, rs)) = frontier.pop() {
+            let src = index[&(ls, rs)];
+            let mut push = |index: &mut HashMap<(u32, u32), u32>,
+                            states: &mut Vec<(u32, u32)>,
+                            frontier: &mut Vec<(u32, u32)>,
+                            action: ActionId,
+                            tgt: (u32, u32)| {
+                let id = *index.entry(tgt).or_insert_with(|| {
+                    states.push(tgt);
+                    frontier.push(tgt);
+                    (states.len() - 1) as u32
+                });
+                transitions.push(Transition {
+                    source: src,
+                    action,
+                    target: id,
+                });
+            };
+            for t in self.successors(ls) {
+                let a = left_tr[t.action.index()];
+                if !is_sync(a) {
+                    push(&mut index, &mut states, &mut frontier, a, (t.target, rs));
+                }
+            }
+            for t in other.successors(rs) {
+                let a = right_tr[t.action.index()];
+                if !is_sync(a) {
+                    push(&mut index, &mut states, &mut frontier, a, (ls, t.target));
+                }
+            }
+            for lt in self.successors(ls) {
+                let a = left_tr[lt.action.index()];
+                if is_sync(a) {
+                    for rt in other.successors(rs) {
+                        if right_tr[rt.action.index()] == a {
+                            push(
+                                &mut index,
+                                &mut states,
+                                &mut frontier,
+                                a,
+                                (lt.target, rt.target),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Lts::from_raw(actions, states.len(), 0, transitions)
+    }
+
+    /// Restricts the model to its reachable states, renumbering them in
+    /// discovery order (the initial state becomes 0).
+    pub fn restrict_to_reachable(&self) -> Lts {
+        let reach = self.reachable_states();
+        let mut map = vec![u32::MAX; self.num_states()];
+        let mut next = 0u32;
+        // stable renumbering: state order preserved
+        for (s, &r) in reach.iter().enumerate() {
+            if r {
+                map[s] = next;
+                next += 1;
+            }
+        }
+        let transitions = self
+            .transitions()
+            .iter()
+            .filter(|t| reach[t.source as usize])
+            .map(|t| Transition {
+                source: map[t.source as usize],
+                action: t.action,
+                target: map[t.target as usize],
+            })
+            .collect();
+        Lts::from_raw(
+            self.actions().clone(),
+            next as usize,
+            map[self.initial() as usize],
+            transitions,
+        )
+    }
+}
+
+/// Builds the n-fold interleaving `lts ||| lts ||| … ||| lts` (empty
+/// synchronization set).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn interleave_copies(lts: &Lts, n: usize) -> Lts {
+    assert!(n > 0, "need at least one copy");
+    let mut acc = lts.clone();
+    for _ in 1..n {
+        acc = acc.parallel(lts, &[]);
+    }
+    acc
+}
+
+/// Convenience: fully interleaves a list of LTSs (no synchronization).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+pub fn interleave_all(parts: &[Lts]) -> Lts {
+    assert!(!parts.is_empty(), "need at least one LTS");
+    let mut acc = parts[0].clone();
+    for p in &parts[1..] {
+        acc = acc.parallel(p, &[]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LtsBuilder;
+
+    fn failing_component() -> Lts {
+        let mut b = LtsBuilder::new(4, 0);
+        b.add("fail", 0, 1);
+        b.add("g", 1, 2);
+        b.add("repair", 2, 3);
+        b.add("r", 3, 0);
+        b.build()
+    }
+
+    #[test]
+    fn hide_turns_actions_into_tau() {
+        let h = failing_component().hide(&["fail", "repair"]);
+        assert!(h.has_tau(0));
+        assert!(h.has_tau(2));
+        assert!(!h.has_tau(1));
+        // alphabet shrinks
+        assert!(h.actions().lookup("fail").is_none());
+        assert!(h.actions().lookup("g").is_some());
+    }
+
+    #[test]
+    fn hide_unknown_action_is_noop() {
+        let l = failing_component();
+        let h = l.hide(&["nonexistent"]);
+        assert_eq!(h.num_transitions(), l.num_transitions());
+        assert!(!h.has_tau(0));
+    }
+
+    #[test]
+    fn hide_all_but_keeps_interface() {
+        let h = failing_component().hide_all_but(&["g", "r"]);
+        assert!(h.has_tau(0)); // fail became tau
+        assert!(h.actions().lookup("g").is_some());
+        assert!(h.actions().lookup("fail").is_none());
+    }
+
+    #[test]
+    fn relabel_renames() {
+        let l = failing_component().relabel(&[("g", "g_wsL"), ("r", "r_wsL")]);
+        assert!(l.actions().lookup("g_wsL").is_some());
+        assert!(l.actions().lookup("g").is_none());
+        assert_eq!(l.num_transitions(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau cannot be relabelled")]
+    fn relabel_rejects_tau() {
+        failing_component().relabel(&[("tau", "x")]);
+    }
+
+    #[test]
+    fn relabel_can_merge_actions() {
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("a", 0, 1);
+        b.add("b", 0, 1);
+        let l = b.build().relabel(&[("a", "c"), ("b", "c")]);
+        // both transitions collapse onto the same labelled edge
+        assert_eq!(l.num_transitions(), 1);
+    }
+
+    #[test]
+    fn parallel_sync_on_shared_action() {
+        let mut a = LtsBuilder::new(2, 0);
+        a.add("s", 0, 1);
+        a.add("x", 0, 1);
+        let a = a.build();
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("s", 0, 1);
+        let b = b.build();
+        let p = a.parallel(&b, &["s"]);
+        // states: (0,0) -s-> (1,1); (0,0) -x-> (1,0); no s from (1,0)
+        assert_eq!(p.num_states(), 3);
+        let labels: Vec<&str> = p
+            .successors(0)
+            .map(|t| p.actions().name(t.action))
+            .collect();
+        assert!(labels.contains(&"s") && labels.contains(&"x"));
+    }
+
+    #[test]
+    fn parallel_sync_blocks_when_partner_cannot() {
+        let mut a = LtsBuilder::new(2, 0);
+        a.add("s", 0, 1);
+        let a = a.build();
+        let b = LtsBuilder::new(1, 0).build(); // no transitions at all
+        let p = a.parallel(&b, &["s"]);
+        assert_eq!(p.num_states(), 1);
+        assert_eq!(p.num_transitions(), 0);
+    }
+
+    #[test]
+    fn parallel_tau_always_interleaves() {
+        let mut a = LtsBuilder::new(2, 0);
+        a.add_tau(0, 1);
+        let a = a.build();
+        let p = a.parallel(&a, &[]);
+        assert_eq!(p.num_states(), 4);
+        assert_eq!(p.num_transitions(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau cannot be in a synchronization set")]
+    fn parallel_rejects_tau_sync() {
+        let l = failing_component();
+        l.parallel(&l, &["tau"]);
+    }
+
+    #[test]
+    fn interleave_copies_grows_exponentially() {
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("t", 0, 1);
+        let l = b.build();
+        assert_eq!(interleave_copies(&l, 3).num_states(), 8);
+    }
+
+    #[test]
+    fn restrict_to_reachable_renumbers() {
+        let mut b = LtsBuilder::new(4, 1);
+        b.add("a", 1, 3);
+        b.add("a", 0, 2); // 0 and 2 unreachable from 1
+        let l = b.build().restrict_to_reachable();
+        assert_eq!(l.num_states(), 2);
+        assert_eq!(l.num_transitions(), 1);
+        assert_eq!(l.initial(), 0);
+    }
+
+    #[test]
+    fn parallel_is_commutative_up_to_size() {
+        let a = failing_component();
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("g", 0, 1);
+        b.add("r", 1, 0);
+        let b = b.build();
+        let ab = a.parallel(&b, &["g", "r"]);
+        let ba = b.parallel(&a, &["g", "r"]);
+        assert_eq!(ab.num_states(), ba.num_states());
+        assert_eq!(ab.num_transitions(), ba.num_transitions());
+    }
+}

@@ -1,0 +1,137 @@
+//! Tolerance-based floating point comparison helpers.
+
+/// How two floating point numbers are compared by [`approx_eq`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApproxMode {
+    /// `|a - b| <= tol`.
+    Absolute(f64),
+    /// `|a - b| <= tol * max(|a|, |b|)`.
+    Relative(f64),
+    /// Passes if either the absolute or the relative criterion holds.
+    Either {
+        /// Absolute tolerance.
+        abs: f64,
+        /// Relative tolerance.
+        rel: f64,
+    },
+}
+
+impl Default for ApproxMode {
+    fn default() -> Self {
+        ApproxMode::Either {
+            abs: 1e-12,
+            rel: 1e-9,
+        }
+    }
+}
+
+/// Compares two floats under the given [`ApproxMode`].
+///
+/// NaNs are never approximately equal to anything; equal infinities are.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::{approx_eq, ApproxMode};
+///
+/// assert!(approx_eq(1.0, 1.0 + 1e-13, ApproxMode::default()));
+/// assert!(!approx_eq(1.0, 1.1, ApproxMode::Absolute(1e-3)));
+/// assert!(approx_eq(1e9, 1e9 + 1.0, ApproxMode::Relative(1e-6)));
+/// ```
+pub fn approx_eq(a: f64, b: f64, mode: ApproxMode) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if a == b {
+        return true; // also covers equal infinities
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    match mode {
+        ApproxMode::Absolute(tol) => diff <= tol,
+        ApproxMode::Relative(tol) => diff <= tol * a.abs().max(b.abs()),
+        ApproxMode::Either { abs, rel } => diff <= abs || diff <= rel * a.abs().max(b.abs()),
+    }
+}
+
+/// Asserts approximate equality with a helpful message.
+///
+/// Accepts an optional absolute tolerance (defaults to `1e-9`).
+#[macro_export]
+macro_rules! assert_close {
+    ($a:expr, $b:expr) => {
+        $crate::assert_close!($a, $b, 1e-9)
+    };
+    ($a:expr, $b:expr, $tol:expr) => {{
+        let (a, b, tol): (f64, f64, f64) = ($a, $b, $tol);
+        assert!(
+            $crate::approx_eq(a, b, $crate::ApproxMode::Absolute(tol)),
+            "assert_close failed: {a} vs {b} (|diff| = {:e} > tol = {:e})",
+            (a - b).abs(),
+            tol
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality() {
+        assert!(approx_eq(0.5, 0.5, ApproxMode::Absolute(0.0)));
+    }
+
+    #[test]
+    fn nan_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN, ApproxMode::default()));
+        assert!(!approx_eq(f64::NAN, 0.0, ApproxMode::default()));
+    }
+
+    #[test]
+    fn infinities() {
+        assert!(approx_eq(
+            f64::INFINITY,
+            f64::INFINITY,
+            ApproxMode::default()
+        ));
+        assert!(!approx_eq(
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            ApproxMode::default()
+        ));
+        assert!(!approx_eq(f64::INFINITY, 1e300, ApproxMode::default()));
+    }
+
+    #[test]
+    fn relative_mode_scales() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, ApproxMode::Relative(1e-9)));
+        assert!(!approx_eq(1e-12, 2e-12, ApproxMode::Relative(1e-9)));
+    }
+
+    #[test]
+    fn either_mode_catches_tiny_values() {
+        assert!(approx_eq(
+            1e-13,
+            2e-13,
+            ApproxMode::Either {
+                abs: 1e-12,
+                rel: 1e-9
+            }
+        ));
+    }
+
+    #[test]
+    fn assert_close_macro() {
+        assert_close!(1.0, 1.0 + 1e-12);
+        assert_close!(2.0, 2.5, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_close failed")]
+    fn assert_close_macro_panics() {
+        assert_close!(1.0, 2.0, 1e-3);
+    }
+}

@@ -1,0 +1,330 @@
+//! Fox–Glynn computation of Poisson probabilities and truncation points.
+//!
+//! Uniformization-based transient analysis of CTMCs and the uniform-CTMDP
+//! timed-reachability algorithm both need the Poisson weights
+//! `ψ(n) = e^{-λ} λ^n / n!` for `λ = E·t` together with a *right truncation
+//! point* `k(ε, E, t)` — the number of value-iteration steps reported in the
+//! paper's Table 1. Fox & Glynn (CACM 1988) show how to obtain both without
+//! overflow or underflow; we implement the same idea with a mode-centred
+//! recurrence and compensated normalization, which is accurate for the λ
+//! range relevant here (up to ~10⁷).
+
+use crate::NeumaierSum;
+
+/// Relative cutoff below which weights are treated as numerically zero.
+///
+/// Far smaller than any model-checking ε, so truncating there does not
+/// affect reported truncation points down to ε ≈ 1e-14.
+const WEIGHT_CUTOFF: f64 = 1e-18;
+
+/// Poisson weights `ψ(n, λ)` with stable tails and truncation queries.
+///
+/// The weights are stored for the contiguous index window in which they are
+/// numerically significant; [`FoxGlynn::psi`] returns `0.0` outside it.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::FoxGlynn;
+///
+/// let fg = FoxGlynn::new(100.0);
+/// // ψ sums to 1 over the window.
+/// assert!((fg.total() - 1.0).abs() < 1e-12);
+/// // The mode carries the largest weight.
+/// assert!(fg.psi(100) >= fg.psi(90));
+/// assert!(fg.psi(100) >= fg.psi(110));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoxGlynn {
+    lambda: f64,
+    /// Index of `weights[0]`.
+    window_start: usize,
+    /// Normalized weights for `window_start..window_start + weights.len()`.
+    weights: Vec<f64>,
+    /// Suffix sums: `suffix[i] = Σ_{j >= i} weights[j]` (window-relative).
+    suffix: Vec<f64>,
+}
+
+impl FoxGlynn {
+    /// Computes the Poisson weights for parameter `lambda >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative, NaN or infinite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Fox-Glynn requires a finite nonnegative lambda, got {lambda}"
+        );
+        if lambda == 0.0 {
+            return Self {
+                lambda,
+                window_start: 0,
+                weights: vec![1.0],
+                suffix: vec![1.0],
+            };
+        }
+        let mode = lambda.floor() as usize;
+
+        // Downward recurrence from the mode: w(n-1) = w(n) * n / λ.
+        // `down[i]` is the (unnormalized) weight of index `mode - 1 - i`.
+        let mut down = Vec::new();
+        let mut w = 1.0f64;
+        let mut n = mode;
+        while n > 0 {
+            w *= n as f64 / lambda;
+            if w < WEIGHT_CUTOFF {
+                break;
+            }
+            down.push(w);
+            n -= 1;
+        }
+        let window_start = mode - down.len();
+
+        // Upward recurrence from the mode: w(n+1) = w(n) * λ / (n+1).
+        let mut up = Vec::new();
+        let mut w = 1.0f64;
+        let mut n = mode;
+        loop {
+            w *= lambda / (n + 1) as f64;
+            if w < WEIGHT_CUTOFF {
+                break;
+            }
+            up.push(w);
+            n += 1;
+        }
+
+        // Assemble raw weights [window_start ..= mode + up.len()].
+        let mut weights = Vec::with_capacity(down.len() + 1 + up.len());
+        weights.extend(down.iter().rev().copied());
+        weights.push(1.0);
+        weights.extend(up.iter().copied());
+
+        // Normalize with compensated summation, adding small terms first.
+        let mut total = NeumaierSum::new();
+        let mut sorted: Vec<f64> = weights.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+        total.extend(sorted);
+        let total = total.value();
+        for w in &mut weights {
+            *w /= total;
+        }
+
+        // Suffix sums for O(1) tail queries.
+        let mut suffix = vec![0.0; weights.len() + 1];
+        let mut acc = NeumaierSum::new();
+        for i in (0..weights.len()).rev() {
+            acc.add(weights[i]);
+            suffix[i] = acc.value();
+        }
+        suffix.pop();
+
+        Self {
+            lambda,
+            window_start,
+            weights,
+            suffix,
+        }
+    }
+
+    /// The Poisson parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// `ψ(n, λ)`; zero outside the numerically significant window.
+    pub fn psi(&self, n: usize) -> f64 {
+        if n < self.window_start {
+            return 0.0;
+        }
+        self.weights.get(n - self.window_start).copied().unwrap_or(0.0)
+    }
+
+    /// First index of the significant window.
+    pub fn window_start(&self) -> usize {
+        self.window_start
+    }
+
+    /// One past the last index of the significant window.
+    pub fn window_end(&self) -> usize {
+        self.window_start + self.weights.len()
+    }
+
+    /// Sum of all stored (normalized) weights; 1 up to rounding.
+    pub fn total(&self) -> f64 {
+        self.suffix.first().copied().unwrap_or(0.0)
+    }
+
+    /// `Σ_{n >= i} ψ(n)` — the probability of at least `i` Poisson events.
+    pub fn tail_from(&self, i: usize) -> f64 {
+        if i <= self.window_start {
+            return 1.0;
+        }
+        let rel = i - self.window_start;
+        self.suffix.get(rel).copied().unwrap_or(0.0)
+    }
+
+    /// Right truncation point `k(ε, λ)`: the smallest `k` with
+    /// `Σ_{n <= k} ψ(n) >= 1 - ε`.
+    ///
+    /// This equals the iteration count of the uniform-CTMDP
+    /// timed-reachability algorithm for precision `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn right_truncation(&self, epsilon: f64) -> usize {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        // smallest k with tail_from(k+1) <= ε
+        for rel in 0..self.weights.len() {
+            let tail_after = self.suffix.get(rel + 1).copied().unwrap_or(0.0);
+            if tail_after <= epsilon {
+                return self.window_start + rel;
+            }
+        }
+        self.window_end().saturating_sub(1)
+    }
+
+    /// Left truncation point: the largest `l` with `Σ_{n < l} ψ(n) <= ε`
+    /// (0 if no prefix may be dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn left_truncation(&self, epsilon: f64) -> usize {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        let mut acc = NeumaierSum::new();
+        for (rel, &w) in self.weights.iter().enumerate() {
+            acc.add(w);
+            if acc.value() > epsilon {
+                return self.window_start + rel;
+            }
+        }
+        self.window_end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::special::{poisson_cdf, poisson_pmf};
+
+    #[test]
+    fn zero_lambda_is_point_mass() {
+        let fg = FoxGlynn::new(0.0);
+        assert_eq!(fg.psi(0), 1.0);
+        assert_eq!(fg.psi(1), 0.0);
+        assert_eq!(fg.right_truncation(1e-6), 0);
+        assert_eq!(fg.left_truncation(1e-6), 0);
+        assert_eq!(fg.tail_from(0), 1.0);
+        assert_eq!(fg.tail_from(1), 0.0);
+    }
+
+    #[test]
+    fn weights_match_direct_pmf_small_lambda() {
+        for lambda in [0.3, 1.0, 4.5, 20.0] {
+            let fg = FoxGlynn::new(lambda);
+            for n in 0..60u64 {
+                assert_close!(fg.psi(n as usize), poisson_pmf(n, lambda), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_match_direct_pmf_large_lambda() {
+        let lambda = 5000.0;
+        let fg = FoxGlynn::new(lambda);
+        for n in (4800..5200).step_by(17) {
+            let direct = poisson_pmf(n as u64, lambda);
+            let rel = (fg.psi(n) - direct).abs() / direct;
+            assert!(rel < 1e-9, "n={n}: fg={} direct={direct}", fg.psi(n));
+        }
+    }
+
+    #[test]
+    fn weights_normalized() {
+        for lambda in [0.5, 7.0, 123.0, 9999.5, 80_000.0] {
+            let fg = FoxGlynn::new(lambda);
+            assert_close!(fg.tail_from(0), 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn right_truncation_matches_cdf() {
+        for lambda in [1.0, 10.0, 250.0] {
+            let fg = FoxGlynn::new(lambda);
+            let eps = 1e-6;
+            let k = fg.right_truncation(eps);
+            assert!(poisson_cdf(k as u64, lambda) >= 1.0 - eps - 1e-12);
+            if k > 0 {
+                assert!(poisson_cdf(k as u64 - 1, lambda) < 1.0 - eps + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_grows_like_lambda_plus_sqrt() {
+        // k ≈ λ + c·sqrt(λ): check the paper's Table-1 flavour numbers.
+        let fg = FoxGlynn::new(200.0);
+        let k = fg.right_truncation(1e-6);
+        assert!(k > 200 && k < 300, "k = {k}");
+        let fg = FoxGlynn::new(60_000.0);
+        let k = fg.right_truncation(1e-6);
+        assert!(k > 60_000 && k < 62_500, "k = {k}");
+    }
+
+    #[test]
+    fn left_truncation_is_sane() {
+        let fg = FoxGlynn::new(10_000.0);
+        let l = fg.left_truncation(1e-6);
+        assert!(l > 9000 && l < 10_000, "l = {l}");
+        // prefix below l really is small
+        let mut acc = 0.0;
+        for n in 0..l {
+            acc += fg.psi(n);
+        }
+        assert!(acc <= 1e-6 + 1e-12);
+    }
+
+    #[test]
+    fn tail_is_monotone_decreasing() {
+        let fg = FoxGlynn::new(42.0);
+        let mut prev = 1.0;
+        for i in 0..fg.window_end() + 2 {
+            let t = fg.tail_from(i);
+            assert!(t <= prev + 1e-15);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn mode_has_maximal_weight() {
+        for lambda in [3.7, 12.0, 777.3] {
+            let fg = FoxGlynn::new(lambda);
+            let mode = lambda.floor() as usize;
+            let wm = fg.psi(mode);
+            for n in fg.window_start()..fg.window_end() {
+                assert!(fg.psi(n) <= wm + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite nonnegative lambda")]
+    fn rejects_negative_lambda() {
+        FoxGlynn::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_bad_epsilon() {
+        FoxGlynn::new(1.0).right_truncation(0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Numeric substrate for the `unicon` workspace.
+//!
+//! This crate hosts the numerical kernels shared by the stochastic-model
+//! crates:
+//!
+//! * [`FoxGlynn`] — stable computation of Poisson probabilities
+//!   ψ(n, λ) together with the truncation points used by uniformization-based
+//!   transient analysis and by the uniform-CTMDP timed-reachability algorithm,
+//! * [`sum`] — compensated (Neumaier) summation,
+//! * [`approx`] — tolerance-based floating point comparisons used pervasively
+//!   in tests,
+//! * [`special`] — the few special functions needed (`ln_gamma`, Poisson pmf
+//!   and cdf in log space, Erlang cdf).
+//!
+//! # Examples
+//!
+//! ```
+//! use unicon_numeric::FoxGlynn;
+//!
+//! let fg = FoxGlynn::new(10.0);
+//! // Poisson weights are a probability distribution.
+//! let total: f64 = (0..100).map(|n| fg.psi(n)).sum();
+//! assert!((total - 1.0).abs() < 1e-12);
+//! // Right truncation point for precision 1e-6 sits a few standard
+//! // deviations above the mean.
+//! let k = fg.right_truncation(1e-6);
+//! assert!(k > 10 && k < 40);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod foxglynn;
+pub mod special;
+pub mod sum;
+
+pub use approx::{approx_eq, ApproxMode};
+pub use foxglynn::FoxGlynn;
+pub use sum::{stable_sum, NeumaierSum};

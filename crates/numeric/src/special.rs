@@ -1,0 +1,208 @@
+//! Special functions: `ln Γ`, Poisson pmf/cdf in log space, Erlang cdf.
+//!
+//! Only the handful of functions the stochastic crates actually need are
+//! implemented, with accuracy targets driven by the model-checking precision
+//! (`1e-6` in the paper, `1e-12` internally).
+
+/// Natural logarithm of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, n = 9), accurate to about 1e-13
+/// over the positive reals.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::special::ln_gamma;
+/// assert!((ln_gamma(1.0)).abs() < 1e-12);          // Γ(1) = 1
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10); // Γ(5) = 24
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln ψ(n, λ)`, the log Poisson probability of exactly `n` events.
+///
+/// Returns `-inf` for `λ == 0, n > 0`.
+pub fn ln_poisson_pmf(n: u64, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "lambda must be nonnegative");
+    if lambda == 0.0 {
+        return if n == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    -lambda + n as f64 * lambda.ln() - ln_gamma(n as f64 + 1.0)
+}
+
+/// `ψ(n, λ)`, the Poisson probability of exactly `n` events.
+///
+/// Computed in log space, so it is usable far into the tails.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::special::poisson_pmf;
+/// assert!((poisson_pmf(0, 2.0) - (-2.0f64).exp()).abs() < 1e-15);
+/// ```
+pub fn poisson_pmf(n: u64, lambda: f64) -> f64 {
+    ln_poisson_pmf(n, lambda).exp()
+}
+
+/// Poisson cdf `P[X <= n]` for `X ~ Poisson(λ)`, via direct stable summation.
+///
+/// Intended for tests and small `n`; production code uses
+/// [`FoxGlynn`](crate::FoxGlynn).
+pub fn poisson_cdf(n: u64, lambda: f64) -> f64 {
+    let mut acc = crate::NeumaierSum::new();
+    for k in 0..=n {
+        acc.add(poisson_pmf(k, lambda));
+    }
+    acc.value().min(1.0)
+}
+
+/// Cdf of the Erlang distribution with `k` phases of rate `rate`.
+///
+/// `P[T <= t] = 1 - Σ_{n<k} e^{-rate·t} (rate·t)^n / n!`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `rate <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::special::erlang_cdf;
+/// // One phase is just the exponential distribution.
+/// let t = 0.7;
+/// assert!((erlang_cdf(1, 2.0, t) - (1.0 - (-2.0 * t).exp())).abs() < 1e-14);
+/// ```
+pub fn erlang_cdf(k: u32, rate: f64, t: f64) -> f64 {
+    assert!(k > 0, "Erlang needs at least one phase");
+    assert!(rate > 0.0, "Erlang rate must be positive");
+    if t <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - poisson_cdf(u64::from(k) - 1, rate * t)).clamp(0.0, 1.0)
+}
+
+/// Cdf of the exponential distribution with the given rate.
+pub fn exponential_cdf(rate: f64, t: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    if t <= 0.0 {
+        0.0
+    } else {
+        1.0 - (-rate * t).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn ln_gamma_small_integers() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            let x = (i + 1) as f64;
+            assert_close!(ln_gamma(x), f64::ln(f), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        assert_close!(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_stirling() {
+        // Compare against Stirling's series for a big argument.
+        let x: f64 = 1e5;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + 1.0 / (12.0 * x);
+        assert!((ln_gamma(x) - stirling).abs() / stirling.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn poisson_pmf_basics() {
+        assert_close!(poisson_pmf(0, 0.0), 1.0, 0.0);
+        assert_eq!(poisson_pmf(3, 0.0), 0.0);
+        assert_close!(poisson_pmf(0, 1.0), (-1.0f64).exp(), 1e-15);
+        assert_close!(poisson_pmf(2, 3.0), (-3.0f64).exp() * 9.0 / 2.0, 1e-14);
+    }
+
+    #[test]
+    fn poisson_pmf_deep_tail_does_not_underflow_to_garbage() {
+        let p = poisson_pmf(500, 10.0);
+        assert!(p > 0.0 && p < 1e-300 || p == 0.0 || p < 1e-100);
+        // log-space value must be finite and very negative
+        assert!(ln_poisson_pmf(500, 10.0) < -1000.0);
+    }
+
+    #[test]
+    fn poisson_cdf_reaches_one() {
+        assert_close!(poisson_cdf(200, 10.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn erlang_cdf_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let t = i as f64 * 0.2;
+            let c = erlang_cdf(3, 1.5, t);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-15);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn erlang_vs_exponential() {
+        for t in [0.1, 0.5, 2.0, 10.0] {
+            assert_close!(erlang_cdf(1, 0.7, t), exponential_cdf(0.7, t), 1e-13);
+        }
+    }
+
+    #[test]
+    fn erlang_more_phases_is_stochastically_larger() {
+        // With equal per-phase rate, more phases means a longer delay.
+        for t in [0.5, 1.0, 2.0] {
+            assert!(erlang_cdf(2, 1.0, t) < erlang_cdf(1, 1.0, t));
+            assert!(erlang_cdf(4, 1.0, t) < erlang_cdf(2, 1.0, t));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Compensated floating-point summation.
+//!
+//! Uniformization sums many Poisson-weighted terms of widely varying
+//! magnitude; naive summation loses precision exactly where the
+//! model-checking tolerance matters. [`NeumaierSum`] implements Neumaier's
+//! improved Kahan–Babuška algorithm, which is accurate even when the running
+//! sum is smaller than the next addend.
+
+/// Running compensated sum (Neumaier's variant of Kahan summation).
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::NeumaierSum;
+///
+/// let mut s = NeumaierSum::new();
+/// s.add(1.0);
+/// s.add(1e100);
+/// s.add(1.0);
+/// s.add(-1e100);
+/// assert_eq!(s.value(), 2.0); // naive summation would return 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated value of the sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl Extend<f64> for NeumaierSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for NeumaierSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Sums an iterator of `f64` with Neumaier compensation.
+///
+/// # Examples
+///
+/// ```
+/// let v = vec![0.1_f64; 10];
+/// let s = unicon_numeric::stable_sum(v.iter().copied());
+/// assert!((s - 1.0).abs() < 1e-15);
+/// ```
+pub fn stable_sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+    iter.into_iter().collect::<NeumaierSum>().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(NeumaierSum::new().value(), 0.0);
+        assert_eq!(stable_sum(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn single_term() {
+        assert_eq!(stable_sum([42.5]), 42.5);
+    }
+
+    #[test]
+    fn cancellation_is_compensated() {
+        let s = stable_sum([1.0, 1e100, 1.0, -1e100]);
+        assert_eq!(s, 2.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let n = 1_000_000;
+        let s = stable_sum(std::iter::repeat_n(1e-6, n));
+        assert!((s - 1.0).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn extend_and_collect_agree() {
+        let xs = [0.3, 0.7, 1e-9, -0.2];
+        let mut a = NeumaierSum::new();
+        a.extend(xs.iter().copied());
+        let b: NeumaierSum = xs.iter().copied().collect();
+        assert_eq!(a.value(), b.value());
+    }
+}

@@ -1,0 +1,160 @@
+//! Coordinate-format builder for [`CsrMatrix`](crate::CsrMatrix).
+
+use crate::CsrMatrix;
+
+/// Incremental builder collecting `(row, col, value)` triplets.
+///
+/// [`CooBuilder::build`] sorts the triplets, merges duplicates by addition,
+/// drops entries that merged to exactly zero, and produces a [`CsrMatrix`].
+///
+/// # Examples
+///
+/// ```
+/// use unicon_sparse::CooBuilder;
+///
+/// let mut b = CooBuilder::new(2, 2);
+/// b.push(0, 1, 1.0);
+/// b.push(0, 1, -1.0); // cancels out
+/// b.push(1, 0, 2.0);
+/// let m = b.build();
+/// assert_eq!(m.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooBuilder {
+    /// Creates a builder for a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions exceed u32 index space"
+        );
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a triplet. Duplicates are allowed and merged at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds or the value is not finite.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        assert!(value.is_finite(), "matrix entries must be finite");
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of triplets pushed so far (before merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finalizes into a CSR matrix.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+
+        let mut i = 0;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            let mut j = i + 1;
+            while j < self.entries.len() && self.entries[j].0 == r && self.entries[j].1 == c {
+                v += self.entries[j].2;
+                j += 1;
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+            }
+            i = j;
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicates() {
+        let mut b = CooBuilder::new(1, 1);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.0);
+        b.push(0, 0, 3.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn drops_cancelled_entries() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 0, 5.0);
+        b.push(0, 0, -5.0);
+        b.push(0, 1, 1.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut b = CooBuilder::new(2, 3);
+        b.push(1, 2, 1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 3.0);
+        let m = b.build();
+        let row1: Vec<_> = m.row(1).collect();
+        assert_eq!(row1, vec![(0, 3.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn empty_builder_builds_zero_matrix() {
+        let b = CooBuilder::new(4, 4);
+        assert!(b.is_empty());
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.rows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        CooBuilder::new(1, 1).push(1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn push_nan_panics() {
+        CooBuilder::new(1, 1).push(0, 0, f64::NAN);
+    }
+}

@@ -1,0 +1,348 @@
+//! Compressed sparse row matrices.
+
+use unicon_numeric::NeumaierSum;
+
+/// An immutable sparse matrix in compressed-sparse-row format.
+///
+/// Construct one via [`CooBuilder`](crate::CooBuilder) or
+/// [`CsrMatrix::from_triplets`]. Column indices within each row are strictly
+/// increasing and duplicate entries have been merged, which every kernel in
+/// this crate relies on.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 2, [(0, 1, 2.0), (1, 0, 3.0)]);
+/// assert_eq!(m.matvec(&[1.0, 10.0]), vec![20.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty matrix with the given shape (no stored entries).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets, merging duplicates
+    /// by addition and dropping exact zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets<I>(rows: usize, cols: usize, triplets: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut b = crate::CooBuilder::new(rows, cols);
+        for (r, c, v) in triplets {
+            b.push(r, c, v);
+        }
+        b.build()
+    }
+
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(col_idx.len(), values.len());
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at `(row, col)`, `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&(col as u32)) {
+            Ok(i) => self.values[lo + i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored `(col, value)` pairs of one row, in
+    /// increasing column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> RowIter<'_> {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        RowIter {
+            cols: &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]],
+            values: &self.values[self.row_ptr[row]..self.row_ptr[row + 1]],
+            pos: 0,
+        }
+    }
+
+    /// Number of stored entries in one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_ptr[row + 1] - self.row_ptr[row]
+    }
+
+    /// Sum of the stored entries of `row` (compensated).
+    pub fn row_sum(&self, row: usize) -> f64 {
+        let mut s = NeumaierSum::new();
+        for (_, v) in self.row(row) {
+            s.add(v);
+        }
+        s.value()
+    }
+
+    /// Dense matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[i] * x[self.col_idx[i] as usize];
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// Dense transposed product `y = Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in matvec_transposed");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[i] as usize] += self.values[i] * xr;
+            }
+        }
+        y
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[i] as usize;
+                let slot = next[c];
+                next[c] += 1;
+                col_idx[slot] = r as u32;
+                values[slot] = self.values[i];
+            }
+        }
+        CsrMatrix::from_parts(self.cols, self.rows, row_ptr, col_idx, values)
+    }
+
+    /// Applies `f` to every stored value, keeping the sparsity pattern.
+    pub fn map_values<F: FnMut(f64) -> f64>(&self, mut f: F) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes (the figure reported in Table 1's
+    /// "Mem" column for the strictly alternating representation).
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Iterates over all stored `(row, col, value)` triplets.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+}
+
+/// Iterator over the stored `(col, value)` pairs of one matrix row.
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    cols: &'a [u32],
+    values: &'a [f64],
+    pos: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.cols.len() {
+            let item = (self.cols[self.pos] as usize, self.values[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.cols.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            [
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, -1.5),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn get_stored_and_missing() {
+        let m = sample();
+        assert_eq!(m.get(0, 3), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), -1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        sample().get(3, 0);
+    }
+
+    #[test]
+    fn row_iteration_sorted() {
+        let m = sample();
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (3, 2.0)]);
+        assert_eq!(m.row(1).len(), 1);
+        assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = m.matvec(&x);
+        assert_eq!(y, vec![9.0, -3.0, 19.0]);
+        // (Aᵀ)ᵀ x == A x
+        let tt = m.transpose().transpose();
+        assert_eq!(tt.matvec(&x), y);
+        // Aᵀ y via both kernels
+        let z1 = m.matvec_transposed(&y);
+        let z2 = m.transpose().matvec(&y);
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn zeros_matrix() {
+        let m = CsrMatrix::zeros(2, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.matvec(&[1.0; 5]), vec![0.0, 0.0]);
+        assert_eq!(m.row(1).count(), 0);
+    }
+
+    #[test]
+    fn row_sum() {
+        let m = sample();
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_sum(1), -1.5);
+    }
+
+    #[test]
+    fn map_values_keeps_pattern() {
+        let m = sample().map_values(|v| v * 2.0);
+        assert_eq!(m.get(0, 3), 4.0);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn triplets_roundtrip() {
+        let m = sample();
+        let m2 = CsrMatrix::from_triplets(3, 4, m.triplets());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        assert!(sample().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the sparse-matrix substrate.
+
+use proptest::prelude::*;
+use unicon_sparse::{CooBuilder, CsrMatrix};
+
+/// Strategy: a list of triplets within a 12x9 matrix.
+fn triplets() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0usize..12, 0usize..9, -100.0f64..100.0), 0..80)
+}
+
+fn build(ts: &[(usize, usize, f64)]) -> CsrMatrix {
+    CsrMatrix::from_triplets(12, 9, ts.iter().copied())
+}
+
+/// Dense reference representation.
+fn dense(ts: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+    let mut d = vec![vec![0.0; 9]; 12];
+    for &(r, c, v) in ts {
+        d[r][c] += v;
+    }
+    d
+}
+
+proptest! {
+    #[test]
+    fn get_matches_dense(ts in triplets()) {
+        let m = build(&ts);
+        let d = dense(&ts);
+        for (r, row) in d.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                prop_assert!((m.get(r, c) - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense(ts in triplets(), x in prop::collection::vec(-10.0f64..10.0, 9)) {
+        let m = build(&ts);
+        let d = dense(&ts);
+        let y = m.matvec(&x);
+        for (r, &yr) in y.iter().enumerate() {
+            let expect: f64 = (0..9).map(|c| d[r][c] * x[c]).sum();
+            prop_assert!((yr - expect).abs() < 1e-7, "row {r}: {yr} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution(ts in triplets()) {
+        let m = build(&ts);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_transposed_agrees_with_transpose_matvec(
+        ts in triplets(),
+        x in prop::collection::vec(-10.0f64..10.0, 12)
+    ) {
+        let m = build(&ts);
+        let a = m.matvec_transposed(&x);
+        let b = m.transpose().matvec(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduped(ts in triplets()) {
+        let m = build(&ts);
+        let mut nnz = 0;
+        for r in 0..m.rows() {
+            let cols: Vec<usize> = m.row(r).map(|(c, _)| c).collect();
+            nnz += cols.len();
+            for w in cols.windows(2) {
+                prop_assert!(w[0] < w[1], "row {r} not strictly sorted");
+            }
+        }
+        prop_assert_eq!(nnz, m.nnz());
+    }
+
+    #[test]
+    fn no_stored_zeros(ts in triplets()) {
+        let m = build(&ts);
+        for (_, _, v) in m.triplets() {
+            prop_assert!(v != 0.0);
+        }
+    }
+
+    #[test]
+    fn triplets_roundtrip(ts in triplets()) {
+        let m = build(&ts);
+        let m2 = CsrMatrix::from_triplets(12, 9, m.triplets());
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn row_sum_matches_dense(ts in triplets()) {
+        let m = build(&ts);
+        let d = dense(&ts);
+        for (r, row) in d.iter().enumerate() {
+            let expect: f64 = row.iter().sum();
+            prop_assert!((m.row_sum(r) - expect).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn builder_and_from_triplets_agree(ts in triplets()) {
+        let mut b = CooBuilder::new(12, 9);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        prop_assert_eq!(b.build(), build(&ts));
+    }
+}

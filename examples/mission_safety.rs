@@ -1,0 +1,110 @@
+//! A mission-safety analysis in the style that motivated the paper: the
+//! authors used the uniform-CTMDP algorithm to verify STATEMATE train
+//! control models against properties like *"the probability to hit a
+//! safety-critical system configuration within a mission time of 3 hours is
+//! at most 0.01"*.
+//!
+//! We build a miniature controller in the same spirit: a sensor and a brake
+//! channel can each fail; after a sensor failure the system
+//! nondeterministically either continues in a degraded mode (fast, risky)
+//! or performs a full safe-stop procedure (slow, safe). A safety-critical
+//! configuration is reached when the brake channel fails while the system
+//! runs degraded. The analysis bounds the *worst case* over all resolutions
+//! of the nondeterminism.
+//!
+//! Run with `cargo run --release --example mission_safety`.
+
+use unicon::core::{PreparedModel, UniformImc};
+use unicon::ctmc::PhaseType;
+use unicon::lts::LtsBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Controller LTS ---------------------------------------------------------
+    // 0 nominal --sensor_fail--> 1 choice
+    // 1 --go_degraded--> 2 degraded --brake_fail--> 3 CRITICAL (sink-ish)
+    // 1 --safe_stop--> 4 stopped --restart--> 0
+    // 2 --recover--> 0 (sensor repaired while degraded)
+    let mut b = LtsBuilder::new(5, 0);
+    b.add("sensor_fail", 0, 1);
+    b.add("go_degraded", 1, 2);
+    b.add("safe_stop", 1, 4);
+    b.add("brake_fail", 2, 3);
+    b.add("recover", 2, 0);
+    b.add("restart", 4, 0);
+    let controller = UniformImc::from_lts(&b.build());
+
+    // Time constraints --------------------------------------------------------
+    // Sensor failures: mean 50 h. Brake failures: mean 200 h, but only
+    // threatening while degraded (the constraint restarts whenever the
+    // system recovers). Sensor recovery while degraded: Erlang(2), mean 1 h.
+    // Safe-stop turnaround: mean 0.5 h.
+    let tc_sensor = UniformImc::from_elapse(
+        &PhaseType::exponential(1.0 / 50.0).uniformize_at_max(),
+        "sensor_fail",
+        "recover",
+    );
+    let tc_brake = UniformImc::from_elapse(
+        &PhaseType::exponential(1.0 / 200.0).uniformize_at_max(),
+        "brake_fail",
+        "recover",
+    );
+    let tc_recover = UniformImc::from_elapse(
+        &PhaseType::erlang(2, 4.0).uniformize_at_max(),
+        "recover",
+        "go_degraded",
+    );
+    let tc_restart = UniformImc::from_elapse(
+        &PhaseType::exponential(2.0).uniformize_at_max(),
+        "restart",
+        "safe_stop",
+    );
+
+    // `compose` synchronizes on shared alphabets automatically: `recover`
+    // is simultaneously the gate of tc_recover and the restart of the
+    // sensor and brake constraints.
+    let constraints = tc_sensor
+        .compose(&tc_brake)
+        .compose(&tc_recover)
+        .compose(&tc_restart);
+    let (system, map) = constraints.compose_with_map(&controller);
+    println!(
+        "system: {} states, uniform rate {:.4} (sum of all constraint rates)",
+        system.imc().num_states(),
+        system.rate()
+    );
+
+    // Safety-critical configuration: controller state 3.
+    let goal: Vec<bool> = map.iter().map(|&(_, ctrl)| ctrl == 3).collect();
+    let prepared = PreparedModel::new(&system.close(), &goal)?;
+    println!(
+        "CTMDP: {} states, {} transitions\n",
+        prepared.ctmdp.num_states(),
+        prepared.ctmdp.num_transitions()
+    );
+
+    println!("  mission time (h)   worst-case P(critical)   best-case P(critical)");
+    let mut worst_at_3h = 0.0;
+    for t in [0.5, 1.0, 3.0, 10.0, 24.0] {
+        let worst = prepared.worst_case(t, 1e-9)?;
+        let best = prepared.best_case(t, 1e-9)?;
+        let (w, bst) = (
+            worst.from_state(prepared.ctmdp.initial()),
+            best.from_state(prepared.ctmdp.initial()),
+        );
+        if t == 3.0 {
+            worst_at_3h = w;
+        }
+        println!("  {t:16.1}   {w:>22.6e}   {bst:>21.6e}");
+    }
+
+    println!(
+        "\nRequirement \"P(critical within 3 h) <= 0.01\" is {} in the worst case \
+         (P = {worst_at_3h:.3e}).",
+        if worst_at_3h <= 0.01 { "MET" } else { "VIOLATED" }
+    );
+    println!(
+        "The best case shows how much a clever degraded-mode policy could gain;\n\
+         the gap is exactly the value of resolving the nondeterminism well."
+    );
+    Ok(())
+}

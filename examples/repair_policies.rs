@@ -1,0 +1,94 @@
+//! Comparing concrete repair policies against the nondeterministic
+//! envelope: the worst-case (sup) and best-case (inf) probabilities of
+//! losing premium service bracket *every* concrete dispatching rule, and
+//! exact policy evaluation (induced CTMC, no sampling) shows where common
+//! heuristics fall in that bracket.
+//!
+//! Run with `cargo run --release --example repair_policies -- [N] [t]`.
+
+use unicon::core::PreparedModel;
+use unicon::ctmdp::policy::{evaluate_policy, induced_ctmc};
+use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
+use unicon::ctmdp::scheduler::Stationary;
+use unicon::ctmdp::Ctmdp;
+use unicon::ftwc::{generator, FtwcParams};
+
+/// Builds the stationary policy that, at every repair decision, grabs the
+/// first failed component matching the priority list.
+fn priority_policy(ctmdp: &Ctmdp, priority: &[&str]) -> Stationary {
+    let choices = (0..ctmdp.num_states() as u32)
+        .map(|s| {
+            let trans = ctmdp.transitions_from(s);
+            let mut best: u16 = 0;
+            let mut best_rank = usize::MAX;
+            for (i, tr) in trans.iter().enumerate() {
+                let name = ctmdp.actions().name(tr.action);
+                let rank = priority
+                    .iter()
+                    .position(|p| name.contains(p))
+                    .unwrap_or(usize::MAX - 1);
+                if rank < best_rank {
+                    best_rank = rank;
+                    best = i as u16;
+                }
+            }
+            best
+        })
+        .collect();
+    Stationary::new(choices)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(2);
+    let t: f64 = std::env::args()
+        .nth(2)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(1000.0);
+    let epsilon = 1e-9;
+
+    let params = FtwcParams::new(n);
+    let model = generator::build_uimc(&params);
+    let prepared = PreparedModel::new(&model.uniform, &model.premium_down)?;
+    let (ctmdp, goal) = (&prepared.ctmdp, &prepared.goal);
+    println!(
+        "FTWC N = {n}: {} CTMDP states, analyzing P(premium lost within {t} h)\n",
+        ctmdp.num_states()
+    );
+
+    let opts = ReachOptions::default().with_epsilon(epsilon);
+    let sup = timed_reachability(ctmdp, goal, t, &opts)?.from_state(ctmdp.initial());
+    let inf = timed_reachability(ctmdp, goal, t, &opts.with_objective(Objective::Minimize))?
+        .from_state(ctmdp.initial());
+
+    let policies: [(&str, Vec<&str>); 3] = [
+        ("infrastructure first (bb > sw > ws)", vec!["g_bb", "g_sw", "g_ws"]),
+        ("workstations first (ws > sw > bb)", vec!["g_ws", "g_sw", "g_bb"]),
+        ("switches first (sw > bb > ws)", vec!["g_sw", "g_bb", "g_ws"]),
+    ];
+
+    println!("  {:44}   P(premium lost)", "policy");
+    println!("  {:44}   {inf:.9e}", "BEST CASE (inf over all schedulers)");
+    for (name, prio) in &policies {
+        let policy = priority_policy(ctmdp, prio);
+        let v = evaluate_policy(ctmdp, &policy, goal, t, epsilon);
+        assert!(v <= sup + 1e-7 && v >= inf - 1e-7);
+        println!("  {name:44}   {v:.9e}");
+    }
+    println!("  {:44}   {sup:.9e}", "WORST CASE (sup over all schedulers)");
+
+    // sanity: the induced chain of any policy has the CTMDP's state count
+    let chain = induced_ctmc(ctmdp, &priority_policy(ctmdp, &["g_ws"]));
+    assert_eq!(chain.num_states(), ctmdp.num_states());
+
+    println!(
+        "\nEvery concrete dispatching rule lands inside [inf, sup] — the\n\
+         nondeterministic analysis bounds them all at once, which is exactly\n\
+         what the probabilistic Γ-encoding of the classic CTMC model cannot do."
+    );
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! `unicon` — command-line front end for the uniformity-by-construction
+//! tool chain.
+//!
+//! ```text
+//! unicon check <model.aut>                       inspect an IMC
+//! unicon transform <model.aut> [--dot out.dot]   uIMC -> uCTMDP
+//! unicon analyze <model.aut> --goal 1,2,3 --time 10 [options]
+//! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
+//! ```
+//!
+//! Models are read in the extended Aldebaran format of `unicon-imc::io`
+//! (CADP-compatible: Markov transitions labeled `rate <λ>`, τ spelled `i`).
+
+use std::process::ExitCode;
+
+use unicon::core::ClosedModel;
+use unicon::ctmdp::export;
+use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
+use unicon::ftwc::{experiment, FtwcParams};
+use unicon::imc::{analysis, io, Imc, View};
+use unicon::transform::transform;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("transform") => cmd_transform(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("ftwc") => cmd_ftwc(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "unicon — uniform IMC composition and uniform-CTMDP timed reachability\n\n\
+         USAGE:\n  \
+         unicon check <model.aut>\n  \
+         unicon transform <model.aut> [--dot <out.dot>]\n  \
+         unicon analyze <model.aut> --goal <s1,s2,…> --time <t>\n          \
+         [--epsilon <e>] [--min] [--exact-goal]\n  \
+         unicon ftwc --n <N> --time <t> [--epsilon <e>]\n\n\
+         Models use the extended Aldebaran format: interactive transitions\n\
+         as (from, \"label\", to), Markov transitions as (from, \"rate λ\", to),\n\
+         τ spelled \"i\"."
+    );
+}
+
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn load(path: &str) -> Result<Imc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::from_aut(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("check needs a model file")?;
+    let imc = load(path)?;
+    let (markov, interactive, hybrid, absorbing) = imc.kind_counts();
+    println!(
+        "{path}: {} states ({markov} Markov, {interactive} interactive, \
+         {hybrid} hybrid, {absorbing} absorbing), {} interactive + {} Markov transitions",
+        imc.num_states(),
+        imc.num_interactive(),
+        imc.num_markov()
+    );
+    println!("uniformity (open view / maximal progress): {:?}", imc.uniformity(View::Open));
+    println!("uniformity (closed view / urgency):        {:?}", imc.uniformity(View::Closed));
+    match analysis::interactive_cycle(&imc) {
+        None => println!("Zeno-free: yes"),
+        Some(c) => println!("Zeno-free: NO — interactive cycle through {c:?}"),
+    }
+    Ok(())
+}
+
+fn cmd_transform(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("transform needs a model file")?;
+    let imc = load(path)?;
+    let out = transform(&imc).map_err(|e| e.to_string())?;
+    println!(
+        "strictly alternating IMC: {} interactive + {} Markov states, \
+         {} interactive + {} Markov transitions ({} bytes, {:?})",
+        out.stats.interactive_states,
+        out.stats.markov_states,
+        out.stats.interactive_transitions,
+        out.stats.markov_transitions,
+        out.stats.memory_bytes,
+        out.stats.transform_time
+    );
+    println!("CTMDP: {}", export::summary(&out.ctmdp));
+    if let Some(dot_path) = opt(args, "--dot") {
+        std::fs::write(dot_path, export::to_dot(&out.ctmdp, path))
+            .map_err(|e| format!("cannot write {dot_path}: {e}"))?;
+        println!("wrote {dot_path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze needs a model file")?;
+    let imc = load(path)?;
+    let goal_spec = opt(args, "--goal").ok_or("analyze needs --goal s1,s2,…")?;
+    let t: f64 = opt(args, "--time")
+        .ok_or("analyze needs --time <t>")?
+        .parse()
+        .map_err(|e| format!("bad --time: {e}"))?;
+    let epsilon: f64 = opt(args, "--epsilon")
+        .unwrap_or("1e-6")
+        .parse()
+        .map_err(|e| format!("bad --epsilon: {e}"))?;
+
+    let mut goal = vec![false; imc.num_states()];
+    for part in goal_spec.split(',') {
+        let s: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad goal state '{part}'"))?;
+        *goal
+            .get_mut(s)
+            .ok_or(format!("goal state {s} out of range"))? = true;
+    }
+
+    // Verify uniformity under the closed view before transforming.
+    ClosedModel::try_new(imc.clone()).map_err(|e| e.to_string())?;
+    let out = transform(&imc).map_err(|e| e.to_string())?;
+    let cgoal = if flag(args, "--exact-goal") {
+        out.goal_vector_exact(&goal)
+    } else {
+        out.goal_vector(&goal)
+    };
+    let objective = if flag(args, "--min") {
+        Objective::Minimize
+    } else {
+        Objective::Maximize
+    };
+    let res = timed_reachability(
+        &out.ctmdp,
+        &cgoal,
+        t,
+        &ReachOptions::default()
+            .with_epsilon(epsilon)
+            .with_objective(objective),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} P(reach goal within {t}) = {:.10e}",
+        if flag(args, "--min") { "min" } else { "max" },
+        res.from_state(out.ctmdp.initial())
+    );
+    println!(
+        "uniform rate {}, {} iterations, {:?}",
+        res.uniform_rate, res.iterations, res.runtime
+    );
+    Ok(())
+}
+
+fn cmd_ftwc(args: &[String]) -> Result<(), String> {
+    let n: usize = opt(args, "--n")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
+    let t: f64 = opt(args, "--time")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|e| format!("bad --time: {e}"))?;
+    let epsilon: f64 = opt(args, "--epsilon")
+        .unwrap_or("1e-6")
+        .parse()
+        .map_err(|e| format!("bad --epsilon: {e}"))?;
+    let row = experiment::table1_row(&FtwcParams::new(n), &[t], epsilon);
+    println!(
+        "FTWC N={n}: CTMDP {} states / {} transitions, {} Markov states, built in {:?}",
+        row.interactive_states,
+        row.interactive_transitions,
+        row.markov_states,
+        row.transform_time
+    );
+    let (_, runtime, iters, p) = row.analyses[0];
+    println!(
+        "worst-case P(premium lost within {t} h) = {p:.10e} ({iters} iterations, {runtime:?})"
+    );
+    Ok(())
+}

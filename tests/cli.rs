@@ -1,0 +1,132 @@
+//! End-to-end tests of the `unicon` command-line binary.
+
+use std::process::Command;
+
+fn unicon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_unicon"))
+}
+
+/// A unique scratch path for a model file (no external tempfile crates).
+fn model_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("unicon_cli_test_{name}_{}.aut", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = unicon().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("analyze"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = unicon().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn check_reports_structure_and_uniformity() {
+    let path = model_path("check");
+    let model = "des (0, 3, 2)\n(0, \"go\", 1)\n(1, \"rate 2\", 0)\n(1, \"rate 1\", 1)\n";
+    std::fs::write(&path, model).expect("write model");
+    let out = unicon().arg("check").arg(&path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 states"));
+    assert!(text.contains("Uniform(3.0)"));
+    assert!(text.contains("Zeno-free: yes"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn transform_and_analyze_roundtrip() {
+    let path = model_path("analyze");
+    // closed uniform model: decision state 0 chooses a fast (rate-2 to the
+    // goal) or slow (rate-2 split) transition; state 3 is the goal region.
+    let model = "des (0, 6, 4)\n\
+                 (0, \"fast\", 1)\n\
+                 (0, \"slow\", 2)\n\
+                 (1, \"rate 2\", 3)\n\
+                 (2, \"rate 1\", 3)\n\
+                 (2, \"rate 1\", 0)\n\
+                 (3, \"i\", 0)\n";
+    std::fs::write(&path, model).expect("write model");
+
+    let out = unicon().arg("transform").arg(&path).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CTMDP:"));
+    assert!(text.contains("uniform (E = 2)"));
+
+    let out = unicon()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--goal", "3", "--time", "1.0", "--epsilon", "1e-9"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("max P(reach goal within 1)"));
+    // max = take "fast": P = 1 - e^{-2}
+    let p: f64 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split("= ").nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parse probability");
+    let expect = 1.0 - (-2.0f64).exp();
+    assert!((p - expect).abs() < 1e-6, "p = {p}, expect {expect}");
+
+    // min = take "slow": strictly smaller
+    let out = unicon()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--goal", "3", "--time", "1.0", "--min"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let pmin: f64 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split("= ").nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parse probability");
+    assert!(pmin < p);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_rejects_nonuniform_model() {
+    let path = model_path("nonuniform");
+    let model = "des (0, 2, 2)\n(0, \"rate 1\", 1)\n(1, \"rate 3\", 0)\n";
+    std::fs::write(&path, model).expect("write model");
+    let out = unicon()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--goal", "1", "--time", "1.0"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not uniform"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ftwc_subcommand_runs() {
+    let out = unicon()
+        .args(["ftwc", "--n", "1", "--time", "10"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FTWC N=1"));
+    assert!(text.contains("premium lost"));
+}

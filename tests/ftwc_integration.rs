@@ -1,0 +1,169 @@
+//! Integration tests for the FTWC case study: structural agreement with
+//! the paper's Table 1, cross-route validation, and the Figure 4
+//! overestimation phenomenon.
+
+use unicon::core::PreparedModel;
+use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
+use unicon::ctmdp::scheduler::UniformRandom;
+use unicon::ctmdp::simulate::{estimate_reachability, SimulationOptions};
+use unicon::ftwc::{compositional, experiment, generator, FtwcParams};
+use unicon::numeric::assert_close;
+
+/// The paper's Table 1 structural counts, columns 2–5, for small N.
+/// (interactive states, Markov states, interactive transitions, Markov
+/// transitions)
+const PAPER_TABLE1: [(usize, usize, usize, usize, usize); 3] =
+    [(1, 110, 81, 155, 324), (2, 274, 205, 403, 920), (4, 818, 621, 1235, 3000)];
+
+#[test]
+fn table1_structure_matches_paper() {
+    for (n, pi, pm, pti, ptm) in PAPER_TABLE1 {
+        let row = experiment::table1_row(&FtwcParams::new(n), &[], 1e-6);
+        // Our construction reproduces the published counts within a couple
+        // of states (a fresh interactive prefix for the initial Markov
+        // state plus its word transition).
+        let close_enough = |ours: usize, paper: usize| ours.abs_diff(paper) <= 3;
+        assert!(
+            close_enough(row.interactive_states, pi),
+            "N={n}: interactive states {} vs paper {pi}",
+            row.interactive_states
+        );
+        assert_eq!(row.markov_states, pm, "N={n}: Markov states");
+        assert!(
+            close_enough(row.interactive_transitions, pti),
+            "N={n}: interactive transitions {} vs paper {pti}",
+            row.interactive_transitions
+        );
+        assert!(
+            close_enough(row.markov_transitions, ptm),
+            "N={n}: Markov transitions {} vs paper {ptm}",
+            row.markov_transitions
+        );
+    }
+}
+
+#[test]
+fn compositional_route_agrees_with_generator_route() {
+    for n in [1, 2] {
+        let params = FtwcParams::new(n);
+        for t in [20.0, 200.0] {
+            let (comp, gen) = experiment::cross_validate(&params, t, 1e-9);
+            assert_close!(comp, gen, 1e-6);
+        }
+    }
+}
+
+#[test]
+fn worst_case_grows_with_cluster_stress() {
+    // Larger horizons and smaller clusters both increase the probability of
+    // losing premium quality.
+    let p1 = experiment::table1_row(&FtwcParams::new(1), &[100.0, 1000.0], 1e-8);
+    assert!(p1.analyses[1].3 > p1.analyses[0].3);
+}
+
+#[test]
+fn figure4_overestimation_holds_across_sizes() {
+    for n in [1, 2] {
+        let mut params = FtwcParams::new(n);
+        params.gamma = 100.0;
+        let pts = experiment::figure4(&params, &[50.0, 500.0], 1e-9);
+        for p in pts {
+            assert!(
+                p.ctmc > p.ctmdp_worst,
+                "N={n}, t={}: CTMC {} should exceed CTMDP {}",
+                p.t,
+                p.ctmc,
+                p.ctmdp_worst
+            );
+        }
+    }
+}
+
+#[test]
+fn random_repair_policy_sits_between_best_and_worst() {
+    let params = FtwcParams::new(2);
+    let model = generator::build_uimc(&params);
+    let prepared = PreparedModel::new(&model.uniform, &model.premium_down).unwrap();
+    let t = 500.0;
+    let opts = ReachOptions::default().with_epsilon(1e-9);
+    let sup = timed_reachability(&prepared.ctmdp, &prepared.goal, t, &opts)
+        .unwrap()
+        .from_state(prepared.ctmdp.initial());
+    let inf = timed_reachability(
+        &prepared.ctmdp,
+        &prepared.goal,
+        t,
+        &opts.with_objective(Objective::Minimize),
+    )
+    .unwrap()
+    .from_state(prepared.ctmdp.initial());
+    assert!(sup >= inf);
+    let est = estimate_reachability(
+        &prepared.ctmdp,
+        &prepared.goal,
+        t,
+        &UniformRandom,
+        &SimulationOptions {
+            runs: 30_000,
+            seed: 42,
+        },
+    );
+    assert!(
+        est.probability <= sup + 4.0 * est.std_error,
+        "random policy {} above sup {sup}",
+        est.probability
+    );
+    assert!(
+        est.probability >= inf - 4.0 * est.std_error,
+        "random policy {} below inf {inf}",
+        est.probability
+    );
+}
+
+#[test]
+fn compositional_minimization_collapses_symmetry() {
+    // The N=2 compositional model must be dramatically smaller after
+    // minimization than the raw interleaving would be, and still uniform.
+    let params = FtwcParams::new(2);
+    let m = compositional::build(&params);
+    assert!(m.uniform.imc().num_states() < 2_000);
+    assert!(m.premium_down.iter().any(|&d| d));
+    assert!(!m.premium_down[m.uniform.imc().initial() as usize]);
+}
+
+#[test]
+fn premium_down_probability_grows_with_cluster_size() {
+    // Premium quality needs *all N* workstations of one sub-cluster (or N
+    // in total across both, fully connected): more workstations mean more
+    // single points of degradation, so the loss probability rises with N —
+    // consistent with the spread between the two panels of Figure 4.
+    let small = experiment::table1_row(&FtwcParams::new(1), &[100.0], 1e-8).analyses[0].3;
+    let large = experiment::table1_row(&FtwcParams::new(8), &[100.0], 1e-8).analyses[0].3;
+    assert!(
+        large > small,
+        "N=8 worst case {large} should exceed N=1 worst case {small}"
+    );
+}
+
+#[test]
+fn goal_semantics_zero_closure_vs_exact_differ_only_on_entry_prefixes() {
+    // The premium-down region is dwelling (left only by Markov repairs),
+    // so the closure-based and the exact goal vectors give identical
+    // analysis results within numerical tolerance.
+    let params = FtwcParams::new(1);
+    let model = generator::build_uimc(&params);
+    let out = unicon::transform::transform(model.uniform.imc()).unwrap();
+    let closure_goal = out.goal_vector(&model.premium_down);
+    let exact_goal = out.goal_vector_exact(&model.premium_down);
+    let opts = ReachOptions::default().with_epsilon(1e-10);
+    let t = 100.0;
+    let a = timed_reachability(&out.ctmdp, &closure_goal, t, &opts)
+        .unwrap()
+        .from_state(out.ctmdp.initial());
+    let b = timed_reachability(&out.ctmdp, &exact_goal, t, &opts)
+        .unwrap()
+        .from_state(out.ctmdp.initial());
+    // closure can only be (weakly) larger
+    assert!(a >= b - 1e-12);
+    assert_close!(a, b, 1e-4);
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: the full modelling trajectory driven
+//! through the umbrella API.
+
+use unicon::core::{PreparedModel, UniformImc};
+use unicon::ctmc::transient::{self, TransientOptions};
+use unicon::ctmc::{Ctmc, PhaseType};
+use unicon::imc::View;
+use unicon::lts::LtsBuilder;
+use unicon::numeric::assert_close;
+use unicon::numeric::special::{erlang_cdf, exponential_cdf};
+
+/// A machine whose failure delay is phase-type and whose repair is
+/// exponential; no nondeterminism, so worst case == CTMC truth.
+#[test]
+fn deterministic_pipeline_matches_ctmc_oracle() {
+    let mut b = LtsBuilder::new(2, 0);
+    b.add("break", 0, 1);
+    b.add("fix", 1, 0);
+    let machine = UniformImc::from_lts(&b.build());
+
+    let (lambda, mu) = (0.4, 2.0);
+    let tc_break = UniformImc::from_elapse(
+        &PhaseType::exponential(lambda).uniformize_at_max(),
+        "break",
+        "fix",
+    );
+    let tc_fix = UniformImc::from_elapse(
+        &PhaseType::exponential(mu).uniformize_at_max(),
+        "fix",
+        "break",
+    );
+    let (system, map) = tc_break.compose(&tc_fix).compose_with_map(&machine);
+    assert_close!(system.rate(), lambda + mu, 1e-12);
+
+    // goal: the machine component is in its broken state (state 1).
+    // (Note: "offers fix" would be wrong — fix is also gated by the repair
+    // timer, so freshly broken states do not offer it yet.)
+    let goal: Vec<bool> = map.iter().map(|&(_, m)| m == 1).collect();
+    let prepared = PreparedModel::new(&system.close(), &goal).expect("transforms");
+
+    // oracle: the 2-state CTMC 0 -λ-> 1 -μ-> 0, reach state 1
+    let ctmc = Ctmc::from_rates(2, 0, [(0, 1, lambda), (1, 0, mu)]);
+    let copts = TransientOptions::default().with_epsilon(1e-12);
+    for t in [0.3, 1.0, 5.0] {
+        let worst = prepared.worst_case_from_initial(t, 1e-10).unwrap();
+        let oracle = transient::reachability(&ctmc, &[false, true], t, &copts).from_state(0);
+        assert_close!(worst, oracle, 1e-8);
+    }
+}
+
+/// Minimizing before transforming never changes the analysis result
+/// (Lemma 3 + Theorem 1 in concert).
+#[test]
+fn minimize_then_transform_is_value_preserving() {
+    let mut b = LtsBuilder::new(3, 0);
+    b.add("step1", 0, 1);
+    b.add("step2", 1, 2);
+    b.add("reset", 2, 0);
+    let proc_lts = UniformImc::from_lts(&b.build());
+    let t1 = UniformImc::from_elapse(
+        &PhaseType::erlang(2, 3.0).uniformize_at_max(),
+        "step1",
+        "reset",
+    );
+    let t2 = UniformImc::from_elapse(
+        &PhaseType::exponential(1.5).uniformize_at_max(),
+        "step2",
+        "step1",
+    );
+    let t3 = UniformImc::from_elapse(
+        &PhaseType::exponential(0.7).uniformize_at_max(),
+        "reset",
+        "step2",
+    );
+    let (system, map) = t1
+        .compose(&t2)
+        .compose(&t3)
+        .compose_with_map(&proc_lts);
+    let labels: Vec<u32> = map.iter().map(|&(_, p)| u32::from(p == 2)).collect();
+
+    let goal_big: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
+    let p_big = PreparedModel::new(&system.close(), &goal_big)
+        .expect("transforms")
+        .worst_case_from_initial(2.0, 1e-10)
+        .unwrap();
+
+    let (small, small_labels) = system.minimize_labeled(&labels);
+    assert!(small.imc().num_states() <= system.imc().num_states());
+    let goal_small: Vec<bool> = small_labels.iter().map(|&l| l == 1).collect();
+    let p_small = PreparedModel::new(&small.close(), &goal_small)
+        .expect("transforms")
+        .worst_case_from_initial(2.0, 1e-10)
+        .unwrap();
+    assert_close!(p_big, p_small, 1e-8);
+}
+
+/// An Erlang time constraint gating a single action reproduces the Erlang
+/// cdf through the whole pipeline, for several phase counts.
+#[test]
+fn erlang_gate_cdf_through_pipeline() {
+    for phases in [1u32, 2, 4] {
+        let mut b = LtsBuilder::new(2, 0);
+        b.add("done", 0, 1);
+        b.add("again", 1, 0);
+        let job = UniformImc::from_lts(&b.build());
+        let rate = 2.5;
+        let tc = UniformImc::from_elapse(
+            &PhaseType::erlang(phases, rate).uniformize_at_max(),
+            "done",
+            "again",
+        );
+        let system = tc.compose(&job);
+        let goal: Vec<bool> = (0..system.imc().num_states() as u32)
+            .map(|s| {
+                system
+                    .imc()
+                    .interactive_from(s)
+                    .iter()
+                    .any(|t| system.imc().actions().name(t.action) == "again")
+            })
+            .collect();
+        let prepared = PreparedModel::new(&system.close(), &goal).expect("transforms");
+        for t in [0.4, 1.1, 3.0] {
+            let p = prepared.worst_case_from_initial(t, 1e-10).unwrap();
+            assert_close!(p, erlang_cdf(phases, rate, t), 1e-8);
+        }
+    }
+}
+
+/// Open-view uniformity of every intermediate stage of a four-component
+/// composition; rates accumulate exactly.
+#[test]
+fn uniformity_by_construction_through_every_stage() {
+    let mut expected = 0.0;
+    let mut acc: Option<UniformImc> = None;
+    for (i, rate) in [0.5, 1.25, 2.0, 0.125].iter().enumerate() {
+        let f = format!("f{i}");
+        let r = format!("r{i}");
+        let tc = UniformImc::from_elapse(
+            &PhaseType::exponential(*rate).uniformize_at_max(),
+            &f,
+            &r,
+        );
+        expected += rate;
+        acc = Some(match acc {
+            None => tc,
+            Some(a) => a.parallel(&tc, &[]),
+        });
+        let cur = acc.as_ref().unwrap();
+        assert!(cur.imc().is_uniform(View::Open));
+        assert_close!(cur.rate(), expected, 1e-12);
+    }
+}
+
+/// Worst case of a nondeterministic race is the fastest branch; best case
+/// is the slowest.
+#[test]
+fn race_envelope_is_exact() {
+    let mut b = LtsBuilder::new(4, 0);
+    b.add("pick_a", 0, 1);
+    b.add("pick_b", 0, 2);
+    b.add("win_a", 1, 3);
+    b.add("win_b", 2, 3);
+    let sys = UniformImc::from_lts(&b.build());
+    let (fast, slow) = (3.0, 0.5);
+    let tc_a = UniformImc::from_elapse(
+        &PhaseType::exponential(fast).uniformize_at_max(),
+        "win_a",
+        "pick_a",
+    );
+    let tc_b = UniformImc::from_elapse(
+        &PhaseType::exponential(slow).uniformize_at_max(),
+        "win_b",
+        "pick_b",
+    );
+    let (timed, map) = tc_a.parallel(&tc_b, &[]).compose_with_map(&sys);
+    let goal: Vec<bool> = map.iter().map(|&(_, s)| s == 3).collect();
+    let prepared = PreparedModel::new(&timed.close(), &goal).expect("transforms");
+    for t in [0.5, 1.5] {
+        let worst = prepared.worst_case_from_initial(t, 1e-10).unwrap();
+        let best = prepared
+            .best_case(t, 1e-10)
+            .unwrap()
+            .from_state(prepared.ctmdp.initial());
+        assert_close!(worst, exponential_cdf(fast, t), 1e-8);
+        assert_close!(best, exponential_cdf(slow, t), 1e-8);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests of the uIMC → uCTMDP transformation and of the
+//! interplay between minimization, transformation and analysis
+//! (Theorem 1 + Lemma 3, checked semantically).
+
+use proptest::prelude::*;
+use unicon::core::{ClosedModel, PreparedModel, UniformImc};
+use unicon::ctmdp::reachability::{timed_reachability, ReachOptions};
+use unicon::ctmdp::scheduler::StepDependent;
+use unicon::ctmdp::simulate::{estimate_reachability, SimulationOptions};
+use unicon::imc::{bisim, Imc, ImcBuilder, StateKind, View};
+use unicon::transform::{is_strictly_alternating, transform};
+
+/// Random **closed** uniform IMC without Zeno behaviour or dead ends:
+///
+/// * states alternate conceptually between "decision" states (even ids,
+///   interactive transitions only, going to odd ids) and "timed" states
+///   (odd ids, Markov transitions summing to the uniform rate, going to
+///   even ids),
+/// * every state has at least one outgoing transition.
+///
+/// Interactive transitions only go even → odd and Markov only odd → even,
+/// so the interactive graph is trivially acyclic.
+#[derive(Debug, Clone)]
+struct RawClosed {
+    pairs: usize,
+    /// per decision state: 1..=3 choices of odd targets
+    choices: Vec<Vec<u8>>,
+    /// per timed state: weighted even targets
+    rates: Vec<Vec<(u8, f64)>>,
+    e: f64,
+    /// goal mask over *even* states
+    goal_mask: u8,
+}
+
+fn raw_closed() -> impl Strategy<Value = RawClosed> {
+    (1usize..=4).prop_flat_map(|pairs| {
+        let p = pairs as u8;
+        (
+            prop::collection::vec(prop::collection::vec(0..p, 1..4), pairs),
+            prop::collection::vec(
+                prop::collection::vec((0..p, 0.05f64..1.0), 1..4),
+                pairs,
+            ),
+            0.5f64..5.0,
+            0u8..255,
+        )
+            .prop_map(move |(choices, rates, e, goal_mask)| RawClosed {
+                pairs,
+                choices,
+                rates,
+                e,
+                goal_mask,
+            })
+    })
+}
+
+/// Builds the IMC: decision state of pair `i` is `2i`, timed state `2i+1`.
+fn build_closed(raw: &RawClosed) -> (Imc, Vec<bool>) {
+    let n = raw.pairs * 2;
+    let mut b = ImcBuilder::new(n, 0);
+    for (i, choices) in raw.choices.iter().enumerate() {
+        for (k, &tgt) in choices.iter().enumerate() {
+            b.interactive(
+                &format!("c{k}"),
+                (2 * i) as u32,
+                (2 * (tgt as usize) + 1) as u32,
+            );
+        }
+    }
+    for (i, rates) in raw.rates.iter().enumerate() {
+        let total: f64 = rates.iter().map(|&(_, w)| w).sum();
+        for &(tgt, w) in rates {
+            b.markov(
+                (2 * i + 1) as u32,
+                raw.e * w / total,
+                (2 * (tgt as usize)) as u32,
+            );
+        }
+    }
+    let imc = b.build();
+    let goal: Vec<bool> = (0..n)
+        .map(|s| s % 2 == 0 && raw.goal_mask & (1 << ((s / 2) % 8)) != 0)
+        .collect();
+    (imc, goal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transformation output invariants: strict alternation, uniformity,
+    /// origin consistency.
+    #[test]
+    fn transform_invariants(raw in raw_closed()) {
+        let (imc, _) = build_closed(&raw);
+        let out = transform(&imc).expect("alternating structure cannot be Zeno");
+        prop_assert!(is_strictly_alternating(&out.strictly_alternating));
+        let e = out.ctmdp.uniform_rate().expect("uniform in, uniform out");
+        prop_assert!((e - raw.e).abs() < 1e-9 * raw.e);
+        prop_assert_eq!(out.ctmdp_state_origin.len(), out.ctmdp.num_states());
+        for (&o, closure) in out.ctmdp_state_origin.iter().zip(&out.ctmdp_zero_closure) {
+            prop_assert!((o as usize) < imc.num_states());
+            prop_assert!(closure.contains(&o) || !closure.is_empty());
+        }
+        // stats match the structures
+        prop_assert_eq!(out.stats.interactive_states, out.ctmdp.num_states());
+        prop_assert_eq!(out.stats.interactive_transitions, out.ctmdp.num_transitions());
+        let (markov, interactive, hybrid, absorbing) =
+            out.strictly_alternating.kind_counts();
+        prop_assert_eq!(hybrid, 0);
+        prop_assert_eq!(absorbing, 0);
+        prop_assert_eq!(markov, out.stats.markov_states);
+        prop_assert_eq!(interactive, out.stats.interactive_states);
+    }
+
+    /// Lemma 3 semantically: minimizing (labels = goal) before the
+    /// transformation does not change the worst-case value.
+    #[test]
+    fn minimization_preserves_analysis(raw in raw_closed(), t in 0.1f64..4.0) {
+        let (imc, goal) = build_closed(&raw);
+        let model = ClosedModel::try_new(imc.clone()).expect("uniform");
+        let p_direct = PreparedModel::new(&model, &goal)
+            .expect("transforms")
+            .worst_case_from_initial(t, 1e-10)
+            .unwrap();
+
+        let labels: Vec<u32> = goal.iter().map(|&g| u32::from(g)).collect();
+        let (small, small_labels) = bisim::minimize_labeled(&imc, View::Closed, &labels);
+        let small_goal: Vec<bool> = small_labels.iter().map(|&l| l == 1).collect();
+        let small_model = ClosedModel::try_new(small).expect("quotient is uniform");
+        let p_min = PreparedModel::new(&small_model, &small_goal)
+            .expect("transforms")
+            .worst_case_from_initial(t, 1e-10)
+            .unwrap();
+        prop_assert!((p_direct - p_min).abs() < 1e-7,
+            "direct {p_direct} vs minimized {p_min}");
+    }
+
+    /// The weak-bisimulation quotient preserves the analysis value too
+    /// (the paper's remark that the minimization theory works for other
+    /// τ-abstracting equivalences).
+    #[test]
+    fn weak_minimization_preserves_analysis(raw in raw_closed(), t in 0.1f64..4.0) {
+        let (imc, goal) = build_closed(&raw);
+        let model = ClosedModel::try_new(imc.clone()).expect("uniform");
+        let p_direct = PreparedModel::new(&model, &goal)
+            .expect("transforms")
+            .worst_case_from_initial(t, 1e-10)
+            .unwrap();
+
+        let labels: Vec<u32> = goal.iter().map(|&g| u32::from(g)).collect();
+        let part = bisim::stochastic_weak_bisimulation_labeled(&imc, View::Closed, &labels);
+        let q = bisim::quotient(&imc, &part, View::Closed).restrict_to_reachable();
+        // labels of the quotient: via any representative
+        let mut block_goal = vec![false; part.num_blocks];
+        for (s, &b) in part.block.iter().enumerate() {
+            if goal[s] {
+                block_goal[b as usize] = true;
+            }
+        }
+        // quotient() + restrict renumbers; recompute by rebuilding the map
+        let (qq, old_of_new) = bisim::quotient(&imc, &part, View::Closed)
+            .restrict_to_reachable_with_map();
+        let _ = q;
+        let q_goal: Vec<bool> = old_of_new
+            .iter()
+            .map(|&b| block_goal[b as usize])
+            .collect();
+        let q_model = ClosedModel::try_new(qq).expect("weak quotient stays uniform");
+        let p_weak = PreparedModel::new(&q_model, &q_goal)
+            .expect("transforms")
+            .worst_case_from_initial(t, 1e-10)
+            .unwrap();
+        prop_assert!((p_direct - p_weak).abs() < 1e-7,
+            "direct {p_direct} vs weak-minimized {p_weak}");
+    }
+
+    /// Theorem 1 via simulation: the extracted maximal scheduler attains
+    /// the computed value on the transformed model.
+    #[test]
+    fn extracted_scheduler_validates_transform(raw in raw_closed()) {
+        let (imc, goal) = build_closed(&raw);
+        let out = transform(&imc).expect("transforms");
+        let cgoal = out.goal_vector(&goal);
+        prop_assume!(!cgoal[out.ctmdp.initial() as usize]);
+        let t = 1.0;
+        let res = timed_reachability(
+            &out.ctmdp, &cgoal, t,
+            &ReachOptions::default().with_epsilon(1e-9).recording_decisions(),
+        ).unwrap();
+        let value = res.from_state(out.ctmdp.initial());
+        prop_assume!(value > 0.01 && value < 0.99);
+        let sched = StepDependent::from_result(&res);
+        let est = estimate_reachability(
+            &out.ctmdp, &cgoal, t, &sched,
+            &SimulationOptions { runs: 3_000, seed: 11 },
+        );
+        prop_assert!(
+            est.is_consistent_with(value, 5.0),
+            "sim {} vs algorithm {value}", est.probability
+        );
+    }
+
+    /// The closed-uniform wrapper accepts the generated models and the
+    /// composition API refuses to treat them as open.
+    #[test]
+    fn closed_view_classification(raw in raw_closed()) {
+        let (imc, _) = build_closed(&raw);
+        prop_assert!(ClosedModel::try_new(imc.clone()).is_ok());
+        // under the open view the visible decision states (rate 0) clash
+        // with the timed states (rate e) whenever both kinds are reachable,
+        // so UniformImc must reject exactly those models
+        let has_reachable_decision = {
+            let reach = imc.reachable_states();
+            (0..imc.num_states()).any(|s| {
+                reach[s] && imc.kind(s as u32) == StateKind::Interactive
+            })
+        };
+        prop_assert_eq!(UniformImc::try_new(imc).is_err(), has_reachable_decision);
+    }
+}
