@@ -1,0 +1,16 @@
+#!/bin/sh
+# The hermetic CI gate: formatting, lints, tests. Runs fully offline —
+# the workspace has no external dependencies (the criterion benchmarks
+# live in crates/bench, deliberately excluded from the workspace).
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -309,9 +309,7 @@ impl UniformImc {
             {
                 let u = self.imc.uniformity(View::Open);
                 match u {
-                    Uniformity::Uniform(e) => {
-                        (e - self.rate).abs() <= 1e-9 * self.rate.abs().max(1.0)
-                    }
+                    Uniformity::Uniform(e) => unicon_numeric::rates_approx_eq(e, self.rate),
                     Uniformity::Vacuous => true,
                     Uniformity::NonUniform { .. } => false,
                 }
@@ -319,6 +317,25 @@ impl UniformImc {
             "uniformity-by-construction invariant violated: {:?}",
             self.imc.uniformity(View::Open)
         );
+        // Route the same claim through the static-analysis pass: an open
+        // model under construction must never trip the uniformity lint.
+        #[cfg(debug_assertions)]
+        {
+            let report = unicon_verify::lint_imc(
+                &self.imc,
+                &unicon_verify::LintOptions { view: View::Open },
+            );
+            let uniformity_errors: Vec<_> = report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code == unicon_verify::Code::U001)
+                .collect();
+            assert!(
+                uniformity_errors.is_empty(),
+                "unicon-verify flags a model the lemmas promised uniform: \
+                 {uniformity_errors:?}"
+            );
+        }
     }
 }
 
@@ -453,7 +470,9 @@ impl PreparedModel {
     ///
     /// See [`PreparedModel::worst_case`].
     pub fn worst_case_from_initial(&self, t: f64, epsilon: f64) -> Result<f64, NotUniformError> {
-        Ok(self.worst_case(t, epsilon)?.from_state(self.ctmdp.initial()))
+        Ok(self
+            .worst_case(t, epsilon)?
+            .from_state(self.ctmdp.initial()))
     }
 }
 
@@ -495,27 +514,16 @@ mod tests {
 
     #[test]
     fn composition_adds_rates() {
-        let a = UniformImc::from_elapse(
-            &PhaseType::exponential(1.5).uniformize_at_max(),
-            "f1",
-            "r1",
-        );
-        let b = UniformImc::from_elapse(
-            &PhaseType::erlang(2, 2.0).uniformize_at_max(),
-            "f2",
-            "r2",
-        );
+        let a =
+            UniformImc::from_elapse(&PhaseType::exponential(1.5).uniformize_at_max(), "f1", "r1");
+        let b = UniformImc::from_elapse(&PhaseType::erlang(2, 2.0).uniformize_at_max(), "f2", "r2");
         let c = a.parallel(&b, &[]);
         assert_close!(c.rate(), 3.5, 1e-12);
     }
 
     #[test]
     fn hide_relabel_minimize_keep_rate() {
-        let a = UniformImc::from_elapse(
-            &PhaseType::exponential(1.0).uniformize_at_max(),
-            "f",
-            "r",
-        );
+        let a = UniformImc::from_elapse(&PhaseType::exponential(1.0).uniformize_at_max(), "f", "r");
         assert_eq!(a.hide(&["f"]).rate(), 1.0);
         assert_eq!(a.relabel(&[("f", "g")]).rate(), 1.0);
         assert_eq!(a.minimize().rate(), 1.0);
@@ -606,11 +614,7 @@ mod tests {
 
     #[test]
     fn close_preserves_rate_and_model() {
-        let u = UniformImc::from_elapse(
-            &PhaseType::exponential(1.5).uniformize_at_max(),
-            "f",
-            "r",
-        );
+        let u = UniformImc::from_elapse(&PhaseType::exponential(1.5).uniformize_at_max(), "f", "r");
         let c = u.close();
         assert_eq!(c.rate(), u.rate());
         assert_eq!(c.imc(), u.imc());
@@ -623,16 +627,8 @@ mod tests {
         // Two constraints referencing each other's actions: `compose`
         // must synchronize both shared actions, `parallel(&[], ..)` would
         // interleave them and break the gating.
-        let a = UniformImc::from_elapse(
-            &PhaseType::exponential(1.0).uniformize_at_max(),
-            "f",
-            "r",
-        );
-        let b = UniformImc::from_elapse(
-            &PhaseType::exponential(2.0).uniformize_at_max(),
-            "r",
-            "f",
-        );
+        let a = UniformImc::from_elapse(&PhaseType::exponential(1.0).uniformize_at_max(), "f", "r");
+        let b = UniformImc::from_elapse(&PhaseType::exponential(2.0).uniformize_at_max(), "r", "f");
         let composed = a.compose(&b);
         assert_eq!(composed.rate(), 3.0);
         // in the composition, `f` is only enabled when constraint a's
@@ -655,16 +651,10 @@ mod tests {
 
     #[test]
     fn compose_with_disjoint_alphabets_interleaves() {
-        let a = UniformImc::from_elapse(
-            &PhaseType::exponential(1.0).uniformize_at_max(),
-            "f1",
-            "r1",
-        );
-        let b = UniformImc::from_elapse(
-            &PhaseType::exponential(2.0).uniformize_at_max(),
-            "f2",
-            "r2",
-        );
+        let a =
+            UniformImc::from_elapse(&PhaseType::exponential(1.0).uniformize_at_max(), "f1", "r1");
+        let b =
+            UniformImc::from_elapse(&PhaseType::exponential(2.0).uniformize_at_max(), "f2", "r2");
         let c1 = a.compose(&b);
         let c2 = a.parallel(&b, &[]);
         assert_eq!(c1.imc().num_states(), c2.imc().num_states());
@@ -701,8 +691,8 @@ mod tests {
             "go_slow",
         );
         let combined = fast.parallel(&slow, &[]);
-        let (timed, map) = combined
-            .parallel_with_map(&sys, &["finish_fast", "finish_slow", "go_fast", "go_slow"]);
+        let (timed, map) =
+            combined.parallel_with_map(&sys, &["finish_fast", "finish_slow", "go_fast", "go_slow"]);
         // goal: the job component reached state 3 or 4 (finished)
         let goal: Vec<bool> = map.iter().map(|&(_, job)| job >= 3).collect();
         let prepared = PreparedModel::new(&timed.close(), &goal).expect("transformable");

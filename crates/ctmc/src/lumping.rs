@@ -36,7 +36,11 @@ pub struct Partition {
 ///
 /// Panics if `labels.len()` does not match the number of states.
 pub fn coarsest_lumping(ctmc: &Ctmc, labels: &[u32]) -> Partition {
-    assert_eq!(labels.len(), ctmc.num_states(), "label vector length mismatch");
+    assert_eq!(
+        labels.len(),
+        ctmc.num_states(),
+        "label vector length mismatch"
+    );
     let n = ctmc.num_states();
     // Initial partition: by label.
     let mut block = dense_renumber(labels);
@@ -196,11 +200,7 @@ mod tests {
 
     #[test]
     fn symmetric_branches_lump() {
-        let c = Ctmc::from_rates(
-            4,
-            0,
-            [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)],
-        );
+        let c = Ctmc::from_rates(4, 0, [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.0)]);
         let p = coarsest_lumping(&c, &[0, 0, 0, 1]);
         assert_eq!(p.num_blocks, 3);
         assert_eq!(p.block[1], p.block[2]);
@@ -223,11 +223,7 @@ mod tests {
 
     #[test]
     fn asymmetric_rates_do_not_lump() {
-        let c = Ctmc::from_rates(
-            4,
-            0,
-            [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.5)],
-        );
+        let c = Ctmc::from_rates(4, 0, [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 2.0), (2, 3, 2.5)]);
         let p = coarsest_lumping(&c, &[0, 0, 0, 1]);
         assert_ne!(p.block[1], p.block[2]);
     }
@@ -273,7 +269,13 @@ mod tests {
         let c = Ctmc::from_rates(
             4,
             0,
-            [(0, 1, 1.0), (0, 2, 1.0), (1, 0, 2.0), (2, 0, 2.0), (3, 3, 2.0)],
+            [
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 0, 2.0),
+                (2, 0, 2.0),
+                (3, 3, 2.0),
+            ],
         );
         assert!(c.is_uniform());
         let l = lump(&c, &[0, 1, 1, 2]);

@@ -119,13 +119,13 @@ impl Ctmc {
         self.uniform_rate().is_some()
     }
 
-    /// The common exit rate if the CTMC is uniform.
+    /// The common exit rate if the CTMC is uniform (rates compared with the
+    /// workspace-wide policy [`unicon_numeric::rates_approx_eq`]).
     pub fn uniform_rate(&self) -> Option<f64> {
         let first = self.exit_rates.first().copied()?;
-        let tol = 1e-9 * first.abs().max(1.0);
         self.exit_rates
             .iter()
-            .all(|&e| (e - first).abs() <= tol)
+            .all(|&e| unicon_numeric::rates_approx_eq(e, first))
             .then_some(first)
     }
 

@@ -119,7 +119,10 @@ impl PhaseType {
             assert!(r > 0.0, "rate must be positive");
             if k < rates.len() - 1 {
                 let p = continue_prob[k];
-                assert!((0.0..1.0).contains(&p), "continuation probability {p} not in [0,1)");
+                assert!(
+                    (0.0..1.0).contains(&p),
+                    "continuation probability {p} not in [0,1)"
+                );
                 if p > 0.0 {
                     triplets.push((k, k + 1, r * p));
                 }

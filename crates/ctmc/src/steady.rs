@@ -176,19 +176,13 @@ mod tests {
 
     #[test]
     fn distribution_is_stochastic_and_invariant() {
-        let c = Ctmc::from_rates(
-            3,
-            0,
-            [(0, 1, 0.5), (1, 2, 1.0), (2, 0, 0.25), (2, 1, 0.5)],
-        );
+        let c = Ctmc::from_rates(3, 0, [(0, 1, 0.5), (1, 2, 1.0), (2, 0, 0.25), (2, 1, 0.5)]);
         let pi = stationary_distribution(&c, &Default::default()).unwrap();
         assert_close!(pi.iter().sum::<f64>(), 1.0, 1e-9);
         // invariance: flow balance per state
         for s in 0..3 {
             let outflow = pi[s] * c.exit_rate(s);
-            let inflow: f64 = (0..3)
-                .map(|u| pi[u] * c.rate(u, s))
-                .sum();
+            let inflow: f64 = (0..3).map(|u| pi[u] * c.rate(u, s)).sum();
             assert_close!(outflow, inflow, 1e-8);
         }
     }

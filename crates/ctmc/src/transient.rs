@@ -100,14 +100,16 @@ pub fn distribution(ctmc: &Ctmc, t: f64, opts: &TransientOptions) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `t < 0`, `t` is not finite, or `init` has the wrong length.
-pub fn distribution_from(
-    ctmc: &Ctmc,
-    init: &[f64],
-    t: f64,
-    opts: &TransientOptions,
-) -> Vec<f64> {
-    assert!(t.is_finite() && t >= 0.0, "time bound must be finite and >= 0");
-    assert_eq!(init.len(), ctmc.num_states(), "initial vector length mismatch");
+pub fn distribution_from(ctmc: &Ctmc, init: &[f64], t: f64, opts: &TransientOptions) -> Vec<f64> {
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time bound must be finite and >= 0"
+    );
+    assert_eq!(
+        init.len(),
+        ctmc.num_states(),
+        "initial vector length mismatch"
+    );
     if t == 0.0 {
         return init.to_vec();
     }
@@ -148,7 +150,10 @@ pub fn reachability(
     opts: &TransientOptions,
 ) -> ReachabilityResult {
     assert_eq!(goal.len(), ctmc.num_states(), "goal vector length mismatch");
-    assert!(t.is_finite() && t >= 0.0, "time bound must be finite and >= 0");
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time bound must be finite and >= 0"
+    );
     let n = ctmc.num_states();
     if t == 0.0 {
         return ReachabilityResult {
@@ -171,7 +176,13 @@ pub fn reachability(
     }
     // q_next now holds q_1.
     let values = (0..n)
-        .map(|s| if goal[s] { 1.0 } else { q_next[s].clamp(0.0, 1.0) })
+        .map(|s| {
+            if goal[s] {
+                1.0
+            } else {
+                q_next[s].clamp(0.0, 1.0)
+            }
+        })
         .collect();
     ReachabilityResult {
         values,
@@ -286,11 +297,7 @@ mod tests {
     fn reachability_agrees_with_forward_transient_on_absorbing_goal() {
         // When goal states are absorbing, Pr(init ⤳≤t B) equals the transient
         // mass on B at time t.
-        let c = Ctmc::from_rates(
-            4,
-            0,
-            [(0, 1, 1.0), (0, 2, 0.5), (1, 3, 2.0), (2, 3, 0.7)],
-        );
+        let c = Ctmc::from_rates(4, 0, [(0, 1, 1.0), (0, 2, 0.5), (1, 3, 2.0), (2, 3, 0.7)]);
         let goal = [false, false, false, true];
         for t in [0.5, 2.0] {
             let back = reachability(&c, &goal, t, &opts()).from_state(0);
@@ -315,7 +322,12 @@ mod tests {
     #[test]
     fn iteration_count_is_foxglynn_truncation() {
         let c = Ctmc::from_rates(2, 0, [(0, 1, 2.0), (1, 0, 2.0)]);
-        let r = reachability(&c, &[false, true], 100.0, &TransientOptions::default().with_epsilon(1e-6));
+        let r = reachability(
+            &c,
+            &[false, true],
+            100.0,
+            &TransientOptions::default().with_epsilon(1e-6),
+        );
         let fg = FoxGlynn::new(200.0);
         assert_eq!(r.iterations, fg.right_truncation(1e-6));
     }

@@ -1,19 +1,37 @@
-//! Property-based tests for CTMC analyses: uniformization invariance,
-//! lumping correctness, phase-type identities.
+//! Randomized tests for CTMC analyses: uniformization invariance, lumping
+//! correctness, phase-type identities. Driven by the in-tree deterministic
+//! [`XorShift64`] generator (fixed seeds, no external PRNG).
 
-use proptest::prelude::*;
 use unicon_ctmc::transient::{self, TransientOptions};
 use unicon_ctmc::{lumping, Ctmc, PhaseType};
+use unicon_numeric::rng::{Rng, XorShift64};
+
+const CASES: u64 = 96;
+
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.random_f64() * (hi - lo)
+}
 
 /// Random CTMC on up to 8 states with rates in a benign range.
-fn raw_ctmc() -> impl Strategy<Value = (usize, Vec<(u8, u8, f64)>)> {
-    (2usize..=8).prop_flat_map(|n| {
-        let nn = n as u8;
-        (
-            Just(n),
-            prop::collection::vec((0..nn, 0..nn, 0.05f64..4.0), 1..20),
-        )
-    })
+fn raw_ctmc(rng: &mut XorShift64) -> (usize, Vec<(u8, u8, f64)>) {
+    let n = 2 + rng.random_range(7);
+    let len = 1 + rng.random_range(19);
+    let ts = (0..len)
+        .map(|_| {
+            (
+                rng.random_range(n) as u8,
+                rng.random_range(n) as u8,
+                uniform(rng, 0.05, 4.0),
+            )
+        })
+        .collect();
+    (n, ts)
+}
+
+fn labels(rng: &mut XorShift64, n: usize, num: u32) -> Vec<u32> {
+    (0..n)
+        .map(|_| rng.random_range(num as usize) as u32)
+        .collect()
 }
 
 fn build(n: usize, triplets: &[(u8, u8, f64)]) -> Ctmc {
@@ -30,73 +48,89 @@ fn opts() -> TransientOptions {
     TransientOptions::default().with_epsilon(1e-12)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Jensen: uniformization does not change transient probabilities.
-    #[test]
-    fn uniformization_is_transient_invariant(
-        (n, ts) in raw_ctmc(),
-        extra in 0.0f64..5.0,
-        t in 0.1f64..10.0
-    ) {
+/// Jensen: uniformization does not change transient probabilities.
+#[test]
+fn uniformization_is_transient_invariant() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x0F14 + case);
+        let (n, ts) = raw_ctmc(&mut rng);
+        let extra = uniform(&mut rng, 0.0, 5.0);
+        let t = uniform(&mut rng, 0.1, 10.0);
         let c = build(n, &ts);
         let u = c.uniformize(c.max_exit_rate() + extra);
         let a = transient::distribution(&c, t, &opts());
         let b = transient::distribution(&u, t, &opts());
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
         }
     }
+}
 
-    /// Transient distributions stay stochastic.
-    #[test]
-    fn transient_is_stochastic((n, ts) in raw_ctmc(), t in 0.0f64..20.0) {
+/// Transient distributions stay stochastic.
+#[test]
+fn transient_is_stochastic() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5702 + case);
+        let (n, ts) = raw_ctmc(&mut rng);
+        let t = uniform(&mut rng, 0.0, 20.0);
         let c = build(n, &ts);
         let pi = transient::distribution(&c, t, &opts());
         let sum: f64 = pi.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-8);
-        prop_assert!(pi.iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
+        assert!((sum - 1.0).abs() < 1e-8);
+        assert!(pi.iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
     }
+}
 
-    /// Backward reachability agrees with forward transient mass when the
-    /// goal is absorbing.
-    #[test]
-    fn backward_forward_consistency((n, ts) in raw_ctmc(), t in 0.1f64..10.0) {
+/// Backward reachability agrees with forward transient mass when the
+/// goal is absorbing.
+#[test]
+fn backward_forward_consistency() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xBF0C + case);
+        let (n, ts) = raw_ctmc(&mut rng);
+        let t = uniform(&mut rng, 0.1, 10.0);
         // make state n-1 the absorbing goal
         let filtered: Vec<(u8, u8, f64)> = ts
             .iter()
             .copied()
             .filter(|&(s, _, _)| (s as usize) != n - 1)
             .collect();
-        prop_assume!(!filtered.is_empty());
+        if filtered.is_empty() {
+            continue;
+        }
         let goal: Vec<bool> = (0..n).map(|s| s == n - 1).collect();
         let cc = build(n, &filtered);
         let back = transient::reachability(&cc, &goal, t, &opts());
         let forward = transient::distribution(&cc, t, &opts());
-        prop_assert!((back.from_state(0) - forward[n - 1]).abs() < 1e-8);
+        assert!((back.from_state(0) - forward[n - 1]).abs() < 1e-8);
     }
+}
 
-    /// Reachability is monotone in the horizon.
-    #[test]
-    fn reachability_monotone((n, ts) in raw_ctmc(), t in 0.1f64..5.0) {
+/// Reachability is monotone in the horizon.
+#[test]
+fn reachability_monotone() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x7EAC + case);
+        let (n, ts) = raw_ctmc(&mut rng);
+        let t = uniform(&mut rng, 0.1, 5.0);
         let c = build(n, &ts);
         let goal: Vec<bool> = (0..n).map(|s| s % 2 == 1).collect();
         let p1 = transient::reachability(&c, &goal, t, &opts()).from_state(0);
         let p2 = transient::reachability(&c, &goal, 2.0 * t, &opts()).from_state(0);
-        prop_assert!(p2 >= p1 - 1e-9);
+        assert!(p2 >= p1 - 1e-9);
     }
+}
 
-    /// Lumping preserves label-aggregated transient probabilities.
-    #[test]
-    fn lumping_preserves_transients(
-        (n, ts) in raw_ctmc(),
-        labels in prop::collection::vec(0u32..2, 8),
-        t in 0.1f64..5.0
-    ) {
+/// Lumping preserves label-aggregated transient probabilities.
+#[test]
+fn lumping_preserves_transients() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x10B8 + case);
+        let (n, ts) = raw_ctmc(&mut rng);
+        let labels = labels(&mut rng, n, 2);
+        let t = uniform(&mut rng, 0.1, 5.0);
         let c = build(n, &ts);
-        let labels = &labels[..n];
-        let part = lumping::coarsest_lumping(&c, labels);
+        let part = lumping::coarsest_lumping(&c, &labels);
         let q = lumping::quotient(&c, &part);
         let pi = transient::distribution(&c, t, &opts());
         let qi = transient::distribution(&q, t, &opts());
@@ -106,20 +140,24 @@ proptest! {
             agg[part.block[s] as usize] += p;
         }
         for (b, (&x, &y)) in agg.iter().zip(qi.iter()).enumerate() {
-            prop_assert!((x - y).abs() < 1e-7, "block {b}: {x} vs {y}");
+            assert!((x - y).abs() < 1e-7, "block {b}: {x} vs {y}");
         }
     }
+}
 
-    /// Lumping never merges differently labeled states and is idempotent.
-    #[test]
-    fn lumping_respects_labels((n, ts) in raw_ctmc(), labels in prop::collection::vec(0u32..3, 8)) {
+/// Lumping never merges differently labeled states and is idempotent.
+#[test]
+fn lumping_respects_labels() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x10BE + case);
+        let (n, ts) = raw_ctmc(&mut rng);
+        let labels = labels(&mut rng, n, 3);
         let c = build(n, &ts);
-        let labels = &labels[..n];
-        let part = lumping::coarsest_lumping(&c, labels);
+        let part = lumping::coarsest_lumping(&c, &labels);
         for s in 0..n {
             for t2 in 0..n {
                 if part.block[s] == part.block[t2] {
-                    prop_assert_eq!(labels[s], labels[t2]);
+                    assert_eq!(labels[s], labels[t2]);
                 }
             }
         }
@@ -127,40 +165,59 @@ proptest! {
         let q = lumping::quotient(&c, &part);
         let block_labels: Vec<u32> = (0..part.num_blocks as u32).collect();
         let part2 = lumping::coarsest_lumping(&q, &block_labels);
-        prop_assert_eq!(part2.num_blocks, part.num_blocks);
+        assert_eq!(part2.num_blocks, part.num_blocks);
     }
+}
 
-    /// Phase-type cdfs are monotone, bounded, and the uniformized chain
-    /// keeps the distribution.
-    #[test]
-    fn phase_type_cdf_properties(rates in prop::collection::vec(0.2f64..5.0, 1..5), t in 0.01f64..10.0) {
+/// Phase-type cdfs are monotone, bounded, and the uniformized chain
+/// keeps the distribution.
+#[test]
+fn phase_type_cdf_properties() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x9ACD + case);
+        let num_phases = 1 + rng.random_range(4);
+        let rates: Vec<f64> = (0..num_phases)
+            .map(|_| uniform(&mut rng, 0.2, 5.0))
+            .collect();
+        let t = uniform(&mut rng, 0.01, 10.0);
         let ph = PhaseType::hypoexponential(&rates);
         let c1 = ph.cdf(t);
         let c2 = ph.cdf(t * 1.5);
-        prop_assert!((0.0..=1.0).contains(&c1));
-        prop_assert!(c2 >= c1 - 1e-10);
+        assert!((0.0..=1.0).contains(&c1));
+        assert!(c2 >= c1 - 1e-10);
         let u = ph.uniformize_at_max();
         let pi = transient::distribution(u.ctmc(), t, &opts());
-        prop_assert!((pi[u.absorbing() as usize] - c1).abs() < 1e-8);
+        assert!((pi[u.absorbing() as usize] - c1).abs() < 1e-8);
     }
+}
 
-    /// Mean of a hypoexponential is the sum of phase means.
-    #[test]
-    fn hypoexponential_mean(rates in prop::collection::vec(0.2f64..5.0, 1..5)) {
+/// Mean of a hypoexponential is the sum of phase means.
+#[test]
+fn hypoexponential_mean() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x4EA2 + case);
+        let num_phases = 1 + rng.random_range(4);
+        let rates: Vec<f64> = (0..num_phases)
+            .map(|_| uniform(&mut rng, 0.2, 5.0))
+            .collect();
         let ph = PhaseType::hypoexponential(&rates);
         let expect: f64 = rates.iter().map(|r| 1.0 / r).sum();
-        prop_assert!((ph.mean() - expect).abs() < 1e-6 * expect);
+        assert!((ph.mean() - expect).abs() < 1e-6 * expect);
     }
+}
 
-    /// The embedded DTMC and the uniformized jump matrix are stochastic.
-    #[test]
-    fn jump_matrices_are_stochastic((n, ts) in raw_ctmc()) {
+/// The embedded DTMC and the uniformized jump matrix are stochastic.
+#[test]
+fn jump_matrices_are_stochastic() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x70CA + case);
+        let (n, ts) = raw_ctmc(&mut rng);
         let c = build(n, &ts);
         let p = c.embedded_dtmc();
         let u = c.uniformized_jump_matrix(c.max_exit_rate() + 1.0);
         for s in 0..n {
-            prop_assert!((p.row_sum(s) - 1.0).abs() < 1e-9);
-            prop_assert!((u.row_sum(s) - 1.0).abs() < 1e-9);
+            assert!((p.row_sum(s) - 1.0).abs() < 1e-9);
+            assert!((u.row_sum(s) - 1.0).abs() < 1e-9);
         }
     }
 }

@@ -26,7 +26,10 @@ impl RateFunction {
         pairs.sort_unstable_by_key(|&(t, _)| t);
         let mut merged: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
         for (t, r) in pairs {
-            assert!(r.is_finite() && r > 0.0, "rates must be finite and positive");
+            assert!(
+                r.is_finite() && r > 0.0,
+                "rates must be finite and positive"
+            );
             match merged.last_mut() {
                 Some((lt, lr)) if *lt == t => *lr += r,
                 _ => merged.push((t, r)),
@@ -103,7 +106,9 @@ impl std::fmt::Display for NotUniformError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CTMDP is not uniform: transitions with exit rates {} and {}",
+            "CTMDP is not uniform: transitions with exit rates {} and {} \
+             (lint code U001 — Algorithm 1 requires a uniform CTMDP; build it \
+             by transforming a uniform IMC)",
             self.rate_a, self.rate_b
         )
     }
@@ -145,7 +150,10 @@ impl Ctmdp {
         assert_eq!(per_state.len(), num_states, "per-state list mismatch");
         for rf in &rate_functions {
             for &(t, _) in rf.targets() {
-                assert!((t as usize) < num_states, "rate-function target out of bounds");
+                assert!(
+                    (t as usize) < num_states,
+                    "rate-function target out of bounds"
+                );
             }
         }
         let mut offsets = vec![0usize; num_states + 1];
@@ -222,8 +230,9 @@ impl Ctmdp {
         (0..self.num_states).any(|s| self.offsets[s] == self.offsets[s + 1])
     }
 
-    /// Checks uniformity: all transitions' exit rates `E_R` equal (relative
-    /// tolerance `1e-9`). Returns the common rate.
+    /// Checks uniformity: all transitions' exit rates `E_R` equal under the
+    /// workspace-wide tolerance policy
+    /// ([`unicon_numeric::rates_approx_eq`]). Returns the common rate.
     ///
     /// # Errors
     ///
@@ -236,7 +245,7 @@ impl Ctmdp {
             match rate {
                 None => rate = Some(e),
                 Some(r) => {
-                    if (e - r).abs() > 1e-9 * r.abs().max(e.abs()).max(1.0) {
+                    if !unicon_numeric::rates_approx_eq(e, r) {
                         return Err(NotUniformError {
                             rate_a: r,
                             rate_b: e,

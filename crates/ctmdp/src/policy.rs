@@ -50,7 +50,11 @@ pub fn evaluate_policy(
     t: f64,
     epsilon: f64,
 ) -> f64 {
-    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
+    assert_eq!(
+        goal.len(),
+        ctmdp.num_states(),
+        "goal vector length mismatch"
+    );
     let ctmc = induced_ctmc(ctmdp, policy);
     let opts = unicon_ctmc::transient::TransientOptions::default().with_epsilon(epsilon);
     unicon_ctmc::transient::reachability(&ctmc, goal, t, &opts).from_state(ctmdp.initial())

@@ -120,8 +120,15 @@ pub fn timed_reachability(
     t: f64,
     opts: &ReachOptions,
 ) -> Result<ReachResult, NotUniformError> {
-    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
-    assert!(t.is_finite() && t >= 0.0, "time bound must be finite and >= 0");
+    assert_eq!(
+        goal.len(),
+        ctmdp.num_states(),
+        "goal vector length mismatch"
+    );
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time bound must be finite and >= 0"
+    );
     let e = ctmdp.uniform_rate()?;
     let n = ctmdp.num_states();
 
@@ -199,7 +206,13 @@ pub fn timed_reachability(
     }
     // q_next holds q_1.
     let values = (0..n)
-        .map(|s| if goal[s] { 1.0 } else { q_next[s].clamp(0.0, 1.0) })
+        .map(|s| {
+            if goal[s] {
+                1.0
+            } else {
+                q_next[s].clamp(0.0, 1.0)
+            }
+        })
         .collect();
     Ok(ReachResult {
         values,
@@ -244,7 +257,11 @@ pub fn step_bounded_reachability(
     k: usize,
     objective: Objective,
 ) -> Vec<f64> {
-    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
+    assert_eq!(
+        goal.len(),
+        ctmdp.num_states(),
+        "goal vector length mismatch"
+    );
     let n = ctmdp.num_states();
     let maximize = objective == Objective::Maximize;
     let mut p: Vec<f64> = goal.iter().map(|&g| f64::from(u8::from(g))).collect();
@@ -306,19 +323,15 @@ mod tests {
         b.transition(0, "a", &[(1, 1.0), (0, 1.0)]);
         b.transition(1, "a", &[(2, 2.0)]);
         b.transition(2, "a", &[(2, 2.0)]);
-        let ctmc = Ctmc::from_rates(
-            3,
-            0,
-            [(0, 1, 1.0), (0, 0, 1.0), (1, 2, 2.0), (2, 2, 2.0)],
-        );
+        let ctmc = Ctmc::from_rates(3, 0, [(0, 1, 1.0), (0, 0, 1.0), (1, 2, 2.0), (2, 2, 2.0)]);
         (b.build(), ctmc)
     }
 
     #[test]
     fn zero_time_is_indicator() {
         let (m, _) = chain_as_ctmdp();
-        let r = timed_reachability(&m, &[false, false, true], 0.0, &ReachOptions::default())
-            .unwrap();
+        let r =
+            timed_reachability(&m, &[false, false, true], 0.0, &ReachOptions::default()).unwrap();
         assert_eq!(r.values, vec![0.0, 0.0, 1.0]);
         assert_eq!(r.iterations, 0);
     }
@@ -329,13 +342,9 @@ mod tests {
         let goal = [false, false, true];
         let copts = TransientOptions::default().with_epsilon(1e-12);
         for t in [0.3, 1.0, 4.0] {
-            let mdp = timed_reachability(
-                &m,
-                &goal,
-                t,
-                &ReachOptions::default().with_epsilon(1e-12),
-            )
-            .unwrap();
+            let mdp =
+                timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(1e-12))
+                    .unwrap();
             let oracle = transient::reachability(&c, &goal, t, &copts);
             for s in 0..3 {
                 assert_close!(mdp.values[s], oracle.values[s], 1e-9);
@@ -354,8 +363,8 @@ mod tests {
         let m = b.build();
         let goal = [false, true, false];
         let t = 1.0;
-        let r = timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(1e-10))
-            .unwrap();
+        let r =
+            timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(1e-10)).unwrap();
         // Max scheduler takes "direct": hit B iff a jump occurs by t.
         assert_close!(r.values[0], exponential_cdf(2.0, t), 1e-8);
         // Min scheduler never reaches B.
@@ -415,8 +424,8 @@ mod tests {
     #[test]
     fn iteration_count_matches_foxglynn() {
         let (m, _) = chain_as_ctmdp();
-        let r = timed_reachability(&m, &[false, false, true], 50.0, &ReachOptions::default())
-            .unwrap();
+        let r =
+            timed_reachability(&m, &[false, false, true], 50.0, &ReachOptions::default()).unwrap();
         let fg = FoxGlynn::new(2.0 * 50.0);
         assert_eq!(r.iterations, fg.right_truncation(1e-6));
         assert_close!(r.uniform_rate, 2.0, 1e-12);
@@ -438,8 +447,8 @@ mod tests {
         b.transition(1, "a", &[(1, 2.0)]);
         // state 2 has no transitions
         let m = b.build();
-        let r = timed_reachability(&m, &[false, true, false], 3.0, &ReachOptions::default())
-            .unwrap();
+        let r =
+            timed_reachability(&m, &[false, true, false], 3.0, &ReachOptions::default()).unwrap();
         assert_eq!(r.values[2], 0.0);
         assert!(r.values[0] > 0.0);
     }
@@ -481,8 +490,8 @@ mod tests {
         // the truncation point, plus ε
         let t = 1.5;
         let eps = 1e-9;
-        let timed = timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(eps))
-            .unwrap();
+        let timed =
+            timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(eps)).unwrap();
         let stepped = step_bounded_reachability(&m, &goal, timed.iterations, Objective::Maximize);
         assert!(timed.values[0] <= stepped[0] + eps);
     }
@@ -521,8 +530,8 @@ mod tests {
     #[test]
     fn goal_state_value_is_exactly_one() {
         let (m, _) = chain_as_ctmdp();
-        let r = timed_reachability(&m, &[true, false, false], 2.0, &ReachOptions::default())
-            .unwrap();
+        let r =
+            timed_reachability(&m, &[true, false, false], 2.0, &ReachOptions::default()).unwrap();
         assert_eq!(r.values[0], 1.0);
     }
 }

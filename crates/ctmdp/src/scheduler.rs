@@ -8,7 +8,7 @@
 //! [`reachability`](crate::reachability) can extract and the
 //! [`simulate`](crate::simulate) engine can replay.
 
-use rand::{Rng, RngExt};
+use unicon_numeric::rng::Rng;
 
 use crate::reachability::ReachResult;
 
@@ -20,13 +20,7 @@ use crate::reachability::ReachResult;
 /// `num_choices`.
 pub trait Scheduler {
     /// Chooses a transition index.
-    fn choose<R: Rng>(
-        &self,
-        step: usize,
-        state: u32,
-        num_choices: usize,
-        rng: &mut R,
-    ) -> usize;
+    fn choose<R: Rng>(&self, step: usize, state: u32, num_choices: usize, rng: &mut R) -> usize;
 }
 
 /// Always takes the first transition (the deterministic baseline).
@@ -46,14 +40,8 @@ impl Scheduler for FirstChoice {
 pub struct UniformRandom;
 
 impl Scheduler for UniformRandom {
-    fn choose<R: Rng>(
-        &self,
-        _: usize,
-        _: u32,
-        num_choices: usize,
-        rng: &mut R,
-    ) -> usize {
-        rng.random_range(0..num_choices)
+    fn choose<R: Rng>(&self, _: usize, _: u32, num_choices: usize, rng: &mut R) -> usize {
+        rng.random_range(num_choices)
     }
 }
 
@@ -76,13 +64,7 @@ impl Stationary {
 }
 
 impl Scheduler for Stationary {
-    fn choose<R: Rng>(
-        &self,
-        _: usize,
-        state: u32,
-        num_choices: usize,
-        _: &mut R,
-    ) -> usize {
+    fn choose<R: Rng>(&self, _: usize, state: u32, num_choices: usize, _: &mut R) -> usize {
         (self.choices[state as usize] as usize).min(num_choices - 1)
     }
 }
@@ -131,13 +113,7 @@ impl StepDependent {
 }
 
 impl Scheduler for StepDependent {
-    fn choose<R: Rng>(
-        &self,
-        step: usize,
-        state: u32,
-        num_choices: usize,
-        _: &mut R,
-    ) -> usize {
+    fn choose<R: Rng>(&self, step: usize, state: u32, num_choices: usize, _: &mut R) -> usize {
         let idx = step.saturating_sub(1).min(self.decisions.len() - 1);
         (self.decisions[idx][state as usize] as usize).min(num_choices - 1)
     }
@@ -146,18 +122,17 @@ impl Scheduler for StepDependent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unicon_numeric::rng::XorShift64;
 
     #[test]
     fn first_choice_is_zero() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = XorShift64::seed_from_u64(0);
         assert_eq!(FirstChoice.choose(5, 3, 7, &mut rng), 0);
     }
 
     #[test]
     fn uniform_random_in_range_and_covers() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = XorShift64::seed_from_u64(42);
         let mut seen = [false; 3];
         for _ in 0..200 {
             let c = UniformRandom.choose(1, 0, 3, &mut rng);
@@ -170,7 +145,7 @@ mod tests {
     #[test]
     fn stationary_uses_fixed_choice() {
         let s = Stationary::new(vec![2, 0]);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = XorShift64::seed_from_u64(0);
         assert_eq!(s.choose(9, 0, 5, &mut rng), 2);
         assert_eq!(s.choose(1, 1, 5, &mut rng), 0);
         // clamped when fewer choices exist
@@ -180,7 +155,7 @@ mod tests {
     #[test]
     fn step_dependent_indexes_steps() {
         let d = StepDependent::new(vec![vec![0, 1], vec![1, 0]]);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = XorShift64::seed_from_u64(0);
         assert_eq!(d.choose(1, 0, 2, &mut rng), 0);
         assert_eq!(d.choose(2, 0, 2, &mut rng), 1);
         // beyond horizon: sticks to the last step

@@ -4,8 +4,7 @@
 //! scheduler through a Monte-Carlo engine must reproduce the computed
 //! reachability probability within sampling error.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use unicon_numeric::rng::{Rng, XorShift64};
 
 use crate::model::Ctmdp;
 use crate::scheduler::Scheduler;
@@ -75,13 +74,13 @@ pub fn simulate_run<S: Scheduler, R: Rng>(
         debug_assert!(choice < trans.len(), "scheduler chose out of range");
         let rf = ctmdp.rate_function(trans[choice].rate_fn);
         // Exponential sojourn with rate E_R.
-        let u: f64 = rng.random::<f64>();
+        let u: f64 = rng.random_f64();
         time += -u.max(f64::MIN_POSITIVE).ln() / rf.total();
         if time > t {
             return false;
         }
         // Discrete branching.
-        let mut x: f64 = rng.random::<f64>() * rf.total();
+        let mut x: f64 = rng.random_f64() * rf.total();
         let mut next = rf.targets()[rf.targets().len() - 1].0;
         for &(tgt, r) in rf.targets() {
             if x < r {
@@ -112,10 +111,17 @@ pub fn estimate_reachability<S: Scheduler>(
     scheduler: &S,
     opts: &SimulationOptions,
 ) -> Estimate {
-    assert_eq!(goal.len(), ctmdp.num_states(), "goal vector length mismatch");
-    assert!(t.is_finite() && t >= 0.0, "time bound must be finite and >= 0");
+    assert_eq!(
+        goal.len(),
+        ctmdp.num_states(),
+        "goal vector length mismatch"
+    );
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time bound must be finite and >= 0"
+    );
     assert!(opts.runs > 0, "need at least one run");
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = XorShift64::seed_from_u64(opts.seed);
     let mut hits = 0usize;
     for _ in 0..opts.runs {
         if simulate_run(ctmdp, goal, t, scheduler, &mut rng) {

@@ -1,12 +1,20 @@
-//! Property-based tests for the uniform-CTMDP timed-reachability engine.
+//! Randomized tests for the uniform-CTMDP timed-reachability engine,
+//! driven by the in-tree deterministic [`XorShift64`] generator (fixed
+//! seeds, no external PRNG).
 
-use proptest::prelude::*;
+use unicon_ctmc::transient::{self, TransientOptions};
+use unicon_ctmc::Ctmc;
 use unicon_ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
 use unicon_ctmdp::scheduler::{StepDependent, UniformRandom};
 use unicon_ctmdp::simulate::{estimate_reachability, SimulationOptions};
 use unicon_ctmdp::{Ctmdp, CtmdpBuilder};
-use unicon_ctmc::transient::{self, TransientOptions};
-use unicon_ctmc::Ctmc;
+use unicon_numeric::rng::{Rng, XorShift64};
+
+const CASES: u64 = 64;
+
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.random_f64() * (hi - lo)
+}
 
 /// A random *uniform* CTMDP: every transition's rate function sums to the
 /// same rate `e`.
@@ -18,17 +26,23 @@ struct RawCtmdp {
     e: f64,
 }
 
-fn raw_ctmdp(max_states: usize) -> impl Strategy<Value = RawCtmdp> {
-    (2..=max_states).prop_flat_map(move |n| {
-        let nn = n as u8;
-        let one_transition = prop::collection::vec((0..nn, 0.05f64..1.0), 1..4);
-        let per_state = prop::collection::vec(one_transition, 1..4);
-        (
-            prop::collection::vec(per_state, n),
-            0.5f64..6.0,
-        )
-            .prop_map(move |(transitions, e)| RawCtmdp { n, transitions, e })
-    })
+fn raw_ctmdp(rng: &mut XorShift64, max_states: usize) -> RawCtmdp {
+    let n = 2 + rng.random_range(max_states - 1);
+    let transitions = (0..n)
+        .map(|_| {
+            let num_transitions = 1 + rng.random_range(3);
+            (0..num_transitions)
+                .map(|_| {
+                    let num_targets = 1 + rng.random_range(3);
+                    (0..num_targets)
+                        .map(|_| (rng.random_range(n) as u8, uniform(rng, 0.05, 1.0)))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let e = uniform(rng, 0.5, 6.0);
+    RawCtmdp { n, transitions, e }
 }
 
 fn build(raw: &RawCtmdp) -> Ctmdp {
@@ -50,43 +64,56 @@ fn goal_from_mask(n: usize, mask: u8) -> Vec<bool> {
     (0..n).map(|s| mask & (1 << (s % 8)) != 0).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn nonzero_mask(rng: &mut XorShift64) -> u8 {
+    1 + rng.random_range(254) as u8
+}
 
-    /// The generated CTMDPs are uniform.
-    #[test]
-    fn generator_is_uniform(raw in raw_ctmdp(6)) {
+/// The generated CTMDPs are uniform.
+#[test]
+fn generator_is_uniform() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x6E1F + case);
+        let raw = raw_ctmdp(&mut rng, 6);
         let m = build(&raw);
         let e = m.uniform_rate().expect("uniform by construction");
-        prop_assert!((e - raw.e).abs() < 1e-9 * raw.e);
+        assert!((e - raw.e).abs() < 1e-9 * raw.e);
     }
+}
 
-    /// Values are probabilities, monotone in t, and max dominates min.
-    #[test]
-    fn value_sanity(raw in raw_ctmdp(6), mask in 1u8..255, t in 0.05f64..5.0) {
+/// Values are probabilities, monotone in t, and max dominates min.
+#[test]
+fn value_sanity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5A17 + case);
+        let raw = raw_ctmdp(&mut rng, 6);
+        let mask = nonzero_mask(&mut rng);
+        let t = uniform(&mut rng, 0.05, 5.0);
         let m = build(&raw);
         let goal = goal_from_mask(m.num_states(), mask);
         let opts = ReachOptions::default().with_epsilon(1e-9);
         let hi = timed_reachability(&m, &goal, t, &opts).unwrap();
         let hi2 = timed_reachability(&m, &goal, 2.0 * t, &opts).unwrap();
-        let lo = timed_reachability(
-            &m, &goal, t,
-            &opts.with_objective(Objective::Minimize),
-        ).unwrap();
+        let lo =
+            timed_reachability(&m, &goal, t, &opts.with_objective(Objective::Minimize)).unwrap();
         for (s, &g) in goal.iter().enumerate() {
-            prop_assert!((0.0..=1.0).contains(&hi.values[s]));
-            prop_assert!(hi.values[s] >= lo.values[s] - 1e-9);
-            prop_assert!(hi2.values[s] >= hi.values[s] - 1e-9);
+            assert!((0.0..=1.0).contains(&hi.values[s]));
+            assert!(hi.values[s] >= lo.values[s] - 1e-9);
+            assert!(hi2.values[s] >= hi.values[s] - 1e-9);
             if g {
-                prop_assert_eq!(hi.values[s], 1.0);
+                assert_eq!(hi.values[s], 1.0);
             }
         }
     }
+}
 
-    /// With a single transition per state, Algorithm 1 equals the CTMC
-    /// oracle.
-    #[test]
-    fn singleton_equals_ctmc(raw in raw_ctmdp(6), mask in 1u8..255, t in 0.05f64..5.0) {
+/// With a single transition per state, Algorithm 1 equals the CTMC oracle.
+#[test]
+fn singleton_equals_ctmc() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x51E7 + case);
+        let raw = raw_ctmdp(&mut rng, 6);
+        let mask = nonzero_mask(&mut rng);
+        let t = uniform(&mut rng, 0.05, 5.0);
         // keep only the first transition of each state
         let mut det = raw.clone();
         for trans in &mut det.transitions {
@@ -94,9 +121,8 @@ proptest! {
         }
         let m = build(&det);
         let goal = goal_from_mask(m.num_states(), mask);
-        let res = timed_reachability(
-            &m, &goal, t, &ReachOptions::default().with_epsilon(1e-11),
-        ).unwrap();
+        let res =
+            timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(1e-11)).unwrap();
         // equivalent CTMC
         let mut triplets = Vec::new();
         for s in 0..m.num_states() {
@@ -107,29 +133,40 @@ proptest! {
         }
         let c = Ctmc::from_rates(m.num_states(), 0, triplets);
         let oracle = transient::reachability(
-            &c, &goal, t, &TransientOptions::default().with_epsilon(1e-11),
+            &c,
+            &goal,
+            t,
+            &TransientOptions::default().with_epsilon(1e-11),
         );
         for s in 0..m.num_states() {
-            prop_assert!(
+            assert!(
                 (res.values[s] - oracle.values[s]).abs() < 1e-7,
-                "state {s}: {} vs {}", res.values[s], oracle.values[s]
+                "state {s}: {} vs {}",
+                res.values[s],
+                oracle.values[s]
             );
         }
     }
+}
 
-    /// Adding an extra transition can only increase sup and decrease inf.
-    #[test]
-    fn more_choices_widen_the_envelope(
-        raw in raw_ctmdp(5),
-        extra in prop::collection::vec((0u8..5, 0.05f64..1.0), 1..3),
-        mask in 1u8..255,
-        t in 0.1f64..3.0
-    ) {
+/// Adding an extra transition can only increase sup and decrease inf.
+#[test]
+fn more_choices_widen_the_envelope() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3C40 + case);
+        let raw = raw_ctmdp(&mut rng, 5);
+        let num_extra = 1 + rng.random_range(2);
+        let extra: Vec<(u8, f64)> = (0..num_extra)
+            .map(|_| (rng.random_range(5) as u8, uniform(&mut rng, 0.05, 1.0)))
+            .collect();
+        let mask = nonzero_mask(&mut rng);
+        let t = uniform(&mut rng, 0.1, 3.0);
         let m = build(&raw);
         let goal = goal_from_mask(m.num_states(), mask);
         let opts = ReachOptions::default().with_epsilon(1e-9);
         let hi = timed_reachability(&m, &goal, t, &opts).unwrap();
-        let lo = timed_reachability(&m, &goal, t, &opts.with_objective(Objective::Minimize)).unwrap();
+        let lo =
+            timed_reachability(&m, &goal, t, &opts.with_objective(Objective::Minimize)).unwrap();
 
         // extend state 0 with one extra transition at the uniform rate
         let mut raw2 = raw.clone();
@@ -140,14 +177,21 @@ proptest! {
         raw2.transitions[0].push(targets);
         let m2 = build(&raw2);
         let hi2 = timed_reachability(&m2, &goal, t, &opts).unwrap();
-        let lo2 = timed_reachability(&m2, &goal, t, &opts.with_objective(Objective::Minimize)).unwrap();
-        prop_assert!(hi2.values[0] >= hi.values[0] - 1e-9);
-        prop_assert!(lo2.values[0] <= lo.values[0] + 1e-9);
+        let lo2 =
+            timed_reachability(&m2, &goal, t, &opts.with_objective(Objective::Minimize)).unwrap();
+        assert!(hi2.values[0] >= hi.values[0] - 1e-9);
+        assert!(lo2.values[0] <= lo.values[0] + 1e-9);
     }
+}
 
-    /// No simulated scheduler beats the computed supremum (statistically).
-    #[test]
-    fn simulation_below_sup(raw in raw_ctmdp(5), mask in 1u8..255, seed in 0u64..1000) {
+/// No simulated scheduler beats the computed supremum (statistically).
+#[test]
+fn simulation_below_sup() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x51B5 + case);
+        let raw = raw_ctmdp(&mut rng, 5);
+        let mask = nonzero_mask(&mut rng);
+        let seed = rng.random_range(1000) as u64;
         let m = build(&raw);
         let goal = goal_from_mask(m.num_states(), mask);
         let t = 1.0;
@@ -155,21 +199,32 @@ proptest! {
             .unwrap()
             .from_state(0);
         let est = estimate_reachability(
-            &m, &goal, t, &UniformRandom,
+            &m,
+            &goal,
+            t,
+            &UniformRandom,
             &SimulationOptions { runs: 2_000, seed },
         );
-        prop_assert!(est.probability <= sup + 5.0 * est.std_error + 0.02);
+        assert!(est.probability <= sup + 5.0 * est.std_error + 0.02);
     }
+}
 
-    /// Exact policy evaluation agrees with Monte-Carlo replay of the same
-    /// stationary policy, and lies inside [inf, sup].
-    #[test]
-    fn policy_evaluation_is_exact(raw in raw_ctmdp(5), mask in 1u8..255, choice_seed in 0u16..8) {
-        use unicon_ctmdp::policy::{evaluate_policy};
+/// Exact policy evaluation agrees with Monte-Carlo replay of the same
+/// stationary policy, and lies inside [inf, sup].
+#[test]
+fn policy_evaluation_is_exact() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x90E5 + case);
+        let raw = raw_ctmdp(&mut rng, 5);
+        let mask = nonzero_mask(&mut rng);
+        let choice_seed = rng.random_range(8) as u16;
+        use unicon_ctmdp::policy::evaluate_policy;
         use unicon_ctmdp::scheduler::Stationary;
         let m = build(&raw);
         let goal = goal_from_mask(m.num_states(), mask);
-        prop_assume!(!goal[0]);
+        if goal[0] {
+            continue;
+        }
         let t = 1.0;
         let policy = Stationary::new(
             (0..m.num_states() as u32)
@@ -181,42 +236,73 @@ proptest! {
         );
         let exact = evaluate_policy(&m, &policy, &goal, t, 1e-10);
         let opts = ReachOptions::default().with_epsilon(1e-10);
-        let sup = timed_reachability(&m, &goal, t, &opts).unwrap().from_state(0);
+        let sup = timed_reachability(&m, &goal, t, &opts)
+            .unwrap()
+            .from_state(0);
         let inf = timed_reachability(&m, &goal, t, &opts.with_objective(Objective::Minimize))
             .unwrap()
             .from_state(0);
-        prop_assert!(exact <= sup + 1e-8 && exact >= inf - 1e-8,
-            "policy value {exact} outside [{inf}, {sup}]");
-        let est = estimate_reachability(
-            &m, &goal, t, &policy,
-            &SimulationOptions { runs: 3_000, seed: 5 },
+        assert!(
+            exact <= sup + 1e-8 && exact >= inf - 1e-8,
+            "policy value {exact} outside [{inf}, {sup}]"
         );
-        prop_assert!(
+        let est = estimate_reachability(
+            &m,
+            &goal,
+            t,
+            &policy,
+            &SimulationOptions {
+                runs: 3_000,
+                seed: 5,
+            },
+        );
+        assert!(
             est.is_consistent_with(exact, 5.0) || (est.probability - exact).abs() < 0.04,
-            "simulation {} vs exact {exact}", est.probability
+            "simulation {} vs exact {exact}",
+            est.probability
         );
     }
+}
 
-    /// The extracted optimal scheduler reproduces the sup (statistically).
-    #[test]
-    fn extracted_scheduler_attains_sup(raw in raw_ctmdp(4), mask in 1u8..255) {
+/// The extracted optimal scheduler reproduces the sup (statistically).
+#[test]
+fn extracted_scheduler_attains_sup() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xE587 + case);
+        let raw = raw_ctmdp(&mut rng, 4);
+        let mask = nonzero_mask(&mut rng);
         let m = build(&raw);
         let goal = goal_from_mask(m.num_states(), mask);
-        prop_assume!(!goal[0]);
+        if goal[0] {
+            continue;
+        }
         let t = 0.8;
         let res = timed_reachability(
-            &m, &goal, t,
-            &ReachOptions::default().with_epsilon(1e-9).recording_decisions(),
-        ).unwrap();
+            &m,
+            &goal,
+            t,
+            &ReachOptions::default()
+                .with_epsilon(1e-9)
+                .recording_decisions(),
+        )
+        .unwrap();
         let sched = StepDependent::from_result(&res);
         let est = estimate_reachability(
-            &m, &goal, t, &sched,
-            &SimulationOptions { runs: 4_000, seed: 7 },
+            &m,
+            &goal,
+            t,
+            &sched,
+            &SimulationOptions {
+                runs: 4_000,
+                seed: 7,
+            },
         );
-        prop_assert!(
-            est.is_consistent_with(res.from_state(0), 5.0) ||
-            (est.probability - res.from_state(0)).abs() < 0.03,
-            "sim {} vs sup {}", est.probability, res.from_state(0)
+        assert!(
+            est.is_consistent_with(res.from_state(0), 5.0)
+                || (est.probability - res.from_state(0)).abs() < 0.03,
+            "sim {} vs sup {}",
+            est.probability,
+            res.from_state(0)
         );
     }
 }

@@ -35,12 +35,7 @@ struct Labeled {
 
 impl Labeled {
     /// Parallel composition combining labels with `f`.
-    fn parallel(
-        &self,
-        other: &Labeled,
-        sync: &[&str],
-        f: impl Fn(u32, u32) -> u32,
-    ) -> Labeled {
+    fn parallel(&self, other: &Labeled, sync: &[&str], f: impl Fn(u32, u32) -> u32) -> Labeled {
         let (model, map) = self.model.parallel_with_map(&other.model, sync);
         let labels = map
             .iter()
@@ -455,8 +450,7 @@ mod tests {
         let params = FtwcParams::new(1);
         let t = 100.0;
         let analyze = |model: &crate::compositional::CompositionalModel| -> f64 {
-            let prepared =
-                PreparedModel::new(&model.uniform.close(), &model.premium_down).unwrap();
+            let prepared = PreparedModel::new(&model.uniform.close(), &model.premium_down).unwrap();
             prepared.worst_case_from_initial(t, 1e-10).unwrap()
         };
         let per_component = analyze(&build(&params));

@@ -136,8 +136,8 @@ pub fn steady_state_premium_availability(params: &FtwcParams) -> f64 {
 /// Panics if either model fails to build or transform.
 pub fn cross_validate(params: &FtwcParams, t: f64, epsilon: f64) -> (f64, f64) {
     let comp = crate::compositional::build(params);
-    let comp_prepared =
-        PreparedModel::new(&comp.uniform.close(), &comp.premium_down).expect("compositional transforms");
+    let comp_prepared = PreparedModel::new(&comp.uniform.close(), &comp.premium_down)
+        .expect("compositional transforms");
     let p_comp = comp_prepared
         .worst_case(t, epsilon)
         .expect("uniform")

@@ -65,7 +65,10 @@ pub struct GeneratedModel {
 }
 
 fn comp_index(c: Component) -> usize {
-    Component::ALL.iter().position(|&x| x == c).expect("known component")
+    Component::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("known component")
 }
 
 /// Number of repair-unit status values for `k` phases: idle plus one per
@@ -344,9 +347,9 @@ pub fn build_ctmc(params: &FtwcParams) -> (Ctmc, Vec<bool>, Vec<GenState>) {
     let mut frontier = vec![initial];
 
     let alloc = |index: &mut std::collections::HashMap<u32, usize>,
-                     states: &mut Vec<GenState>,
-                     frontier: &mut Vec<GenState>,
-                     s: GenState|
+                 states: &mut Vec<GenState>,
+                 frontier: &mut Vec<GenState>,
+                 s: GenState|
      -> usize {
         let key = encode(n, phases, &s);
         *index.entry(key).or_insert_with(|| {

@@ -1,0 +1,38 @@
+//! Debug-build construction audits: the paper's uniformity-preservation
+//! lemmas (Lemma 1 for hiding, Lemma 2 for parallel composition, Lemma 3
+//! for bisimulation minimization) restated as executable post-conditions.
+//!
+//! Every uniformity-preserving operator calls [`preserves_uniformity`] on
+//! its result. In release builds the call compiles to nothing; in debug
+//! builds (including all tests) a violated lemma panics immediately at the
+//! operator that broke it, instead of surfacing later as a mysterious
+//! `NotUniformError` in the analysis backend.
+
+use crate::model::{Imc, View};
+
+/// Asserts the lemma "if every input is uniform under `view`, so is the
+/// output — and the output rate (when definite) is the sum of the definite
+/// input rates" (a sum with one operand for the unary operators).
+///
+/// No-op in release builds.
+#[inline]
+pub(crate) fn preserves_uniformity(op: &str, view: View, inputs: &[&Imc], output: &Imc) {
+    if cfg!(debug_assertions) {
+        let in_u: Vec<_> = inputs.iter().map(|i| i.uniformity(view)).collect();
+        if in_u.iter().all(|u| u.is_uniform()) {
+            let out = output.uniformity(view);
+            assert!(
+                out.is_uniform(),
+                "{op} violated uniformity by construction: \
+                 inputs {in_u:?}, output {out:?}"
+            );
+            let expected: Option<f64> = in_u.iter().map(|u| u.rate()).sum();
+            if let (Some(expected), Some(actual)) = (expected, out.rate()) {
+                assert!(
+                    unicon_numeric::rates_approx_eq(expected, actual),
+                    "{op} changed the uniform rate: expected {expected}, got {actual}"
+                );
+            }
+        }
+    }
+}

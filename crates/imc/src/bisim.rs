@@ -88,7 +88,11 @@ pub fn stochastic_branching_bisimulation_labeled(
     view: View,
     labels: &[u32],
 ) -> Partition {
-    assert_eq!(labels.len(), imc.num_states(), "label vector length mismatch");
+    assert_eq!(
+        labels.len(),
+        imc.num_states(),
+        "label vector length mismatch"
+    );
     stochastic_branching_bisimulation_from(imc, view, Partition::from_labels(labels))
 }
 
@@ -98,7 +102,9 @@ fn stochastic_branching_bisimulation_from(imc: &Imc, view: View, init: Partition
     let n = m.num_states();
     let mut part = init;
     loop {
-        let sigs: Vec<Signature> = (0..n as u32).map(|s| signature(&m, view, &part, s)).collect();
+        let sigs: Vec<Signature> = (0..n as u32)
+            .map(|s| signature(&m, view, &part, s))
+            .collect();
         let (next, changed) = refine(&part, &sigs);
         part = next;
         if !changed {
@@ -154,7 +160,11 @@ pub fn stochastic_weak_bisimulation(imc: &Imc, view: View) -> Partition {
 ///
 /// Panics if `labels.len()` does not match the number of states.
 pub fn stochastic_weak_bisimulation_labeled(imc: &Imc, view: View, labels: &[u32]) -> Partition {
-    assert_eq!(labels.len(), imc.num_states(), "label vector length mismatch");
+    assert_eq!(
+        labels.len(),
+        imc.num_states(),
+        "label vector length mismatch"
+    );
     stochastic_weak_bisimulation_from(imc, view, Partition::from_labels(labels))
 }
 
@@ -203,7 +213,9 @@ fn stochastic_weak_bisimulation_from(imc: &Imc, view: View, init: Partition) -> 
 /// Minimizes modulo stochastic weak bisimilarity.
 pub fn minimize_weak(imc: &Imc, view: View) -> Imc {
     let part = stochastic_weak_bisimulation(imc, view);
-    quotient(imc, &part, view).restrict_to_reachable()
+    let out = quotient(imc, &part, view).restrict_to_reachable();
+    crate::audit::preserves_uniformity("minimize_weak (Lemma 3)", view, &[imc], &out);
+    out
 }
 
 /// Reflexive-transitive closure over τ transitions (all of them, not just
@@ -388,13 +400,17 @@ pub fn quotient(imc: &Imc, partition: &Partition, view: View) -> Imc {
 /// ```
 pub fn minimize(imc: &Imc, view: View) -> Imc {
     let part = stochastic_branching_bisimulation(imc, view);
-    quotient(imc, &part, view).restrict_to_reachable()
+    let out = quotient(imc, &part, view).restrict_to_reachable();
+    crate::audit::preserves_uniformity("minimize (Lemma 3)", view, &[imc], &out);
+    out
 }
 
 /// Minimizes modulo strong stochastic bisimilarity.
 pub fn minimize_strong(imc: &Imc, view: View) -> Imc {
     let part = strong_stochastic_bisimulation(imc, view);
-    quotient(imc, &part, view).restrict_to_reachable()
+    let out = quotient(imc, &part, view).restrict_to_reachable();
+    crate::audit::preserves_uniformity("minimize_strong (Lemma 3)", view, &[imc], &out);
+    out
 }
 
 /// Label-respecting minimization: quotients modulo the coarsest stochastic
@@ -416,6 +432,7 @@ pub fn minimize_labeled(imc: &Imc, view: View, labels: &[u32]) -> (Imc, Vec<u32>
         .iter()
         .map(|&b| block_labels[b as usize])
         .collect();
+    crate::audit::preserves_uniformity("minimize_labeled (Lemma 3)", view, &[imc], &reduced);
     (reduced, new_labels)
 }
 
@@ -508,10 +525,7 @@ mod tests {
         let min = minimize(&m, View::Open);
         assert!(min.is_uniform(View::Open));
         // and the rate is preserved
-        assert_eq!(
-            min.uniformity(View::Open),
-            Uniformity::Uniform(3.0)
-        );
+        assert_eq!(min.uniformity(View::Open), Uniformity::Uniform(3.0));
     }
 
     #[test]

@@ -82,7 +82,14 @@ pub fn elapse(ph: &UniformPhaseType, f: &str, r: &str) -> Imc {
             target: ph.initial(),
         });
     }
-    Imc::from_raw(actions, n, ph.initial(), interactive, markov)
+    let out = Imc::from_raw(actions, n, ph.initial(), interactive, markov);
+    debug_assert!(
+        out.uniformity(crate::model::View::Open)
+            .rate()
+            .is_some_and(|r| unicon_numeric::rates_approx_eq(r, ph.rate())),
+        "elapse must be uniform at the phase-type's uniformization rate"
+    );
+    out
 }
 
 /// A multi-way elapse: one shared timer serving several `(f_i, r_i)` pairs
@@ -101,8 +108,9 @@ pub fn elapse(ph: &UniformPhaseType, f: &str, r: &str) -> Imc {
 ///
 /// # Panics
 ///
-/// Panics if `branches` is empty, the rates disagree (relative tolerance
-/// `1e-9`), τ is used, or some `f_i == r_i`.
+/// Panics if `branches` is empty, the rates disagree (under the shared
+/// tolerance policy [`unicon_numeric::rates_approx_eq`]), τ is used, or
+/// some `f_i == r_i`.
 pub fn shared_elapse(branches: &[(&str, &str, &UniformPhaseType)]) -> Imc {
     assert!(!branches.is_empty(), "need at least one branch");
     let e = branches[0].2.rate();
@@ -111,7 +119,7 @@ pub fn shared_elapse(branches: &[(&str, &str, &UniformPhaseType)]) -> Imc {
         assert_ne!(*r, unicon_lts::TAU_NAME, "r must be a visible action");
         assert_ne!(f, r, "the gated action and the start action must differ");
         assert!(
-            (ph.rate() - e).abs() <= 1e-9 * e.abs().max(1.0),
+            unicon_numeric::rates_approx_eq(ph.rate(), e),
             "all branches must be uniformized at the same rate"
         );
     }
@@ -151,7 +159,14 @@ pub fn shared_elapse(branches: &[(&str, &str, &UniformPhaseType)]) -> Imc {
         });
         offset += chain.num_states() as u32;
     }
-    Imc::from_raw(actions, offset as usize, 0, interactive, markov)
+    let out = Imc::from_raw(actions, offset as usize, 0, interactive, markov);
+    debug_assert!(
+        out.uniformity(crate::model::View::Open)
+            .rate()
+            .is_some_and(|r| unicon_numeric::rates_approx_eq(r, e)),
+        "shared_elapse must be uniform at the branches' shared rate"
+    );
+    out
 }
 
 #[cfg(test)]
@@ -268,10 +283,7 @@ mod tests {
             .unwrap()
             .target;
         let rb = tc.actions().lookup("rb").unwrap();
-        assert!(tc
-            .interactive_from(start_a)
-            .iter()
-            .all(|t| t.action != rb));
+        assert!(tc.interactive_from(start_a).iter().all(|t| t.action != rb));
     }
 
     #[test]

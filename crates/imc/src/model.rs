@@ -330,7 +330,10 @@ impl Imc {
     /// Checks Definition 4 over the *reachable* states: does a rate `E`
     /// exist such that every reachable stable state has exit rate `E`?
     ///
-    /// Rates are compared with relative tolerance `1e-9`.
+    /// Rates are compared with the workspace-wide tolerance policy
+    /// [`unicon_numeric::rates_approx_eq`], so this check can never
+    /// disagree with the CTMC/CTMDP uniformity checks or the
+    /// `unicon-verify` lints.
     ///
     /// # Examples
     ///
@@ -353,8 +356,7 @@ impl Imc {
             match witness {
                 None => witness = Some((s, e)),
                 Some((w, ew)) => {
-                    let tol = 1e-9 * ew.abs().max(e.abs()).max(1.0);
-                    if (e - ew).abs() > tol {
+                    if !unicon_numeric::rates_approx_eq(e, ew) {
                         return Uniformity::NonUniform {
                             state_a: w,
                             rate_a: ew,

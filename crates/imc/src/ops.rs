@@ -25,14 +25,18 @@ impl Imc {
             .iter()
             .filter_map(|a| self.actions().lookup(a))
             .collect();
-        self.map_actions(|id| if hidden.contains(&id) { None } else { Some(id) })
+        let out = self.map_actions(|id| if hidden.contains(&id) { None } else { Some(id) });
+        crate::audit::preserves_uniformity("hide (Lemma 1)", View::Open, &[self], &out);
+        out
     }
 
     /// Hides every visible action: the *closed system view* used right
     /// before the transformation to a CTMDP is purely structural, but
     /// closing also makes all interactive transitions internal.
     pub fn hide_all(&self) -> Imc {
-        self.map_actions(|_| None)
+        let out = self.map_actions(|_| None);
+        crate::audit::preserves_uniformity("hide_all (Lemma 1)", View::Open, &[self], &out);
+        out
     }
 
     /// Renames actions according to `(from, to)` pairs.
@@ -232,10 +236,9 @@ impl Imc {
             }
         }
         let n = states.len();
-        (
-            Imc::from_raw(actions, n, 0, interactive, markov),
-            states,
-        )
+        let out = Imc::from_raw(actions, n, 0, interactive, markov);
+        crate::audit::preserves_uniformity("parallel (Lemma 2)", View::Open, &[self, other], &out);
+        (out, states)
     }
 
     /// The visible action names occurring in both models' alphabets.

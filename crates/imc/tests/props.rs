@@ -1,5 +1,6 @@
-//! Property-based tests of the paper's lemmas on randomly generated
-//! uniform IMCs.
+//! Randomized tests of the paper's lemmas on randomly generated uniform
+//! IMCs, driven by the in-tree deterministic [`XorShift64`] generator
+//! (fixed seeds, no external PRNG).
 //!
 //! The generator produces Definition-4-uniform models: every *stable* state
 //! (no outgoing τ) carries Markov transitions summing to exactly the chosen
@@ -7,10 +8,11 @@
 //! definition does not constrain them, and the operators must not be
 //! confused by them.
 
-use proptest::prelude::*;
 use unicon_imc::{bisim, Imc, ImcBuilder, Uniformity, View};
+use unicon_numeric::rng::{Rng, XorShift64};
 
 const ACTIONS: [&str; 4] = ["tau", "a", "b", "c"];
+const CASES: u64 = 128;
 
 #[derive(Debug, Clone)]
 struct RawImc {
@@ -22,23 +24,37 @@ struct RawImc {
     rate: f64,
 }
 
-fn raw_imc(max_states: usize) -> impl Strategy<Value = RawImc> {
-    (2..=max_states).prop_flat_map(move |n| {
-        let nn = n as u8;
-        let interactive =
-            prop::collection::vec((0u8..4, 0..nn, 0..nn), 0..(2 * n));
-        let markov = prop::collection::vec(
-            prop::collection::vec((0..nn, 0.05f64..1.0), 1..3),
-            n,
-        );
-        let rate = 0.5f64..8.0;
-        (interactive, markov, rate).prop_map(move |(interactive, markov, rate)| RawImc {
-            n,
-            interactive,
-            markov,
-            rate,
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.random_f64() * (hi - lo)
+}
+
+fn raw_imc(rng: &mut XorShift64, max_states: usize) -> RawImc {
+    let n = 2 + rng.random_range(max_states - 1);
+    let num_interactive = rng.random_range(2 * n);
+    let interactive = (0..num_interactive)
+        .map(|_| {
+            (
+                rng.random_range(4) as u8,
+                rng.random_range(n) as u8,
+                rng.random_range(n) as u8,
+            )
         })
-    })
+        .collect();
+    let markov = (0..n)
+        .map(|_| {
+            let num_targets = 1 + rng.random_range(2);
+            (0..num_targets)
+                .map(|_| (rng.random_range(n) as u8, uniform(rng, 0.05, 1.0)))
+                .collect()
+        })
+        .collect();
+    let rate = uniform(rng, 0.5, 8.0);
+    RawImc {
+        n,
+        interactive,
+        markov,
+        rate,
+    }
 }
 
 /// Builds a uniform IMC from raw data.
@@ -64,11 +80,7 @@ fn build_uniform(raw: &RawImc) -> Imc {
         // states do not matter" property.
         let scale = if has_tau[s] { 0.3 } else { 1.0 };
         for &(t, w) in targets {
-            b.markov(
-                s as u32,
-                raw.rate * scale * w / total,
-                u32::from(t),
-            );
+            b.markov(s as u32, raw.rate * scale * w / total, u32::from(t));
         }
     }
     b.build()
@@ -82,18 +94,22 @@ fn rate_of(u: Uniformity) -> Option<f64> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn generated_models_are_uniform(raw in raw_imc(7)) {
-        let m = build_uniform(&raw);
-        prop_assert!(m.is_uniform(View::Open), "{:?}", m.uniformity(View::Open));
+#[test]
+fn generated_models_are_uniform() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x6EE0 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 7));
+        assert!(m.is_uniform(View::Open), "{:?}", m.uniformity(View::Open));
     }
+}
 
-    /// Lemma 1: hiding preserves uniformity.
-    #[test]
-    fn lemma1_hiding_preserves_uniformity(raw in raw_imc(7), subset in 0u8..8) {
+/// Lemma 1: hiding preserves uniformity.
+#[test]
+fn lemma1_hiding_preserves_uniformity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x1E1A + case);
+        let raw = raw_imc(&mut rng, 7);
+        let subset = rng.random_range(8) as u8;
         let m = build_uniform(&raw);
         let mut hidden: Vec<&str> = Vec::new();
         for (i, name) in ["a", "b", "c"].iter().enumerate() {
@@ -102,16 +118,18 @@ proptest! {
             }
         }
         let h = m.hide(&hidden);
-        prop_assert!(h.is_uniform(View::Open), "{:?}", h.uniformity(View::Open));
+        assert!(h.is_uniform(View::Open), "{:?}", h.uniformity(View::Open));
     }
+}
 
-    /// Lemma 2: parallel composition preserves uniformity; rates add.
-    #[test]
-    fn lemma2_parallel_preserves_uniformity(
-        raw1 in raw_imc(5),
-        raw2 in raw_imc(5),
-        sync_mask in 0u8..8
-    ) {
+/// Lemma 2: parallel composition preserves uniformity; rates add.
+#[test]
+fn lemma2_parallel_preserves_uniformity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x1E2A + case);
+        let raw1 = raw_imc(&mut rng, 5);
+        let raw2 = raw_imc(&mut rng, 5);
+        let sync_mask = rng.random_range(8) as u8;
         let m = build_uniform(&raw1);
         let n = build_uniform(&raw2);
         let mut sync: Vec<&str> = Vec::new();
@@ -122,151 +140,176 @@ proptest! {
         }
         let p = m.parallel(&n, &sync);
         let u = p.uniformity(View::Open);
-        prop_assert!(u.is_uniform(), "{u:?}");
+        assert!(u.is_uniform(), "{u:?}");
         // When the composition has stable states at all, the rate is the sum.
         if let Uniformity::Uniform(e) = u {
             let (e1, e2) = (
                 rate_of(m.uniformity(View::Open)).unwrap(),
                 rate_of(n.uniformity(View::Open)).unwrap(),
             );
-            prop_assert!((e - (e1 + e2)).abs() < 1e-9 * (e1 + e2).max(1.0),
-                "composite rate {e} vs {e1} + {e2}");
+            assert!(
+                (e - (e1 + e2)).abs() < 1e-9 * (e1 + e2).max(1.0),
+                "composite rate {e} vs {e1} + {e2}"
+            );
         }
     }
+}
 
-    /// Lemma 3 / Corollary 1: the StoBraBi quotient is uniform iff the
-    /// original is, with the same rate.
-    #[test]
-    fn lemma3_quotient_preserves_uniformity(raw in raw_imc(7)) {
-        let m = build_uniform(&raw);
+/// Lemma 3 / Corollary 1: the StoBraBi quotient is uniform iff the
+/// original is, with the same rate.
+#[test]
+fn lemma3_quotient_preserves_uniformity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x1E3A + case);
+        let m = build_uniform(&raw_imc(&mut rng, 7));
         let q = bisim::minimize(&m, View::Open);
-        prop_assert!(q.is_uniform(View::Open), "{:?}", q.uniformity(View::Open));
+        assert!(q.is_uniform(View::Open), "{:?}", q.uniformity(View::Open));
         let e_m = rate_of(m.uniformity(View::Open)).unwrap();
         match q.uniformity(View::Open) {
-            Uniformity::Uniform(e_q) =>
-                prop_assert!((e_m - e_q).abs() < 1e-9 * e_m.max(1.0)),
+            Uniformity::Uniform(e_q) => {
+                assert!((e_m - e_q).abs() < 1e-9 * e_m.max(1.0))
+            }
             Uniformity::Vacuous => {}
-            u @ Uniformity::NonUniform { .. } => prop_assert!(false, "{u:?}"),
+            u @ Uniformity::NonUniform { .. } => panic!("{u:?}"),
         }
     }
+}
 
-    /// Minimization never grows the model and is idempotent.
-    #[test]
-    fn minimization_shrinks_and_is_idempotent(raw in raw_imc(7)) {
-        let m = build_uniform(&raw).restrict_to_reachable();
+/// Minimization never grows the model and is idempotent.
+#[test]
+fn minimization_shrinks_and_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3169 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 7)).restrict_to_reachable();
         let q = bisim::minimize(&m, View::Open);
-        prop_assert!(q.num_states() <= m.num_states());
+        assert!(q.num_states() <= m.num_states());
         let qq = bisim::minimize(&q, View::Open);
-        prop_assert_eq!(q.num_states(), qq.num_states());
-        prop_assert_eq!(q.num_interactive(), qq.num_interactive());
+        assert_eq!(q.num_states(), qq.num_states());
+        assert_eq!(q.num_interactive(), qq.num_interactive());
     }
+}
 
-    /// The strong relation refines the branching relation.
-    #[test]
-    fn strong_refines_branching(raw in raw_imc(6)) {
-        let m = build_uniform(&raw);
+/// The strong relation refines the branching relation.
+#[test]
+fn strong_refines_branching() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x57B0 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 6));
         let strong = bisim::strong_stochastic_bisimulation(&m, View::Open);
         let branching = bisim::stochastic_branching_bisimulation(&m, View::Open);
-        prop_assert!(strong.num_blocks >= branching.num_blocks);
+        assert!(strong.num_blocks >= branching.num_blocks);
         // and strong-equivalent states are branching-equivalent
         for s in 0..m.num_states() {
             for t in 0..m.num_states() {
                 if strong.block[s] == strong.block[t] {
-                    prop_assert_eq!(branching.block[s], branching.block[t]);
+                    assert_eq!(branching.block[s], branching.block[t]);
                 }
             }
         }
     }
+}
 
-    /// The relation hierarchy: strong refines branching refines weak.
-    #[test]
-    fn weak_is_coarsest(raw in raw_imc(6)) {
-        let m = build_uniform(&raw);
+/// The relation hierarchy: strong refines branching refines weak.
+#[test]
+fn weak_is_coarsest() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3EAC + case);
+        let m = build_uniform(&raw_imc(&mut rng, 6));
         let strong = bisim::strong_stochastic_bisimulation(&m, View::Open);
         let branching = bisim::stochastic_branching_bisimulation(&m, View::Open);
         let weak = bisim::stochastic_weak_bisimulation(&m, View::Open);
-        prop_assert!(weak.num_blocks <= branching.num_blocks);
-        prop_assert!(branching.num_blocks <= strong.num_blocks);
+        assert!(weak.num_blocks <= branching.num_blocks);
+        assert!(branching.num_blocks <= strong.num_blocks);
         for s in 0..m.num_states() {
             for t in 0..m.num_states() {
                 if branching.block[s] == branching.block[t] {
-                    prop_assert_eq!(weak.block[s], weak.block[t]);
+                    assert_eq!(weak.block[s], weak.block[t]);
                 }
             }
         }
     }
+}
 
-    /// Weak quotienting preserves uniformity (the paper's remark that
-    /// Lemma 3 holds for weak bisimulation too).
-    #[test]
-    fn weak_quotient_preserves_uniformity(raw in raw_imc(6)) {
-        let m = build_uniform(&raw);
+/// Weak quotienting preserves uniformity (the paper's remark that
+/// Lemma 3 holds for weak bisimulation too).
+#[test]
+fn weak_quotient_preserves_uniformity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3EA2 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 6));
         let q = bisim::minimize_weak(&m, View::Open);
-        prop_assert!(q.is_uniform(View::Open), "{:?}", q.uniformity(View::Open));
+        assert!(q.is_uniform(View::Open), "{:?}", q.uniformity(View::Open));
     }
+}
 
-    /// Labeled minimization never merges across labels.
-    #[test]
-    fn labeled_minimization_respects_labels(
-        raw in raw_imc(6),
-        labels in prop::collection::vec(0u32..3, 6)
-    ) {
-        let m = build_uniform(&raw);
-        let labels = &labels[..m.num_states().min(labels.len())];
-        prop_assume!(labels.len() == m.num_states());
-        let part = bisim::stochastic_branching_bisimulation_labeled(&m, View::Open, labels);
+/// Labeled minimization never merges across labels.
+#[test]
+fn labeled_minimization_respects_labels() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x1ABE + case);
+        let m = build_uniform(&raw_imc(&mut rng, 6));
+        let labels: Vec<u32> = (0..m.num_states())
+            .map(|_| rng.random_range(3) as u32)
+            .collect();
+        let part = bisim::stochastic_branching_bisimulation_labeled(&m, View::Open, &labels);
         for s in 0..m.num_states() {
             for t in 0..m.num_states() {
                 if part.block[s] == part.block[t] {
-                    prop_assert_eq!(labels[s], labels[t]);
+                    assert_eq!(labels[s], labels[t]);
                 }
             }
         }
     }
+}
 
-    /// Hiding everything commutes with uniformity (closed view).
-    #[test]
-    fn closing_after_hiding_is_uniform(raw in raw_imc(6)) {
-        let m = build_uniform(&raw).hide_all();
+/// Hiding everything commutes with uniformity (closed view).
+#[test]
+fn closing_after_hiding_is_uniform() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xC105 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 6)).hide_all();
         // all interactive transitions are tau now: open and closed stability
         // coincide
-        prop_assert_eq!(
-            m.is_uniform(View::Open),
-            m.is_uniform(View::Closed)
-        );
-        prop_assert!(m.is_uniform(View::Closed));
+        assert_eq!(m.is_uniform(View::Open), m.is_uniform(View::Closed));
+        assert!(m.is_uniform(View::Closed));
     }
+}
 
-    /// The extended-AUT serialization round-trips structure and rates.
-    #[test]
-    fn aut_roundtrip(raw in raw_imc(7)) {
-        let m = build_uniform(&raw);
+/// The extended-AUT serialization round-trips structure and rates.
+#[test]
+fn aut_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xA073 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 7));
         let text = unicon_imc::io::to_aut(&m);
         let back = unicon_imc::io::from_aut(&text).expect("own output parses");
-        prop_assert_eq!(back.num_states(), m.num_states());
-        prop_assert_eq!(back.num_interactive(), m.num_interactive());
-        prop_assert_eq!(back.num_markov(), m.num_markov());
-        prop_assert_eq!(back.initial(), m.initial());
+        assert_eq!(back.num_states(), m.num_states());
+        assert_eq!(back.num_interactive(), m.num_interactive());
+        assert_eq!(back.num_markov(), m.num_markov());
+        assert_eq!(back.initial(), m.initial());
         for s in 0..m.num_states() as u32 {
-            prop_assert!((back.exit_rate(s) - m.exit_rate(s)).abs() < 1e-9);
-            prop_assert_eq!(back.has_tau(s), m.has_tau(s));
+            assert!((back.exit_rate(s) - m.exit_rate(s)).abs() < 1e-9);
+            assert_eq!(back.has_tau(s), m.has_tau(s));
         }
-        prop_assert_eq!(
+        assert_eq!(
             back.uniformity(View::Open).is_uniform(),
             m.uniformity(View::Open).is_uniform()
         );
     }
+}
 
-    /// Pre-emption cuts exactly the unstable states' Markov transitions.
-    #[test]
-    fn pre_emption_cut_is_exact(raw in raw_imc(6)) {
-        let m = build_uniform(&raw);
+/// Pre-emption cuts exactly the unstable states' Markov transitions.
+#[test]
+fn pre_emption_cut_is_exact() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x9CE7 + case);
+        let m = build_uniform(&raw_imc(&mut rng, 6));
         let cut = m.apply_pre_emption(View::Open);
         for s in 0..m.num_states() as u32 {
             if m.is_stable(s, View::Open) {
-                prop_assert_eq!(cut.markov_from(s).len(), m.markov_from(s).len());
+                assert_eq!(cut.markov_from(s).len(), m.markov_from(s).len());
             } else {
-                prop_assert_eq!(cut.markov_from(s).len(), 0);
+                assert_eq!(cut.markov_from(s).len(), 0);
             }
         }
     }

@@ -77,9 +77,8 @@ impl ActionTable {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = ActionId(
-            u32::try_from(self.names.len()).expect("more than 2^32 distinct actions"),
-        );
+        let id =
+            ActionId(u32::try_from(self.names.len()).expect("more than 2^32 distinct actions"));
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
         id

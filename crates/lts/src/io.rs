@@ -162,20 +162,12 @@ pub fn to_dot(lts: &Lts, name: &str) -> String {
     let mut out = String::new();
     writeln!(out, "digraph \"{name}\" {{").expect("writing to a String cannot fail");
     writeln!(out, "  rankdir=LR;").expect("writing to a String cannot fail");
-    writeln!(
-        out,
-        "  {} [shape=circle, style=bold];",
-        lts.initial()
-    )
-    .expect("writing to a String cannot fail");
+    writeln!(out, "  {} [shape=circle, style=bold];", lts.initial())
+        .expect("writing to a String cannot fail");
     for t in lts.transitions() {
         let label = lts.actions().name(t.action);
-        writeln!(
-            out,
-            "  {} -> {} [label=\"{}\"];",
-            t.source, t.target, label
-        )
-        .expect("writing to a String cannot fail");
+        writeln!(out, "  {} -> {} [label=\"{}\"];", t.source, t.target, label)
+            .expect("writing to a String cannot fail");
     }
     writeln!(out, "}}").expect("writing to a String cannot fail");
     out

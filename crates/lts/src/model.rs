@@ -211,7 +211,12 @@ impl LtsBuilder {
 
     /// Finalizes the LTS.
     pub fn build(self) -> Lts {
-        Lts::from_raw(self.actions, self.num_states, self.initial, self.transitions)
+        Lts::from_raw(
+            self.actions,
+            self.num_states,
+            self.initial,
+            self.transitions,
+        )
     }
 }
 

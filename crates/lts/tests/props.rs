@@ -1,18 +1,27 @@
-//! Property-based tests for LTS operators and serialization.
+//! Randomized tests for LTS operators and serialization, driven by the
+//! in-tree deterministic [`XorShift64`] generator (fixed seeds, no external
+//! PRNG).
 
-use proptest::prelude::*;
 use unicon_lts::{bisim, io, Lts, LtsBuilder};
+use unicon_numeric::rng::{Rng, XorShift64};
 
 const ACTIONS: [&str; 4] = ["tau", "a", "b", "c"];
+const CASES: u64 = 128;
 
-fn raw_lts(max_states: usize) -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
-    (1..=max_states).prop_flat_map(move |n| {
-        let nn = n as u8;
-        (
-            Just(n),
-            prop::collection::vec((0u8..4, 0..nn, 0..nn), 0..(3 * n)),
-        )
-    })
+/// A random LTS shape: state count plus (action, source, target) triples.
+fn raw_lts(rng: &mut XorShift64, max_states: usize) -> (usize, Vec<(u8, u8, u8)>) {
+    let n = 1 + rng.random_range(max_states);
+    let len = rng.random_range(3 * n);
+    let ts = (0..len)
+        .map(|_| {
+            (
+                rng.random_range(4) as u8,
+                rng.random_range(n) as u8,
+                rng.random_range(n) as u8,
+            )
+        })
+        .collect();
+    (n, ts)
 }
 
 fn build(n: usize, transitions: &[(u8, u8, u8)]) -> Lts {
@@ -23,18 +32,18 @@ fn build(n: usize, transitions: &[(u8, u8, u8)]) -> Lts {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// AUT serialization round-trips exactly.
-    #[test]
-    fn aut_roundtrip((n, ts) in raw_lts(8)) {
+/// AUT serialization round-trips exactly.
+#[test]
+fn aut_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xA07 + case);
+        let (n, ts) = raw_lts(&mut rng, 8);
         let l = build(n, &ts);
         let text = io::to_aut(&l);
         let back = io::from_aut(&text).expect("own output parses");
-        prop_assert_eq!(back.num_states(), l.num_states());
-        prop_assert_eq!(back.num_transitions(), l.num_transitions());
-        prop_assert_eq!(back.initial(), l.initial());
+        assert_eq!(back.num_states(), l.num_states());
+        assert_eq!(back.num_transitions(), l.num_transitions());
+        assert_eq!(back.initial(), l.initial());
         // same transition structure under the same action names
         let name = |l: &Lts, t: &unicon_lts::Transition| {
             (t.source, l.actions().name(t.action).to_owned(), t.target)
@@ -45,84 +54,111 @@ proptest! {
         let mut b: Vec<_> = back.transitions().iter().map(|t| name(&back, t)).collect();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Hiding is idempotent and only renames labels.
-    #[test]
-    fn hide_idempotent((n, ts) in raw_lts(8)) {
+/// Hiding is idempotent and only renames labels.
+#[test]
+fn hide_idempotent() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x41DE + case);
+        let (n, ts) = raw_lts(&mut rng, 8);
         let l = build(n, &ts);
         let h1 = l.hide(&["a", "b"]);
         let h2 = h1.hide(&["a", "b"]);
-        prop_assert_eq!(h1.num_states(), h2.num_states());
-        prop_assert_eq!(h1.num_transitions(), h2.num_transitions());
+        assert_eq!(h1.num_states(), h2.num_states());
+        assert_eq!(h1.num_transitions(), h2.num_transitions());
         // hiding everything leaves only tau
         let all = l.hide(&["a", "b", "c"]);
-        prop_assert!(all
-            .transitions()
-            .iter()
-            .all(|t| t.action.is_tau()));
+        assert!(all.transitions().iter().all(|t| t.action.is_tau()));
     }
+}
 
-    /// Relabelling with an identity map is the identity.
-    #[test]
-    fn relabel_identity((n, ts) in raw_lts(8)) {
+/// Relabelling with an identity map is the identity.
+#[test]
+fn relabel_identity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x2E1A + case);
+        let (n, ts) = raw_lts(&mut rng, 8);
         let l = build(n, &ts);
         let r = l.relabel(&[("a", "a"), ("b", "b")]);
-        prop_assert_eq!(r.num_transitions(), l.num_transitions());
+        assert_eq!(r.num_transitions(), l.num_transitions());
     }
+}
 
-    /// The product with a single-state, transition-free LTS is isomorphic
-    /// to the reachable part of the original.
-    #[test]
-    fn unit_of_parallel((n, ts) in raw_lts(8)) {
+/// The product with a single-state, transition-free LTS is isomorphic
+/// to the reachable part of the original.
+#[test]
+fn unit_of_parallel() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x0172 + case);
+        let (n, ts) = raw_lts(&mut rng, 8);
         let l = build(n, &ts);
         let unit = LtsBuilder::new(1, 0).build();
         let p = l.parallel(&unit, &[]);
         let reach = l.restrict_to_reachable();
-        prop_assert_eq!(p.num_states(), reach.num_states());
-        prop_assert_eq!(p.num_transitions(), reach.num_transitions());
+        assert_eq!(p.num_states(), reach.num_states());
+        assert_eq!(p.num_transitions(), reach.num_transitions());
     }
+}
 
-    /// Parallel composition is commutative up to size.
-    #[test]
-    fn parallel_commutes_in_size((n1, ts1) in raw_lts(5), (n2, ts2) in raw_lts(5)) {
+/// Parallel composition is commutative up to size.
+#[test]
+fn parallel_commutes_in_size() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xC033 + case);
+        let (n1, ts1) = raw_lts(&mut rng, 5);
+        let (n2, ts2) = raw_lts(&mut rng, 5);
         let a = build(n1, &ts1);
         let b = build(n2, &ts2);
         let ab = a.parallel(&b, &["a"]);
         let ba = b.parallel(&a, &["a"]);
-        prop_assert_eq!(ab.num_states(), ba.num_states());
-        prop_assert_eq!(ab.num_transitions(), ba.num_transitions());
+        assert_eq!(ab.num_states(), ba.num_states());
+        assert_eq!(ab.num_transitions(), ba.num_transitions());
     }
+}
 
-    /// Full synchronization on all visible actions makes the product no
-    /// larger than the synchronized component languages allow: every
-    /// reachable product state is a pair of reachable component states.
-    #[test]
-    fn product_states_are_component_pairs((n1, ts1) in raw_lts(5), (n2, ts2) in raw_lts(5)) {
+/// Full synchronization on all visible actions makes the product no
+/// larger than the synchronized component languages allow: every
+/// reachable product state is a pair of reachable component states.
+#[test]
+fn product_states_are_component_pairs() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x9A12 + case);
+        let (n1, ts1) = raw_lts(&mut rng, 5);
+        let (n2, ts2) = raw_lts(&mut rng, 5);
         let a = build(n1, &ts1);
         let b = build(n2, &ts2);
         let p = a.parallel(&b, &[]);
-        prop_assert!(p.num_states() <= a.num_states() * b.num_states());
-        prop_assert!(p.is_fully_reachable());
+        assert!(p.num_states() <= a.num_states() * b.num_states());
+        assert!(p.is_fully_reachable());
     }
+}
 
-    /// Strong bisimulation minimization: idempotent, size-monotone, and
-    /// quotienting twice is stable.
-    #[test]
-    fn minimization_idempotent((n, ts) in raw_lts(8)) {
+/// Strong bisimulation minimization: idempotent, size-monotone, and
+/// quotienting twice is stable.
+#[test]
+fn minimization_idempotent() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x1DE9 + case);
+        let (n, ts) = raw_lts(&mut rng, 8);
         let l = build(n, &ts).restrict_to_reachable();
         let m1 = bisim::minimize(&l);
-        prop_assert!(m1.num_states() <= l.num_states());
+        assert!(m1.num_states() <= l.num_states());
         let m2 = bisim::minimize(&m1);
-        prop_assert_eq!(m1.num_states(), m2.num_states());
-        prop_assert_eq!(m1.num_transitions(), m2.num_transitions());
+        assert_eq!(m1.num_states(), m2.num_states());
+        assert_eq!(m1.num_transitions(), m2.num_transitions());
     }
+}
 
-    /// Minimization preserves the set of enabled action sequences up to
-    /// length 2 from the initial state (a cheap language check).
-    #[test]
-    fn minimization_preserves_short_traces((n, ts) in raw_lts(7)) {
+/// Minimization preserves the set of enabled action sequences up to
+/// length 2 from the initial state (a cheap language check).
+#[test]
+fn minimization_preserves_short_traces() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x77AC + case);
+        let (n, ts) = raw_lts(&mut rng, 7);
         let l = build(n, &ts);
         let m = bisim::minimize(&l);
         let traces = |x: &Lts| {
@@ -138,6 +174,6 @@ proptest! {
             }
             out
         };
-        prop_assert_eq!(traces(&l), traces(&m));
+        assert_eq!(traces(&l), traces(&m));
     }
 }

@@ -56,6 +56,46 @@ pub fn approx_eq(a: f64, b: f64, mode: ApproxMode) -> bool {
     }
 }
 
+/// The workspace-wide relative tolerance for comparing transition and exit
+/// rates — see [`rates_approx_eq`].
+pub const RATE_RTOL: f64 = 1e-9;
+
+/// The absolute tolerance the shared rate policy grants two rates: scaled
+/// by the larger magnitude, floored at [`RATE_RTOL`] itself so rates near
+/// zero still compare sanely.
+pub fn rate_tolerance(a: f64, b: f64) -> f64 {
+    RATE_RTOL * a.abs().max(b.abs()).max(1.0)
+}
+
+/// The **single** tolerance policy every uniformity check in the workspace
+/// uses to decide whether two exit rates are "the same rate E".
+///
+/// The CTMC, IMC and CTMDP uniformity checks, the elapse operator's rate
+/// guard, the `UniformImc` construction audit and the `unicon-verify` lints
+/// all route through this function, so no two layers can ever disagree on
+/// whether a model is uniform.
+///
+/// NaNs are never equal; equal infinities are.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::approx::rates_approx_eq;
+///
+/// assert!(rates_approx_eq(2.0, 2.0 + 1e-12));
+/// assert!(rates_approx_eq(1e12, 1e12 + 1.0));
+/// assert!(!rates_approx_eq(1.0, 2.0));
+/// assert!(!rates_approx_eq(f64::NAN, f64::NAN));
+/// ```
+pub fn rates_approx_eq(a: f64, b: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        // NaN equals nothing; infinities only themselves (a scaled
+        // tolerance would be infinite and accept any finite partner).
+        return a == b;
+    }
+    a == b || (a - b).abs() <= rate_tolerance(a, b)
+}
+
 /// Asserts approximate equality with a helpful message.
 ///
 /// Accepts an optional absolute tolerance (defaults to `1e-9`).
@@ -121,6 +161,21 @@ mod tests {
                 rel: 1e-9
             }
         ));
+    }
+
+    #[test]
+    fn rate_policy_is_symmetric_and_scaled() {
+        assert!(rates_approx_eq(3.0, 3.0));
+        assert_eq!(rates_approx_eq(1.0, 2.0), rates_approx_eq(2.0, 1.0));
+        // floored at 1.0: tiny rates get an absolute 1e-9 window
+        assert!(rates_approx_eq(1e-12, 2e-12));
+        // scaled by magnitude for large rates
+        assert!(rates_approx_eq(1e12, 1e12 + 100.0));
+        assert!(!rates_approx_eq(1e12, 1.001e12));
+        // infinities compare exactly, NaN never
+        assert!(rates_approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!rates_approx_eq(f64::INFINITY, 1e300));
+        assert!(!rates_approx_eq(f64::NAN, 1.0));
     }
 
     #[test]

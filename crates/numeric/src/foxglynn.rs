@@ -137,7 +137,10 @@ impl FoxGlynn {
         if n < self.window_start {
             return 0.0;
         }
-        self.weights.get(n - self.window_start).copied().unwrap_or(0.0)
+        self.weights
+            .get(n - self.window_start)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// First index of the significant window.

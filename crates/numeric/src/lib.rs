@@ -32,9 +32,10 @@
 
 pub mod approx;
 pub mod foxglynn;
+pub mod rng;
 pub mod special;
 pub mod sum;
 
-pub use approx::{approx_eq, ApproxMode};
+pub use approx::{approx_eq, rate_tolerance, rates_approx_eq, ApproxMode, RATE_RTOL};
 pub use foxglynn::FoxGlynn;
 pub use sum::{stable_sum, NeumaierSum};

@@ -1,101 +1,175 @@
-//! Property-based tests for the numeric substrate.
+//! Randomized property tests for the numeric substrate, driven by the
+//! in-tree deterministic [`XorShift64`] generator (fixed seeds, no external
+//! PRNG — the suite is fully reproducible and offline).
 
-use proptest::prelude::*;
+use unicon_numeric::rng::{Rng, XorShift64};
 use unicon_numeric::special::{ln_poisson_pmf, poisson_cdf, poisson_pmf};
 use unicon_numeric::{stable_sum, FoxGlynn, NeumaierSum};
 
-proptest! {
-    #[test]
-    fn foxglynn_weights_are_a_distribution(lambda in 0.01f64..5_000.0) {
+const CASES: u64 = 48;
+
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.random_f64() * (hi - lo)
+}
+
+#[test]
+fn foxglynn_weights_are_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xF0C5 + case);
+        let lambda = uniform(&mut rng, 0.01, 5_000.0);
         let fg = FoxGlynn::new(lambda);
-        prop_assert!((fg.total() - 1.0).abs() < 1e-9);
+        assert!((fg.total() - 1.0).abs() < 1e-9, "lambda {lambda}");
         for n in fg.window_start()..fg.window_end() {
             let w = fg.psi(n);
-            prop_assert!((0.0..=1.0).contains(&w));
+            assert!((0.0..=1.0).contains(&w), "lambda {lambda}, psi({n}) = {w}");
         }
     }
+}
 
-    #[test]
-    fn foxglynn_matches_direct_pmf(lambda in 0.1f64..500.0) {
+#[test]
+fn foxglynn_matches_direct_pmf() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xF06B + case);
+        let lambda = uniform(&mut rng, 0.1, 500.0);
         let fg = FoxGlynn::new(lambda);
         let mode = lambda.floor() as usize;
         for n in [mode.saturating_sub(3), mode, mode + 3] {
             let direct = poisson_pmf(n as u64, lambda);
-            prop_assert!((fg.psi(n) - direct).abs() <= 1e-9 * direct.max(1e-300));
+            assert!(
+                (fg.psi(n) - direct).abs() <= 1e-9 * direct.max(1e-300),
+                "lambda {lambda}, n {n}"
+            );
         }
     }
+}
 
-    #[test]
-    fn right_truncation_is_minimal(lambda in 0.1f64..300.0, neg_exp in 2u32..9) {
-        let eps = 10f64.powi(-(neg_exp as i32));
+#[test]
+fn right_truncation_is_minimal() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x7209 + case);
+        let lambda = uniform(&mut rng, 0.1, 300.0);
+        let eps = 10f64.powi(-(2 + rng.random_range(7) as i32));
         let fg = FoxGlynn::new(lambda);
         let k = fg.right_truncation(eps);
         // cdf up to k reaches 1 - eps …
-        prop_assert!(poisson_cdf(k as u64, lambda) >= 1.0 - eps - 1e-12);
+        assert!(
+            poisson_cdf(k as u64, lambda) >= 1.0 - eps - 1e-12,
+            "lambda {lambda}, eps {eps}"
+        );
         // … and k is minimal with that property
         if k > 0 {
-            prop_assert!(poisson_cdf(k as u64 - 1, lambda) < 1.0 - eps + 1e-12);
+            assert!(
+                poisson_cdf(k as u64 - 1, lambda) < 1.0 - eps + 1e-12,
+                "lambda {lambda}, eps {eps}"
+            );
         }
     }
+}
 
-    #[test]
-    fn truncation_monotone_in_epsilon(lambda in 0.1f64..1000.0) {
+#[test]
+fn truncation_monotone_in_epsilon() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3040 + case);
+        let lambda = uniform(&mut rng, 0.1, 1000.0);
         let fg = FoxGlynn::new(lambda);
         let k4 = fg.right_truncation(1e-4);
         let k6 = fg.right_truncation(1e-6);
         let k8 = fg.right_truncation(1e-8);
-        prop_assert!(k4 <= k6 && k6 <= k8);
+        assert!(k4 <= k6 && k6 <= k8, "lambda {lambda}");
         let l4 = fg.left_truncation(1e-4);
         let l8 = fg.left_truncation(1e-8);
-        prop_assert!(l8 <= l4);
+        assert!(l8 <= l4, "lambda {lambda}");
     }
+}
 
-    #[test]
-    fn tail_from_is_survival_function(lambda in 0.1f64..200.0, i in 0usize..400) {
+#[test]
+fn tail_from_is_survival_function() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x7A11 + case);
+        let lambda = uniform(&mut rng, 0.1, 200.0);
+        let i = rng.random_range(400);
         let fg = FoxGlynn::new(lambda);
         let tail = fg.tail_from(i);
-        let direct = if i == 0 { 1.0 } else { 1.0 - poisson_cdf(i as u64 - 1, lambda) };
-        prop_assert!((tail - direct).abs() < 1e-9, "tail {tail} direct {direct}");
+        let direct = if i == 0 {
+            1.0
+        } else {
+            1.0 - poisson_cdf(i as u64 - 1, lambda)
+        };
+        assert!(
+            (tail - direct).abs() < 1e-9,
+            "lambda {lambda}, i {i}: tail {tail} direct {direct}"
+        );
     }
+}
 
-    #[test]
-    fn neumaier_matches_exact_rational_sum(xs in prop::collection::vec(-1000i32..1000, 0..200)) {
+#[test]
+fn neumaier_matches_exact_rational_sum() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5071 + case);
+        let len = rng.random_range(200);
+        let xs: Vec<i32> = (0..len)
+            .map(|_| rng.random_range(2001) as i32 - 1000)
+            .collect();
         // integers are exactly representable: compensated sum must be exact
         let exact: i64 = xs.iter().map(|&x| x as i64).sum();
         let s = stable_sum(xs.iter().map(|&x| f64::from(x)));
-        prop_assert_eq!(s, exact as f64);
+        assert_eq!(s, exact as f64);
     }
+}
 
-    #[test]
-    fn neumaier_is_permutation_invariant_for_magnitudes(
-        mut xs in prop::collection::vec(1e-8f64..1e8, 1..100)
-    ) {
+#[test]
+fn neumaier_is_permutation_invariant_for_magnitudes() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x9E61 + case);
+        let len = 1 + rng.random_range(99);
+        let mut xs: Vec<f64> = (0..len).map(|_| uniform(&mut rng, 1e-8, 1e8)).collect();
         let a = stable_sum(xs.iter().copied());
         xs.reverse();
         let b = stable_sum(xs.iter().copied());
-        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn neumaier_extend_matches_loop(xs in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+#[test]
+fn neumaier_extend_matches_loop() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xE87E + case);
+        let len = rng.random_range(50);
+        let xs: Vec<f64> = (0..len).map(|_| uniform(&mut rng, -1e6, 1e6)).collect();
         let mut s1 = NeumaierSum::new();
         for &x in &xs {
             s1.add(x);
         }
         let s2: NeumaierSum = xs.iter().copied().collect();
-        prop_assert_eq!(s1.value(), s2.value());
+        assert_eq!(s1.value(), s2.value());
     }
+}
 
-    #[test]
-    fn ln_poisson_pmf_is_log_of_pmf(n in 0u64..200, lambda in 0.01f64..500.0) {
+#[test]
+fn ln_poisson_pmf_is_log_of_pmf() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x109A + case);
+        let n = rng.random_range(200) as u64;
+        let lambda = uniform(&mut rng, 0.01, 500.0);
         let p = poisson_pmf(n, lambda);
         if p > 1e-300 {
-            prop_assert!((ln_poisson_pmf(n, lambda).exp() - p).abs() <= 1e-12 * p.max(1e-12));
+            assert!(
+                (ln_poisson_pmf(n, lambda).exp() - p).abs() <= 1e-12 * p.max(1e-12),
+                "n {n}, lambda {lambda}"
+            );
         }
     }
+}
 
-    #[test]
-    fn poisson_cdf_monotone_in_n(lambda in 0.01f64..100.0, n in 0u64..100) {
-        prop_assert!(poisson_cdf(n, lambda) <= poisson_cdf(n + 1, lambda) + 1e-15);
+#[test]
+fn poisson_cdf_monotone_in_n() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xCDF0 + case);
+        let lambda = uniform(&mut rng, 0.01, 100.0);
+        let n = rng.random_range(100) as u64;
+        assert!(
+            poisson_cdf(n, lambda) <= poisson_cdf(n + 1, lambda) + 1e-15,
+            "n {n}, lambda {lambda}"
+        );
     }
 }

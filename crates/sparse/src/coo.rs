@@ -72,8 +72,7 @@ impl CooBuilder {
 
     /// Finalizes into a CSR matrix.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());

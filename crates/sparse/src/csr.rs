@@ -156,7 +156,11 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "dimension mismatch in matvec_transposed");
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "dimension mismatch in matvec_transposed"
+        );
         let mut y = vec![0.0; self.cols];
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {

@@ -1,11 +1,27 @@
-//! Property-based tests for the sparse-matrix substrate.
+//! Randomized tests for the sparse-matrix substrate, driven by the in-tree
+//! deterministic [`XorShift64`] generator (fixed seeds, no external PRNG).
 
-use proptest::prelude::*;
+use unicon_numeric::rng::{Rng, XorShift64};
 use unicon_sparse::{CooBuilder, CsrMatrix};
 
-/// Strategy: a list of triplets within a 12x9 matrix.
-fn triplets() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec((0usize..12, 0usize..9, -100.0f64..100.0), 0..80)
+const CASES: u64 = 64;
+
+/// A random list of triplets within a 12x9 matrix.
+fn triplets(rng: &mut XorShift64) -> Vec<(usize, usize, f64)> {
+    let len = rng.random_range(80);
+    (0..len)
+        .map(|_| {
+            (
+                rng.random_range(12),
+                rng.random_range(9),
+                -100.0 + 200.0 * rng.random_f64(),
+            )
+        })
+        .collect()
+}
+
+fn vector(rng: &mut XorShift64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| -10.0 + 20.0 * rng.random_f64()).collect()
 }
 
 fn build(ts: &[(usize, usize, f64)]) -> CsrMatrix {
@@ -21,93 +37,122 @@ fn dense(ts: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
     d
 }
 
-proptest! {
-    #[test]
-    fn get_matches_dense(ts in triplets()) {
+#[test]
+fn get_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x6E7 + case);
+        let ts = triplets(&mut rng);
         let m = build(&ts);
         let d = dense(&ts);
         for (r, row) in d.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
-                prop_assert!((m.get(r, c) - v).abs() < 1e-9);
+                assert!((m.get(r, c) - v).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn matvec_matches_dense(ts in triplets(), x in prop::collection::vec(-10.0f64..10.0, 9)) {
+#[test]
+fn matvec_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3A7 + case);
+        let ts = triplets(&mut rng);
+        let x = vector(&mut rng, 9);
         let m = build(&ts);
         let d = dense(&ts);
         let y = m.matvec(&x);
         for (r, &yr) in y.iter().enumerate() {
             let expect: f64 = (0..9).map(|c| d[r][c] * x[c]).sum();
-            prop_assert!((yr - expect).abs() < 1e-7, "row {r}: {yr} vs {expect}");
+            assert!((yr - expect).abs() < 1e-7, "row {r}: {yr} vs {expect}");
         }
     }
+}
 
-    #[test]
-    fn transpose_involution(ts in triplets()) {
-        let m = build(&ts);
-        prop_assert_eq!(m.transpose().transpose(), m);
+#[test]
+fn transpose_involution() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x721 + case);
+        let m = build(&triplets(&mut rng));
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn matvec_transposed_agrees_with_transpose_matvec(
-        ts in triplets(),
-        x in prop::collection::vec(-10.0f64..10.0, 12)
-    ) {
+#[test]
+fn matvec_transposed_agrees_with_transpose_matvec() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x7A2 + case);
+        let ts = triplets(&mut rng);
+        let x = vector(&mut rng, 12);
         let m = build(&ts);
         let a = m.matvec_transposed(&x);
         let b = m.transpose().matvec(&x);
         for (u, v) in a.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-8);
+            assert!((u - v).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn rows_are_sorted_and_deduped(ts in triplets()) {
-        let m = build(&ts);
+#[test]
+fn rows_are_sorted_and_deduped() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x50D + case);
+        let m = build(&triplets(&mut rng));
         let mut nnz = 0;
         for r in 0..m.rows() {
             let cols: Vec<usize> = m.row(r).map(|(c, _)| c).collect();
             nnz += cols.len();
             for w in cols.windows(2) {
-                prop_assert!(w[0] < w[1], "row {r} not strictly sorted");
+                assert!(w[0] < w[1], "row {r} not strictly sorted");
             }
         }
-        prop_assert_eq!(nnz, m.nnz());
+        assert_eq!(nnz, m.nnz());
     }
+}
 
-    #[test]
-    fn no_stored_zeros(ts in triplets()) {
-        let m = build(&ts);
+#[test]
+fn no_stored_zeros() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x2E0 + case);
+        let m = build(&triplets(&mut rng));
         for (_, _, v) in m.triplets() {
-            prop_assert!(v != 0.0);
+            assert!(v != 0.0);
         }
     }
+}
 
-    #[test]
-    fn triplets_roundtrip(ts in triplets()) {
-        let m = build(&ts);
+#[test]
+fn triplets_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x47F + case);
+        let m = build(&triplets(&mut rng));
         let m2 = CsrMatrix::from_triplets(12, 9, m.triplets());
-        prop_assert_eq!(m, m2);
+        assert_eq!(m, m2);
     }
+}
 
-    #[test]
-    fn row_sum_matches_dense(ts in triplets()) {
+#[test]
+fn row_sum_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x705 + case);
+        let ts = triplets(&mut rng);
         let m = build(&ts);
         let d = dense(&ts);
         for (r, row) in d.iter().enumerate() {
             let expect: f64 = row.iter().sum();
-            prop_assert!((m.row_sum(r) - expect).abs() < 1e-8);
+            assert!((m.row_sum(r) - expect).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn builder_and_from_triplets_agree(ts in triplets()) {
+#[test]
+fn builder_and_from_triplets_agree() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xB17 + case);
+        let ts = triplets(&mut rng);
         let mut b = CooBuilder::new(12, 9);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
         }
-        prop_assert_eq!(b.build(), build(&ts));
+        assert_eq!(b.build(), build(&ts));
     }
 }

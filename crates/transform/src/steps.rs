@@ -33,10 +33,16 @@ impl std::fmt::Display for TransformError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransformError::Zeno { cycle } => {
-                write!(f, "interactive cycle (Zeno behaviour) through states {cycle:?}")
+                write!(
+                    f,
+                    "interactive cycle (Zeno behaviour) through states {cycle:?}"
+                )
             }
             TransformError::DeadEnd { state } => {
-                write!(f, "reachable absorbing state {state} (the paper assumes S_A = ∅)")
+                write!(
+                    f,
+                    "reachable absorbing state {state} (the paper assumes S_A = ∅)"
+                )
             }
         }
     }
@@ -172,7 +178,10 @@ pub fn make_markov_alternating_with_entries(imc: &Imc) -> (Imc, Vec<u32>) {
     entries.dedup();
     let fresh_base = n as u32;
     let entry_of = |t: u32| -> Option<u32> {
-        entries.binary_search(&t).ok().map(|i| fresh_base + i as u32)
+        entries
+            .binary_search(&t)
+            .ok()
+            .map(|i| fresh_base + i as u32)
     };
 
     let mut interactive: Vec<Transition> = imc.interactive().to_vec();
@@ -421,11 +430,7 @@ pub fn to_ctmdp_with_map(imc: &Imc) -> (Ctmdp, Vec<u32>) {
             .iter()
             .map(|m| (map[m.target as usize], m.rate))
             .collect();
-        b.transition(
-            map[t.source as usize],
-            imc.actions().name(t.action),
-            &pairs,
-        );
+        b.transition(map[t.source as usize], imc.actions().name(t.action), &pairs);
     }
     let mut imc_of_ctmdp = vec![u32::MAX; next as usize];
     for (s, &c) in map.iter().enumerate() {
@@ -454,7 +459,10 @@ pub fn transform(imc: &Imc) -> Result<TransformOutput, TransformError> {
         .restrict_to_reachable_with_map();
     // Guarantee an interactive initial state. The fresh state is an
     // instantaneous prefix of s₀, so it inherits s₀'s origin.
-    if matches!(m.kind(m.initial()), StateKind::Markov | StateKind::Absorbing) {
+    if matches!(
+        m.kind(m.initial()),
+        StateKind::Markov | StateKind::Absorbing
+    ) {
         let s0_origin = origin[m.initial() as usize];
         m = prepend_interactive_initial(&m);
         origin.push(s0_origin);
@@ -538,9 +546,9 @@ fn rebuild(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unicon_ctmdp::reachability::{timed_reachability, ReachOptions};
     use unicon_ctmc::transient::{self, TransientOptions};
     use unicon_ctmc::Ctmc;
+    use unicon_ctmdp::reachability::{timed_reachability, ReachOptions};
     use unicon_numeric::assert_close;
 
     /// fail/repair workstation-in-miniature: interactive decisions between

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          sit unattended for Exp(Γ) windows that the faithful urgent\n\
          interpretation does not have. The gap shrinks as Γ grows, but never\n\
          changes sign.)",
-        if all_over { "overestimates" } else { "UNDER-estimates (unexpected!)" }
+        if all_over {
+            "overestimates"
+        } else {
+            "UNDER-estimates (unexpected!)"
+        }
     );
     Ok(())
 }

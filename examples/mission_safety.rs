@@ -100,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nRequirement \"P(critical within 3 h) <= 0.01\" is {} in the worst case \
          (P = {worst_at_3h:.3e}).",
-        if worst_at_3h <= 0.01 { "MET" } else { "VIOLATED" }
+        if worst_at_3h <= 0.01 {
+            "MET"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "The best case shows how much a clever degraded-mode policy could gain;\n\

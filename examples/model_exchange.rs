@@ -24,10 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plant = UniformImc::from_lts(&b.build());
 
     let mut constraints: Option<UniformImc> = None;
-    for (fail, repair, rate) in [
-        ("fail_a", "repair_a", 0.05),
-        ("fail_b", "repair_b", 0.08),
-    ] {
+    for (fail, repair, rate) in [("fail_a", "repair_a", 0.05), ("fail_b", "repair_b", 0.08)] {
         let tc_fail = UniformImc::from_elapse(
             &PhaseType::exponential(rate).uniformize_at_max(),
             fail,
@@ -69,21 +66,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Goal: both machines down — plant component state 3. The goal vector
     // survives the round trip because the AUT format preserves state
     // numbering.
-    let goal: Vec<bool> = map.iter().map(|&(_, plant_state)| plant_state == 3).collect();
+    let goal: Vec<bool> = map
+        .iter()
+        .map(|&(_, plant_state)| plant_state == 3)
+        .collect();
 
     let t = 50.0;
-    let p_original = PreparedModel::new(&system.close(), &goal)?
-        .worst_case_from_initial(t, 1e-9)?;
+    let p_original =
+        PreparedModel::new(&system.close(), &goal)?.worst_case_from_initial(t, 1e-9)?;
     let reloaded_model = ClosedModel::try_new(reloaded.clone())?;
-    let p_reloaded = PreparedModel::new(&reloaded_model, &goal)?
-        .worst_case_from_initial(t, 1e-9)?;
+    let p_reloaded =
+        PreparedModel::new(&reloaded_model, &goal)?.worst_case_from_initial(t, 1e-9)?;
     println!(
         "worst-case P(both machines down within {t} h): original {p_original:.9e}, \
          reloaded {p_reloaded:.9e}"
     );
     assert!((p_original - p_reloaded).abs() < 1e-12);
     println!("round trip preserves the analysis exactly ✓");
-    println!("try: unicon analyze {} --goal <ids> --time {t}", path.display());
+    println!(
+        "try: unicon analyze {} --goal <ids> --time {t}",
+        path.display()
+    );
     std::fs::remove_file(&path).ok();
     Ok(())
 }

@@ -66,9 +66,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .from_state(ctmdp.initial());
 
     let policies: [(&str, Vec<&str>); 3] = [
-        ("infrastructure first (bb > sw > ws)", vec!["g_bb", "g_sw", "g_ws"]),
-        ("workstations first (ws > sw > bb)", vec!["g_ws", "g_sw", "g_bb"]),
-        ("switches first (sw > bb > ws)", vec!["g_sw", "g_bb", "g_ws"]),
+        (
+            "infrastructure first (bb > sw > ws)",
+            vec!["g_bb", "g_sw", "g_ws"],
+        ),
+        (
+            "workstations first (ws > sw > bb)",
+            vec!["g_ws", "g_sw", "g_bb"],
+        ),
+        (
+            "switches first (sw > bb > ws)",
+            vec!["g_sw", "g_bb", "g_ws"],
+        ),
     ];
 
     println!("  {:44}   P(premium lost)", "policy");
@@ -79,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(v <= sup + 1e-7 && v >= inf - 1e-7);
         println!("  {name:44}   {v:.9e}");
     }
-    println!("  {:44}   {sup:.9e}", "WORST CASE (sup over all schedulers)");
+    println!(
+        "  {:44}   {sup:.9e}",
+        "WORST CASE (sup over all schedulers)"
+    );
 
     // sanity: the induced chain of any policy has the CTMDP's state count
     let chain = induced_ctmc(ctmdp, &priority_policy(ctmdp, &["g_ws"]));

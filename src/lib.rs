@@ -20,6 +20,8 @@
 //! * [`ctmdp`] — CTMDPs, Algorithm 1 (timed reachability), schedulers,
 //!   simulation,
 //! * [`transform`] — the uIMC → uCTMDP trajectory,
+//! * [`verify`] — static model analysis (`unicon lint`): U001–U008
+//!   diagnostics proving uniformity by construction actually held,
 //! * [`core`] — the uniformity-by-construction API ([`UniformImc`],
 //!   [`ClosedModel`], [`PreparedModel`]),
 //! * [`ftwc`] — the fault-tolerant workstation cluster case study.
@@ -68,5 +70,6 @@ pub use unicon_lts as lts;
 pub use unicon_numeric as numeric;
 pub use unicon_sparse as sparse;
 pub use unicon_transform as transform;
+pub use unicon_verify as verify;
 
 pub use unicon_core::{ClosedModel, PreparedModel, UniformImc};

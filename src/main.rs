@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! unicon check <model.aut>                       inspect an IMC
+//! unicon lint <model.aut> [--deny warnings]      U001–U008 diagnostics
 //! unicon transform <model.aut> [--dot out.dot]   uIMC -> uCTMDP
 //! unicon analyze <model.aut> --goal 1,2,3 --time 10 [options]
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
@@ -19,11 +20,13 @@ use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
 use unicon::ftwc::{experiment, FtwcParams};
 use unicon::imc::{analysis, io, Imc, View};
 use unicon::transform::transform;
+use unicon::verify::{lint_imc, LintOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("transform") => cmd_transform(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("ftwc") => cmd_ftwc(&args[1..]),
@@ -47,6 +50,7 @@ fn print_usage() {
         "unicon — uniform IMC composition and uniform-CTMDP timed reachability\n\n\
          USAGE:\n  \
          unicon check <model.aut>\n  \
+         unicon lint <model.aut> [--view open|closed] [--deny warnings] [--json]\n  \
          unicon transform <model.aut> [--dot <out.dot>]\n  \
          unicon analyze <model.aut> --goal <s1,s2,…> --time <t>\n          \
          [--epsilon <e>] [--min] [--exact-goal]\n  \
@@ -84,13 +88,58 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         imc.num_interactive(),
         imc.num_markov()
     );
-    println!("uniformity (open view / maximal progress): {:?}", imc.uniformity(View::Open));
-    println!("uniformity (closed view / urgency):        {:?}", imc.uniformity(View::Closed));
+    println!(
+        "uniformity (open view / maximal progress): {:?}",
+        imc.uniformity(View::Open)
+    );
+    println!(
+        "uniformity (closed view / urgency):        {:?}",
+        imc.uniformity(View::Closed)
+    );
     match analysis::interactive_cycle(&imc) {
         None => println!("Zeno-free: yes"),
         Some(c) => println!("Zeno-free: NO — interactive cycle through {c:?}"),
     }
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("lint needs a model file")?;
+    let imc = load(path)?;
+    let view = match opt(args, "--view") {
+        None | Some("closed") => View::Closed,
+        Some("open") => View::Open,
+        Some(other) => return Err(format!("bad --view '{other}' (open or closed)")),
+    };
+    let deny_warnings = match opt(args, "--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("bad --deny '{other}' (only 'warnings')")),
+    };
+    let report = lint_imc(&imc, &LintOptions { view });
+    if flag(args, "--json") {
+        println!("{}", report.to_json());
+    } else {
+        for d in report.diagnostics() {
+            println!("{d}");
+        }
+        let (e, w) = (report.num_errors(), report.num_warnings());
+        if report.is_clean() {
+            println!("{path}: lints clean ({} states)", imc.num_states());
+        } else {
+            println!("{path}: {e} error(s), {w} warning(s)");
+        }
+    }
+    if report.has_errors() {
+        Err(format!("lint failed with {} error(s)", report.num_errors()))
+    } else if deny_warnings && report.num_warnings() > 0 {
+        Err(format!(
+            "lint failed with {} warning(s) (--deny warnings)",
+            report.num_warnings()
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_transform(args: &[String]) -> Result<(), String> {
@@ -190,10 +239,7 @@ fn cmd_ftwc(args: &[String]) -> Result<(), String> {
     let row = experiment::table1_row(&FtwcParams::new(n), &[t], epsilon);
     println!(
         "FTWC N={n}: CTMDP {} states / {} transitions, {} Markov states, built in {:?}",
-        row.interactive_states,
-        row.interactive_transitions,
-        row.markov_states,
-        row.transform_time
+        row.interactive_states, row.interactive_transitions, row.markov_states, row.transform_time
     );
     let (_, runtime, iters, p) = row.analyses[0];
     println!(

@@ -59,7 +59,11 @@ fn transform_and_analyze_roundtrip() {
     std::fs::write(&path, model).expect("write model");
 
     let out = unicon().arg("transform").arg(&path).output().expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("CTMDP:"));
     assert!(text.contains("uniform (E = 2)"));
@@ -70,7 +74,11 @@ fn transform_and_analyze_roundtrip() {
         .args(["--goal", "3", "--time", "1.0", "--epsilon", "1e-9"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("max P(reach goal within 1)"));
     // max = take "fast": P = 1 - e^{-2}
@@ -120,12 +128,89 @@ fn analyze_rejects_nonuniform_model() {
 }
 
 #[test]
+fn lint_clean_model_exits_zero() {
+    let path = model_path("lint_clean");
+    // Closed uniform alternating model: no findings at all.
+    let model = "des (0, 3, 2)\n(0, \"go\", 1)\n(1, \"rate 2\", 0)\n(1, \"rate 1\", 1)\n";
+    std::fs::write(&path, model).expect("write model");
+    let out = unicon().arg("lint").arg(&path).output().expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lints clean"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lint_nonuniform_model_reports_u001_and_fails() {
+    let path = model_path("lint_u001");
+    let model = "des (0, 2, 2)\n(0, \"rate 1\", 1)\n(1, \"rate 3\", 0)\n";
+    std::fs::write(&path, model).expect("write model");
+    let out = unicon().arg("lint").arg(&path).output().expect("runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("U001"), "stdout: {text}");
+    assert!(text.contains("error"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lint_deny_warnings_escalates() {
+    let path = model_path("lint_deny");
+    // Uniform, but state 2 is unreachable: a warning (U007), not an error.
+    let model = "des (0, 3, 3)\n(0, \"rate 2\", 1)\n(1, \"rate 2\", 0)\n(2, \"rate 2\", 0)\n";
+    std::fs::write(&path, model).expect("write model");
+    let out = unicon().arg("lint").arg(&path).output().expect("runs");
+    assert!(
+        out.status.success(),
+        "warnings alone must not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("U007"), "stdout: {text}");
+
+    let out = unicon()
+        .args(["lint"])
+        .arg(&path)
+        .args(["--deny", "warnings"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "--deny warnings must fail the lint");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lint_json_output_is_machine_readable() {
+    let path = model_path("lint_json");
+    let model = "des (0, 2, 2)\n(0, \"rate 1\", 1)\n(1, \"rate 3\", 0)\n";
+    std::fs::write(&path, model).expect("write model");
+    let out = unicon()
+        .args(["lint"])
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"code\":\"U001\""), "stdout: {text}");
+    assert!(text.contains("\"errors\":"), "stdout: {text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn ftwc_subcommand_runs() {
     let out = unicon()
         .args(["ftwc", "--n", "1", "--time", "10"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("FTWC N=1"));
     assert!(text.contains("premium lost"));

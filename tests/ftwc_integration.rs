@@ -12,8 +12,11 @@ use unicon::numeric::assert_close;
 /// The paper's Table 1 structural counts, columns 2–5, for small N.
 /// (interactive states, Markov states, interactive transitions, Markov
 /// transitions)
-const PAPER_TABLE1: [(usize, usize, usize, usize, usize); 3] =
-    [(1, 110, 81, 155, 324), (2, 274, 205, 403, 920), (4, 818, 621, 1235, 3000)];
+const PAPER_TABLE1: [(usize, usize, usize, usize, usize); 3] = [
+    (1, 110, 81, 155, 324),
+    (2, 274, 205, 403, 920),
+    (4, 818, 621, 1235, 3000),
+];
 
 #[test]
 fn table1_structure_matches_paper() {

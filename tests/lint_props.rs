@@ -1,0 +1,122 @@
+//! The static analyzer against the construction pipeline: whatever the
+//! uniformity-by-construction operators and the uIMC → uCTMDP transform
+//! produce must lint clean — the lints exist to catch models built *outside*
+//! the disciplined trajectory, never to second-guess the trajectory itself.
+
+use unicon::ftwc::{compositional, FtwcParams};
+use unicon::imc::{Imc, ImcBuilder, View};
+use unicon::numeric::rng::{Rng, XorShift64};
+use unicon::transform::transform;
+use unicon::verify::{lint_imc, lint_transform_output, LintOptions, Severity};
+
+const CASES: u64 = 64;
+
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.random_f64() * (hi - lo)
+}
+
+/// Random closed uniform IMC (same alternating shape as the transform
+/// property tests): decision state `2i`, timed state `2i+1`.
+fn random_closed(rng: &mut XorShift64) -> Imc {
+    let pairs = 1 + rng.random_range(4);
+    let e = uniform(rng, 0.5, 5.0);
+    let mut b = ImcBuilder::new(pairs * 2, 0);
+    for i in 0..pairs {
+        let k = 1 + rng.random_range(3);
+        for c in 0..k {
+            let tgt = rng.random_range(pairs);
+            b.interactive(&format!("c{c}"), (2 * i) as u32, (2 * tgt + 1) as u32);
+        }
+        let m = 1 + rng.random_range(3);
+        let weights: Vec<(usize, f64)> = (0..m)
+            .map(|_| (rng.random_range(pairs), uniform(rng, 0.05, 1.0)))
+            .collect();
+        let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+        for &(tgt, w) in &weights {
+            b.markov((2 * i + 1) as u32, e * w / total, (2 * tgt) as u32);
+        }
+    }
+    b.build()
+}
+
+/// The transform's output always passes the full static analysis: strict
+/// alternation (U005), uniformity (U001), internal consistency (U002),
+/// reachability (U007) — no errors and no warnings, on every random model.
+#[test]
+fn transform_output_always_lints_clean() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11A7 + case);
+        let imc = random_closed(&mut rng);
+        let out = transform(&imc).expect("alternating structure cannot be Zeno");
+        let report = lint_transform_output(&imc, &out);
+        assert!(
+            report.max_severity() < Some(Severity::Warning),
+            "case {case}: transform output must lint clean, got:\n{}",
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// The input side of the same contract: the generated closed models carry
+/// no *errors* under the closed view (warnings like unreachable decision
+/// states are possible — the generator does not guarantee connectivity).
+#[test]
+fn random_closed_models_have_no_lint_errors() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11A8 + case);
+        let imc = random_closed(&mut rng);
+        let report = lint_imc(&imc, &LintOptions { view: View::Closed });
+        assert!(
+            !report.has_errors(),
+            "case {case}: {}",
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// End-to-end acceptance: the paper's FTWC case study — built
+/// compositionally, uniform by construction — lints clean at every stage:
+/// the open composed uIMC, and the transformed uCTMDP package.
+#[test]
+fn ftwc_pipeline_lints_clean() {
+    for model in [
+        compositional::build(&FtwcParams::new(1)),
+        compositional::build_shared_timer(&FtwcParams::new(1)),
+    ] {
+        let open_report = lint_imc(model.uniform.imc(), &LintOptions { view: View::Open });
+        assert!(
+            open_report.max_severity() < Some(Severity::Warning),
+            "open FTWC model must lint clean:\n{}",
+            open_report
+                .diagnostics()
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+
+        let closed = model.uniform.close();
+        let out = transform(closed.imc()).expect("FTWC transforms");
+        let report = lint_transform_output(closed.imc(), &out);
+        assert!(
+            report.max_severity() < Some(Severity::Warning),
+            "transformed FTWC model must lint clean:\n{}",
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -72,10 +72,7 @@ fn minimize_then_transform_is_value_preserving() {
         "reset",
         "step2",
     );
-    let (system, map) = t1
-        .compose(&t2)
-        .compose(&t3)
-        .compose_with_map(&proc_lts);
+    let (system, map) = t1.compose(&t2).compose(&t3).compose_with_map(&proc_lts);
     let labels: Vec<u32> = map.iter().map(|&(_, p)| u32::from(p == 2)).collect();
 
     let goal_big: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
@@ -136,11 +133,8 @@ fn uniformity_by_construction_through_every_stage() {
     for (i, rate) in [0.5, 1.25, 2.0, 0.125].iter().enumerate() {
         let f = format!("f{i}");
         let r = format!("r{i}");
-        let tc = UniformImc::from_elapse(
-            &PhaseType::exponential(*rate).uniformize_at_max(),
-            &f,
-            &r,
-        );
+        let tc =
+            UniformImc::from_elapse(&PhaseType::exponential(*rate).uniformize_at_max(), &f, &r);
         expected += rate;
         acc = Some(match acc {
             None => tc,

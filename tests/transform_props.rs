@@ -1,14 +1,21 @@
-//! Property-based tests of the uIMC → uCTMDP transformation and of the
+//! Randomized tests of the uIMC → uCTMDP transformation and of the
 //! interplay between minimization, transformation and analysis
-//! (Theorem 1 + Lemma 3, checked semantically).
+//! (Theorem 1 + Lemma 3, checked semantically). Driven by the in-tree
+//! deterministic [`XorShift64`] generator (fixed seeds, no external PRNG).
 
-use proptest::prelude::*;
 use unicon::core::{ClosedModel, PreparedModel, UniformImc};
 use unicon::ctmdp::reachability::{timed_reachability, ReachOptions};
 use unicon::ctmdp::scheduler::StepDependent;
 use unicon::ctmdp::simulate::{estimate_reachability, SimulationOptions};
 use unicon::imc::{bisim, Imc, ImcBuilder, StateKind, View};
+use unicon::numeric::rng::{Rng, XorShift64};
 use unicon::transform::{is_strictly_alternating, transform};
+
+const CASES: u64 = 64;
+
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + rng.random_f64() * (hi - lo)
+}
 
 /// Random **closed** uniform IMC without Zeno behaviour or dead ends:
 ///
@@ -32,26 +39,31 @@ struct RawClosed {
     goal_mask: u8,
 }
 
-fn raw_closed() -> impl Strategy<Value = RawClosed> {
-    (1usize..=4).prop_flat_map(|pairs| {
-        let p = pairs as u8;
-        (
-            prop::collection::vec(prop::collection::vec(0..p, 1..4), pairs),
-            prop::collection::vec(
-                prop::collection::vec((0..p, 0.05f64..1.0), 1..4),
-                pairs,
-            ),
-            0.5f64..5.0,
-            0u8..255,
-        )
-            .prop_map(move |(choices, rates, e, goal_mask)| RawClosed {
-                pairs,
-                choices,
-                rates,
-                e,
-                goal_mask,
-            })
-    })
+fn raw_closed(rng: &mut XorShift64) -> RawClosed {
+    let pairs = 1 + rng.random_range(4);
+    let choices = (0..pairs)
+        .map(|_| {
+            let k = 1 + rng.random_range(3);
+            (0..k).map(|_| rng.random_range(pairs) as u8).collect()
+        })
+        .collect();
+    let rates = (0..pairs)
+        .map(|_| {
+            let k = 1 + rng.random_range(3);
+            (0..k)
+                .map(|_| (rng.random_range(pairs) as u8, uniform(rng, 0.05, 1.0)))
+                .collect()
+        })
+        .collect();
+    let e = uniform(rng, 0.5, 5.0);
+    let goal_mask = rng.random_range(255) as u8;
+    RawClosed {
+        pairs,
+        choices,
+        rates,
+        e,
+        goal_mask,
+    }
 }
 
 /// Builds the IMC: decision state of pair `i` is `2i`, timed state `2i+1`.
@@ -84,38 +96,45 @@ fn build_closed(raw: &RawClosed) -> (Imc, Vec<bool>) {
     (imc, goal)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Transformation output invariants: strict alternation, uniformity,
-    /// origin consistency.
-    #[test]
-    fn transform_invariants(raw in raw_closed()) {
+/// Transformation output invariants: strict alternation, uniformity,
+/// origin consistency.
+#[test]
+fn transform_invariants() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x7F14 + case);
+        let raw = raw_closed(&mut rng);
         let (imc, _) = build_closed(&raw);
         let out = transform(&imc).expect("alternating structure cannot be Zeno");
-        prop_assert!(is_strictly_alternating(&out.strictly_alternating));
+        assert!(is_strictly_alternating(&out.strictly_alternating));
         let e = out.ctmdp.uniform_rate().expect("uniform in, uniform out");
-        prop_assert!((e - raw.e).abs() < 1e-9 * raw.e);
-        prop_assert_eq!(out.ctmdp_state_origin.len(), out.ctmdp.num_states());
+        assert!((e - raw.e).abs() < 1e-9 * raw.e);
+        assert_eq!(out.ctmdp_state_origin.len(), out.ctmdp.num_states());
         for (&o, closure) in out.ctmdp_state_origin.iter().zip(&out.ctmdp_zero_closure) {
-            prop_assert!((o as usize) < imc.num_states());
-            prop_assert!(closure.contains(&o) || !closure.is_empty());
+            assert!((o as usize) < imc.num_states());
+            assert!(closure.contains(&o) || !closure.is_empty());
         }
         // stats match the structures
-        prop_assert_eq!(out.stats.interactive_states, out.ctmdp.num_states());
-        prop_assert_eq!(out.stats.interactive_transitions, out.ctmdp.num_transitions());
-        let (markov, interactive, hybrid, absorbing) =
-            out.strictly_alternating.kind_counts();
-        prop_assert_eq!(hybrid, 0);
-        prop_assert_eq!(absorbing, 0);
-        prop_assert_eq!(markov, out.stats.markov_states);
-        prop_assert_eq!(interactive, out.stats.interactive_states);
+        assert_eq!(out.stats.interactive_states, out.ctmdp.num_states());
+        assert_eq!(
+            out.stats.interactive_transitions,
+            out.ctmdp.num_transitions()
+        );
+        let (markov, interactive, hybrid, absorbing) = out.strictly_alternating.kind_counts();
+        assert_eq!(hybrid, 0);
+        assert_eq!(absorbing, 0);
+        assert_eq!(markov, out.stats.markov_states);
+        assert_eq!(interactive, out.stats.interactive_states);
     }
+}
 
-    /// Lemma 3 semantically: minimizing (labels = goal) before the
-    /// transformation does not change the worst-case value.
-    #[test]
-    fn minimization_preserves_analysis(raw in raw_closed(), t in 0.1f64..4.0) {
+/// Lemma 3 semantically: minimizing (labels = goal) before the
+/// transformation does not change the worst-case value.
+#[test]
+fn minimization_preserves_analysis() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3195 + case);
+        let raw = raw_closed(&mut rng);
+        let t = uniform(&mut rng, 0.1, 4.0);
         let (imc, goal) = build_closed(&raw);
         let model = ClosedModel::try_new(imc.clone()).expect("uniform");
         let p_direct = PreparedModel::new(&model, &goal)
@@ -131,15 +150,22 @@ proptest! {
             .expect("transforms")
             .worst_case_from_initial(t, 1e-10)
             .unwrap();
-        prop_assert!((p_direct - p_min).abs() < 1e-7,
-            "direct {p_direct} vs minimized {p_min}");
+        assert!(
+            (p_direct - p_min).abs() < 1e-7,
+            "direct {p_direct} vs minimized {p_min}"
+        );
     }
+}
 
-    /// The weak-bisimulation quotient preserves the analysis value too
-    /// (the paper's remark that the minimization theory works for other
-    /// τ-abstracting equivalences).
-    #[test]
-    fn weak_minimization_preserves_analysis(raw in raw_closed(), t in 0.1f64..4.0) {
+/// The weak-bisimulation quotient preserves the analysis value too
+/// (the paper's remark that the minimization theory works for other
+/// τ-abstracting equivalences).
+#[test]
+fn weak_minimization_preserves_analysis() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x3EA6 + case);
+        let raw = raw_closed(&mut rng);
+        let t = uniform(&mut rng, 0.1, 4.0);
         let (imc, goal) = build_closed(&raw);
         let model = ClosedModel::try_new(imc.clone()).expect("uniform");
         let p_direct = PreparedModel::new(&model, &goal)
@@ -158,63 +184,84 @@ proptest! {
             }
         }
         // quotient() + restrict renumbers; recompute by rebuilding the map
-        let (qq, old_of_new) = bisim::quotient(&imc, &part, View::Closed)
-            .restrict_to_reachable_with_map();
+        let (qq, old_of_new) =
+            bisim::quotient(&imc, &part, View::Closed).restrict_to_reachable_with_map();
         let _ = q;
-        let q_goal: Vec<bool> = old_of_new
-            .iter()
-            .map(|&b| block_goal[b as usize])
-            .collect();
+        let q_goal: Vec<bool> = old_of_new.iter().map(|&b| block_goal[b as usize]).collect();
         let q_model = ClosedModel::try_new(qq).expect("weak quotient stays uniform");
         let p_weak = PreparedModel::new(&q_model, &q_goal)
             .expect("transforms")
             .worst_case_from_initial(t, 1e-10)
             .unwrap();
-        prop_assert!((p_direct - p_weak).abs() < 1e-7,
-            "direct {p_direct} vs weak-minimized {p_weak}");
+        assert!(
+            (p_direct - p_weak).abs() < 1e-7,
+            "direct {p_direct} vs weak-minimized {p_weak}"
+        );
     }
+}
 
-    /// Theorem 1 via simulation: the extracted maximal scheduler attains
-    /// the computed value on the transformed model.
-    #[test]
-    fn extracted_scheduler_validates_transform(raw in raw_closed()) {
+/// Theorem 1 via simulation: the extracted maximal scheduler attains
+/// the computed value on the transformed model.
+#[test]
+fn extracted_scheduler_validates_transform() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xE5C4 + case);
+        let raw = raw_closed(&mut rng);
         let (imc, goal) = build_closed(&raw);
         let out = transform(&imc).expect("transforms");
         let cgoal = out.goal_vector(&goal);
-        prop_assume!(!cgoal[out.ctmdp.initial() as usize]);
+        if cgoal[out.ctmdp.initial() as usize] {
+            continue;
+        }
         let t = 1.0;
         let res = timed_reachability(
-            &out.ctmdp, &cgoal, t,
-            &ReachOptions::default().with_epsilon(1e-9).recording_decisions(),
-        ).unwrap();
+            &out.ctmdp,
+            &cgoal,
+            t,
+            &ReachOptions::default()
+                .with_epsilon(1e-9)
+                .recording_decisions(),
+        )
+        .unwrap();
         let value = res.from_state(out.ctmdp.initial());
-        prop_assume!(value > 0.01 && value < 0.99);
+        if !(value > 0.01 && value < 0.99) {
+            continue;
+        }
         let sched = StepDependent::from_result(&res);
         let est = estimate_reachability(
-            &out.ctmdp, &cgoal, t, &sched,
-            &SimulationOptions { runs: 3_000, seed: 11 },
+            &out.ctmdp,
+            &cgoal,
+            t,
+            &sched,
+            &SimulationOptions {
+                runs: 3_000,
+                seed: 11,
+            },
         );
-        prop_assert!(
+        assert!(
             est.is_consistent_with(value, 5.0),
-            "sim {} vs algorithm {value}", est.probability
+            "sim {} vs algorithm {value}",
+            est.probability
         );
     }
+}
 
-    /// The closed-uniform wrapper accepts the generated models and the
-    /// composition API refuses to treat them as open.
-    #[test]
-    fn closed_view_classification(raw in raw_closed()) {
+/// The closed-uniform wrapper accepts the generated models and the
+/// composition API refuses to treat them as open.
+#[test]
+fn closed_view_classification() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0xC14F + case);
+        let raw = raw_closed(&mut rng);
         let (imc, _) = build_closed(&raw);
-        prop_assert!(ClosedModel::try_new(imc.clone()).is_ok());
+        assert!(ClosedModel::try_new(imc.clone()).is_ok());
         // under the open view the visible decision states (rate 0) clash
         // with the timed states (rate e) whenever both kinds are reachable,
         // so UniformImc must reject exactly those models
         let has_reachable_decision = {
             let reach = imc.reachable_states();
-            (0..imc.num_states()).any(|s| {
-                reach[s] && imc.kind(s as u32) == StateKind::Interactive
-            })
+            (0..imc.num_states()).any(|s| reach[s] && imc.kind(s as u32) == StateKind::Interactive)
         };
-        prop_assert_eq!(UniformImc::try_new(imc).is_err(), has_reachable_decision);
+        assert_eq!(UniformImc::try_new(imc).is_err(), has_reachable_decision);
     }
 }
