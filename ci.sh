@@ -13,4 +13,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> reach determinism contract (--threads 1 vs --threads 4)"
+cargo build --release -q
+CI_DIR=target/ci
+mkdir -p "$CI_DIR"
+BOUNDS="100,500,1000"
+./target/release/unicon reach --ftwc 32 --time-bounds "$BOUNDS" --threads 1 \
+    --json "$CI_DIR/reach_t1.json" --values-out "$CI_DIR/reach_t1.hex" 2>/dev/null
+./target/release/unicon reach --ftwc 32 --time-bounds "$BOUNDS" --threads 4 \
+    --json "$CI_DIR/reach_t4.json" --values-out "$CI_DIR/reach_t4.hex" 2>/dev/null
+if ! cmp -s "$CI_DIR/reach_t1.hex" "$CI_DIR/reach_t4.hex"; then
+    echo "FAIL: reach values diverge between --threads 1 and --threads 4"
+    exit 1
+fi
+echo "reach values bitwise identical across thread counts"
+
+# BENCH_reach.json: both runs plus the wall-clock ratio of the iterate phase
+ms1=$(sed -n 's/.*"iterate_ms":\([0-9.e+-]*\).*/\1/p' "$CI_DIR/reach_t1.json")
+ms4=$(sed -n 's/.*"iterate_ms":\([0-9.e+-]*\).*/\1/p' "$CI_DIR/reach_t4.json")
+speedup=$(awk "BEGIN { printf \"%.4f\", ($ms1) / ($ms4) }")
+{
+    printf '{"benchmark":"reach_determinism_and_speedup","bounds":[%s],' "$BOUNDS"
+    printf '"speedup_threads4_over_threads1":%s,' "$speedup"
+    printf '"threads1":'
+    cat "$CI_DIR/reach_t1.json"
+    printf ',"threads4":'
+    cat "$CI_DIR/reach_t4.json"
+    printf '}\n'
+} | tr -d '\n' > BENCH_reach.json
+echo >> BENCH_reach.json
+echo "BENCH_reach.json written (iterate speedup threads4/threads1: $speedup)"
+
 echo "CI OK"

@@ -54,8 +54,9 @@
 #![warn(missing_docs)]
 
 use unicon_ctmc::phase_type::UniformPhaseType;
-use unicon_ctmdp::reachability::{self, Objective, ReachOptions, ReachResult};
-use unicon_ctmdp::{Ctmdp, NotUniformError};
+use unicon_ctmdp::par::ReachBatch;
+use unicon_ctmdp::reachability::{self, Objective, ReachError, ReachOptions, ReachResult};
+use unicon_ctmdp::Ctmdp;
 use unicon_imc::{bisim, elapse, Imc, Uniformity, View};
 use unicon_lts::Lts;
 use unicon_transform::{transform, TransformError, TransformStats};
@@ -437,9 +438,10 @@ impl PreparedModel {
     ///
     /// # Errors
     ///
-    /// [`NotUniformError`] if the CTMDP is non-uniform (cannot happen for
-    /// models built through [`UniformImc`]).
-    pub fn worst_case(&self, t: f64, epsilon: f64) -> Result<ReachResult, NotUniformError> {
+    /// [`ReachError::NotUniform`] if the CTMDP is non-uniform (cannot
+    /// happen for models built through [`UniformImc`]) and
+    /// [`ReachError::InvalidEpsilon`] if `epsilon` lies outside `(0, 1)`.
+    pub fn worst_case(&self, t: f64, epsilon: f64) -> Result<ReachResult, ReachError> {
         reachability::timed_reachability(
             &self.ctmdp,
             &self.goal,
@@ -453,7 +455,7 @@ impl PreparedModel {
     /// # Errors
     ///
     /// See [`PreparedModel::worst_case`].
-    pub fn best_case(&self, t: f64, epsilon: f64) -> Result<ReachResult, NotUniformError> {
+    pub fn best_case(&self, t: f64, epsilon: f64) -> Result<ReachResult, ReachError> {
         reachability::timed_reachability(
             &self.ctmdp,
             &self.goal,
@@ -464,12 +466,21 @@ impl PreparedModel {
         )
     }
 
+    /// Starts a batched timed-reachability request against the prepared
+    /// CTMDP and goal: many time bounds answered in one pass, sharing the
+    /// CSR traversal structures and Fox–Glynn weight vectors, optionally
+    /// split over worker threads (results stay bitwise identical to
+    /// single-query, single-threaded analysis).
+    pub fn reach_batch(&self) -> ReachBatch<'_> {
+        ReachBatch::new(&self.ctmdp, &self.goal)
+    }
+
     /// Worst-case probability from the initial state.
     ///
     /// # Errors
     ///
     /// See [`PreparedModel::worst_case`].
-    pub fn worst_case_from_initial(&self, t: f64, epsilon: f64) -> Result<f64, NotUniformError> {
+    pub fn worst_case_from_initial(&self, t: f64, epsilon: f64) -> Result<f64, ReachError> {
         Ok(self
             .worst_case(t, epsilon)?
             .from_state(self.ctmdp.initial()))
@@ -659,6 +670,39 @@ mod tests {
         let c2 = a.parallel(&b, &[]);
         assert_eq!(c1.imc().num_states(), c2.imc().num_states());
         assert_eq!(c1.imc().num_interactive(), c2.imc().num_interactive());
+    }
+
+    #[test]
+    fn reach_batch_matches_single_queries_bitwise() {
+        let delay = PhaseType::erlang(2, 3.0).uniformize_at_max();
+        let constraint = UniformImc::from_elapse(&delay, "finish", "restart");
+        let job = UniformImc::from_lts(&job_lts());
+        let system = constraint.parallel(&job, &["finish", "restart"]);
+        let goal: Vec<bool> = (0..system.imc().num_states() as u32)
+            .map(|s| {
+                system
+                    .imc()
+                    .interactive_from(s)
+                    .iter()
+                    .any(|t| system.imc().actions().name(t.action) == "restart")
+            })
+            .collect();
+        let prepared = PreparedModel::new(&system.close(), &goal).expect("transformable");
+        let bounds = [0.2, 0.7, 2.0];
+        let eps = 1e-10;
+        let mut batch = prepared.reach_batch().with_epsilon(eps).with_threads(2);
+        for &t in &bounds {
+            batch = batch.query(t);
+        }
+        let out = batch.run().expect("uniform");
+        assert_eq!(out.results.len(), bounds.len());
+        assert_eq!(out.stats.cache_misses, bounds.len());
+        for (r, &t) in out.results.iter().zip(&bounds) {
+            let single = prepared.worst_case(t, eps).expect("uniform");
+            let batch_bits: Vec<u64> = r.values.iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u64> = single.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, single_bits, "t = {t}");
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 pub mod export;
 mod model;
+pub mod par;
 pub mod policy;
 pub mod reachability;
 pub mod scheduler;

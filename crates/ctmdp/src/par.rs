@@ -1,0 +1,645 @@
+//! Parallel and batched timed reachability.
+//!
+//! This module scales Algorithm 1 along two axes:
+//!
+//! * **across states** — every backward value-iteration step is split over
+//!   a scoped pool of `std::thread` workers, each owning a contiguous
+//!   range of the state space ([`timed_reachability_par`]);
+//! * **across queries** — a [`ReachBatch`] answers many `(time bound,
+//!   objective)` queries in one pass, building the CSR traversal
+//!   structures once and caching Fox–Glynn weight vectors keyed by
+//!   `(rate, t, epsilon)`.
+//!
+//! # Determinism contract
+//!
+//! Parallel results are **bitwise identical** to the sequential engine's
+//! for every thread count:
+//!
+//! * each state's update runs the exact kernel the sequential engine runs
+//!   ([`reachability` internals]), reading the previous iterate as a
+//!   shared snapshot and writing to a disjoint output slot — no
+//!   cross-state arithmetic exists that could reassociate;
+//! * the per-query value checksum reported in [`QueryStats`] is a chunked
+//!   Neumaier reduction over **fixed-size** blocks
+//!   ([`unicon_numeric::chunked_stable_sum`]), so its grouping never
+//!   depends on the worker count.
+//!
+//! The differential test suite (`tests/par_differential.rs`) pins this
+//! contract for 1, 2 and 8 threads on randomly generated uniform CTMDPs.
+//!
+//! [`reachability` internals]: crate::reachability::timed_reachability
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use unicon_numeric::{chunked_stable_sum, FoxGlynn, WeightCache};
+use unicon_sparse::assign_blocks;
+
+use crate::model::Ctmdp;
+use crate::reachability::{
+    finalize_values, indicator_result, iterate_sequential, step_state, validate_epsilon, Objective,
+    Precompute, ReachError, ReachOptions, ReachResult,
+};
+
+/// Fixed block size of the deterministic checksum reduction — a property
+/// of the *algorithm*, never derived from the thread count.
+pub const CHECKSUM_BLOCK: usize = 1024;
+
+/// Resolves a `threads` request: `0` means "one worker per available
+/// hardware thread".
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+}
+
+/// Computes `opt_D Pr_D(s ⤳≤t B)` with the state-space loop of every
+/// value-iteration step split over `threads` scoped worker threads.
+///
+/// `threads == 0` uses one worker per available hardware thread;
+/// `threads == 1` (or a single-state model) runs the sequential engine.
+/// Results — values, iteration count and recorded decisions — are bitwise
+/// identical to [`crate::reachability::timed_reachability`] for every
+/// thread count.
+///
+/// # Errors
+///
+/// See [`crate::reachability::timed_reachability`].
+///
+/// # Panics
+///
+/// Panics if `goal.len()` mismatches the state count or `t` is negative
+/// or not finite.
+pub fn timed_reachability_par(
+    ctmdp: &Ctmdp,
+    goal: &[bool],
+    t: f64,
+    opts: &ReachOptions,
+    threads: usize,
+) -> Result<ReachResult, ReachError> {
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time bound must be finite and >= 0"
+    );
+    validate_epsilon(opts.epsilon)?;
+    let pre = Precompute::new(ctmdp, goal)?;
+    if t == 0.0 || pre.rate == 0.0 {
+        return Ok(indicator_result(goal, pre.rate));
+    }
+    let start = Instant::now();
+    let fg = FoxGlynn::new(pre.rate * t);
+    let k = fg.right_truncation(opts.epsilon);
+    Ok(run_query(ctmdp, &pre, goal, &fg, k, opts, threads, start))
+}
+
+/// Dispatches one query to the sequential or parallel driver.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_query(
+    ctmdp: &Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    fg: &FoxGlynn,
+    k: usize,
+    opts: &ReachOptions,
+    threads: usize,
+    start: Instant,
+) -> ReachResult {
+    let workers = resolve_threads(threads).min(ctmdp.num_states());
+    if workers <= 1 {
+        iterate_sequential(ctmdp, pre, goal, fg, k, opts, start)
+    } else {
+        iterate_parallel(ctmdp, pre, goal, fg, k, opts, workers, start)
+    }
+}
+
+/// One unit of work: apply step `psi` to the worker's state range against
+/// the shared previous iterate, filling the recycled buffers.
+struct Job {
+    psi: f64,
+    q_next: Arc<Vec<f64>>,
+    values: Vec<f64>,
+    decisions: Vec<u16>,
+}
+
+/// A worker's finished chunk, sent back for assembly.
+struct ChunkResult {
+    worker: usize,
+    values: Vec<f64>,
+    decisions: Vec<u16>,
+}
+
+/// The parallel value-iteration driver: persistent scoped workers, one
+/// contiguous state range each, synchronized per step through channels.
+#[allow(clippy::too_many_arguments)]
+fn iterate_parallel(
+    ctmdp: &Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    fg: &FoxGlynn,
+    k: usize,
+    opts: &ReachOptions,
+    workers: usize,
+    start: Instant,
+) -> ReachResult {
+    let n = ctmdp.num_states();
+    let maximize = opts.objective == Objective::Maximize;
+    let record = opts.record_decisions;
+    let ranges: Vec<std::ops::Range<usize>> = assign_blocks(n, workers)
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .collect();
+
+    let mut decisions: Vec<Vec<u16>> = Vec::new();
+    if record {
+        decisions.resize(k, Vec::new());
+    }
+
+    // `current` is the shared snapshot q_{i+1}; `spare` is the assembly
+    // target for q_i. They rotate each step, recycling both allocations.
+    let mut current = Arc::new(vec![0.0f64; n]);
+    let mut spare = vec![0.0f64; n];
+
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::channel::<ChunkResult>();
+        let mut job_txs = Vec::with_capacity(ranges.len());
+        for (w, range) in ranges.iter().cloned().enumerate() {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            job_txs.push(job_tx);
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let Job {
+                        psi,
+                        q_next,
+                        mut values,
+                        mut decisions,
+                    } = job;
+                    values.clear();
+                    values.reserve(range.len());
+                    if record {
+                        decisions.clear();
+                        decisions.reserve(range.len());
+                    }
+                    for s in range.clone() {
+                        let (v, idx) = step_state(ctmdp, pre, goal, s, psi, &q_next, maximize);
+                        values.push(v);
+                        if record {
+                            decisions.push(idx);
+                        }
+                    }
+                    // Drop the snapshot before reporting so the main
+                    // thread can reclaim its allocation afterwards.
+                    drop(q_next);
+                    if done_tx
+                        .send(ChunkResult {
+                            worker: w,
+                            values,
+                            decisions,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+
+        let mut buffers: Vec<Option<(Vec<f64>, Vec<u16>)>> = (0..ranges.len())
+            .map(|_| Some(Default::default()))
+            .collect();
+        for i in (1..=k).rev() {
+            let psi = fg.psi(i);
+            for (w, job_tx) in job_txs.iter().enumerate() {
+                let (values, decs) = buffers[w].take().expect("buffer returned last step");
+                job_tx
+                    .send(Job {
+                        psi,
+                        q_next: Arc::clone(&current),
+                        values,
+                        decisions: decs,
+                    })
+                    .expect("worker alive while jobs pend");
+            }
+            let mut step_decisions: Vec<u16> = if record { vec![0; n] } else { Vec::new() };
+            for _ in 0..ranges.len() {
+                let chunk = done_rx.recv().expect("worker delivers its chunk");
+                let range = ranges[chunk.worker].clone();
+                spare[range.clone()].copy_from_slice(&chunk.values);
+                if record {
+                    step_decisions[range].copy_from_slice(&chunk.decisions);
+                }
+                buffers[chunk.worker] = Some((chunk.values, chunk.decisions));
+            }
+            if record {
+                decisions[i - 1] = step_decisions;
+            }
+            // Rotate: the assembled q_i becomes the next snapshot; the old
+            // snapshot's allocation is reclaimed (every worker has dropped
+            // its clone before sending, so the Arc is unique again).
+            let old = std::mem::replace(&mut current, Arc::new(std::mem::take(&mut spare)));
+            spare = Arc::try_unwrap(old).unwrap_or_else(|_| vec![0.0; n]);
+        }
+        drop(job_txs); // workers exit their recv loop
+    });
+
+    ReachResult {
+        values: finalize_values(goal, &current),
+        iterations: k,
+        uniform_rate: pre.rate,
+        runtime: start.elapsed(),
+        decisions,
+    }
+}
+
+/// One query of a [`ReachBatch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachQuery {
+    /// The time bound.
+    pub t: f64,
+    /// Maximize or minimize over schedulers.
+    pub objective: Objective,
+}
+
+/// Per-query measurements of a batch run.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// The time bound analyzed.
+    pub t: f64,
+    /// The optimization direction.
+    pub objective: Objective,
+    /// Value-iteration step count `k(ε, E, t)`.
+    pub iterations: usize,
+    /// Wall-clock time of this query's iteration.
+    pub wall: Duration,
+    /// Deterministic chunked-Neumaier checksum of the value vector
+    /// (fixed [`CHECKSUM_BLOCK`]-state blocks) — bitwise reproducible for
+    /// every thread count, the quantity the CI divergence gate compares.
+    pub checksum: f64,
+}
+
+/// Aggregate measurements of a batch run, for the BENCH trajectory.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Worker threads used per query (after resolving `0` = auto).
+    pub threads: usize,
+    /// Time spent building the shared CSR traversal structures.
+    pub precompute_time: Duration,
+    /// Time spent computing (or fetching) Fox–Glynn weight vectors.
+    pub weights_time: Duration,
+    /// Total wall-clock time of all value iterations.
+    pub iterate_time: Duration,
+    /// Weight-cache hits across the batch.
+    pub cache_hits: usize,
+    /// Weight-cache misses across the batch.
+    pub cache_misses: usize,
+    /// Sum of all queries' iteration counts.
+    pub total_iterations: usize,
+    /// Per-query detail, in query order.
+    pub queries: Vec<QueryStats>,
+}
+
+/// The answers of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One [`ReachResult`] per query, in query order — each bitwise equal
+    /// to the corresponding single-query call.
+    pub results: Vec<ReachResult>,
+    /// Phase timings and cache counters.
+    pub stats: BatchStats,
+}
+
+/// A batched timed-reachability request: many `(time bound, objective)`
+/// queries against one `(model, goal)` pair, sharing the CSR traversal
+/// structures and a Fox–Glynn weight cache across queries.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_ctmdp::{CtmdpBuilder, par::ReachBatch};
+///
+/// let mut b = CtmdpBuilder::new(3, 0);
+/// b.transition(0, "a", &[(1, 1.0), (0, 1.0)]);
+/// b.transition(1, "a", &[(2, 2.0)]);
+/// b.transition(2, "a", &[(2, 2.0)]);
+/// let m = b.build();
+/// let goal = [false, false, true];
+///
+/// let batch = ReachBatch::new(&m, &goal)
+///     .with_epsilon(1e-9)
+///     .query(1.0)
+///     .query(4.0);
+/// let out = batch.run().expect("uniform model");
+/// assert_eq!(out.results.len(), 2);
+/// assert!(out.results[0].values[0] < out.results[1].values[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachBatch<'a> {
+    ctmdp: &'a Ctmdp,
+    goal: Vec<bool>,
+    epsilon: f64,
+    threads: usize,
+    queries: Vec<ReachQuery>,
+}
+
+impl<'a> ReachBatch<'a> {
+    /// Starts an empty batch against `(ctmdp, goal)` with the default
+    /// precision `1e-6` and one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `goal.len()` mismatches the state count.
+    pub fn new(ctmdp: &'a Ctmdp, goal: &[bool]) -> Self {
+        assert_eq!(
+            goal.len(),
+            ctmdp.num_states(),
+            "goal vector length mismatch"
+        );
+        Self {
+            ctmdp,
+            goal: goal.to_vec(),
+            epsilon: ReachOptions::default().epsilon,
+            threads: 1,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Sets the truncation precision shared by all queries (validated at
+    /// [`ReachBatch::run`] time).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = one per hardware thread).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Adds a maximizing (worst-case) query for time bound `t`.
+    pub fn query(self, t: f64) -> Self {
+        self.query_with(t, Objective::Maximize)
+    }
+
+    /// Adds a query with an explicit objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    pub fn query_with(mut self, t: f64, objective: Objective) -> Self {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "time bound must be finite and >= 0"
+        );
+        self.queries.push(ReachQuery { t, objective });
+        self
+    }
+
+    /// The queries accumulated so far.
+    pub fn queries(&self) -> &[ReachQuery] {
+        &self.queries
+    }
+
+    /// Runs all queries, sharing precomputation and weight vectors.
+    ///
+    /// Every returned [`ReachResult`]'s values are bitwise equal to the
+    /// corresponding single-query [`timed_reachability_par`] call (and
+    /// hence to the sequential engine).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::reachability::timed_reachability`].
+    pub fn run(&self) -> Result<BatchResult, ReachError> {
+        validate_epsilon(self.epsilon)?;
+        let threads = resolve_threads(self.threads);
+
+        let pre_start = Instant::now();
+        let pre = Precompute::new(self.ctmdp, &self.goal)?;
+        let precompute_time = pre_start.elapsed();
+
+        let opts_base = ReachOptions::default().with_epsilon(self.epsilon);
+        let mut cache = WeightCache::new();
+        let mut results = Vec::with_capacity(self.queries.len());
+        let mut query_stats = Vec::with_capacity(self.queries.len());
+        let mut weights_time = Duration::ZERO;
+        let mut iterate_time = Duration::ZERO;
+        let mut total_iterations = 0;
+
+        for q in &self.queries {
+            let result = if q.t == 0.0 || pre.rate == 0.0 {
+                indicator_result(&self.goal, pre.rate)
+            } else {
+                let w_start = Instant::now();
+                let cached = cache.get(pre.rate, q.t, self.epsilon).clone();
+                weights_time += w_start.elapsed();
+                let opts = opts_base.with_objective(q.objective);
+                run_query(
+                    self.ctmdp,
+                    &pre,
+                    &self.goal,
+                    &cached.fg,
+                    cached.truncation,
+                    &opts,
+                    threads,
+                    Instant::now(),
+                )
+            };
+            iterate_time += result.runtime;
+            total_iterations += result.iterations;
+            query_stats.push(QueryStats {
+                t: q.t,
+                objective: q.objective,
+                iterations: result.iterations,
+                wall: result.runtime,
+                checksum: chunked_stable_sum(&result.values, CHECKSUM_BLOCK),
+            });
+            results.push(result);
+        }
+
+        Ok(BatchResult {
+            results,
+            stats: BatchStats {
+                threads,
+                precompute_time,
+                weights_time,
+                iterate_time,
+                cache_hits: cache.hits(),
+                cache_misses: cache.misses(),
+                total_iterations,
+                queries: query_stats,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CtmdpBuilder;
+    use crate::reachability::timed_reachability;
+
+    fn chain() -> Ctmdp {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "a", &[(1, 1.0), (0, 1.0)]);
+        b.transition(1, "a", &[(2, 2.0)]);
+        b.transition(2, "a", &[(2, 2.0)]);
+        b.build()
+    }
+
+    fn bits(values: &[f64]) -> Vec<u64> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise_on_chain() {
+        let m = chain();
+        let goal = [false, false, true];
+        let opts = ReachOptions::default().with_epsilon(1e-10);
+        let seq = timed_reachability(&m, &goal, 2.5, &opts).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = timed_reachability_par(&m, &goal, 2.5, &opts, threads).unwrap();
+            assert_eq!(bits(&par.values), bits(&seq.values), "threads {threads}");
+            assert_eq!(par.iterations, seq.iterations);
+        }
+    }
+
+    #[test]
+    fn parallel_records_identical_decisions() {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "to_goal", &[(1, 2.0)]);
+        b.transition(0, "away", &[(2, 2.0)]);
+        b.transition(1, "s", &[(1, 2.0)]);
+        b.transition(2, "s", &[(2, 2.0)]);
+        let m = b.build();
+        let goal = [false, true, false];
+        let opts = ReachOptions::default().recording_decisions();
+        let seq = timed_reachability(&m, &goal, 1.0, &opts).unwrap();
+        let par = timed_reachability_par(&m, &goal, 1.0, &opts, 2).unwrap();
+        assert_eq!(seq.decisions, par.decisions);
+        assert_eq!(bits(&seq.values), bits(&par.values));
+    }
+
+    #[test]
+    fn zero_time_and_zero_rate_shortcuts() {
+        let m = chain();
+        let goal = [false, false, true];
+        let r = timed_reachability_par(&m, &goal, 0.0, &ReachOptions::default(), 4).unwrap();
+        assert_eq!(r.values, vec![0.0, 0.0, 1.0]);
+        let empty = CtmdpBuilder::new(2, 0).build();
+        let r = timed_reachability_par(&empty, &[false, true], 3.0, &ReachOptions::default(), 4)
+            .unwrap();
+        assert_eq!(r.values, vec![0.0, 1.0]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn parallel_rejects_bad_epsilon_and_non_uniform() {
+        let m = chain();
+        let goal = [false, false, true];
+        assert!(matches!(
+            timed_reachability_par(
+                &m,
+                &goal,
+                1.0,
+                &ReachOptions::default().with_epsilon(0.0),
+                2
+            ),
+            Err(ReachError::InvalidEpsilon { .. })
+        ));
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.transition(0, "a", &[(1, 1.0)]);
+        b.transition(1, "a", &[(0, 3.0)]);
+        assert!(matches!(
+            timed_reachability_par(&b.build(), &[false, true], 1.0, &ReachOptions::default(), 2),
+            Err(ReachError::NotUniform(_))
+        ));
+    }
+
+    #[test]
+    fn batch_equals_single_queries_and_counts_cache() {
+        let m = chain();
+        let goal = [false, false, true];
+        let eps = 1e-8;
+        let batch = ReachBatch::new(&m, &goal)
+            .with_epsilon(eps)
+            .query(0.5)
+            .query(2.0)
+            .query_with(2.0, Objective::Minimize) // same t: cache hit
+            .query(0.0);
+        let out = batch.run().unwrap();
+        assert_eq!(out.results.len(), 4);
+        let opts = ReachOptions::default().with_epsilon(eps);
+        for (i, q) in [
+            (0, (0.5, Objective::Maximize)),
+            (1, (2.0, Objective::Maximize)),
+            (2, (2.0, Objective::Minimize)),
+            (3, (0.0, Objective::Maximize)),
+        ] {
+            let single = timed_reachability(&m, &goal, q.0, &opts.with_objective(q.1)).unwrap();
+            assert_eq!(
+                bits(&out.results[i].values),
+                bits(&single.values),
+                "query {i}"
+            );
+            assert_eq!(out.results[i].iterations, single.iterations);
+        }
+        // 0.5 and 2.0 miss; the repeated 2.0 hits; t = 0 bypasses weights.
+        assert_eq!(out.stats.cache_misses, 2);
+        assert_eq!(out.stats.cache_hits, 1);
+        assert_eq!(out.stats.queries.len(), 4);
+        assert_eq!(
+            out.stats.total_iterations,
+            out.results.iter().map(|r| r.iterations).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn batch_checksums_are_thread_invariant() {
+        let m = chain();
+        let goal = [false, false, true];
+        let run = |threads| {
+            ReachBatch::new(&m, &goal)
+                .with_epsilon(1e-9)
+                .with_threads(threads)
+                .query(1.0)
+                .query(3.0)
+                .run()
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        for i in 0..2 {
+            assert_eq!(
+                a.stats.queries[i].checksum.to_bits(),
+                b.stats.queries[i].checksum.to_bits()
+            );
+            assert_eq!(
+                a.stats.queries[i].checksum.to_bits(),
+                c.stats.queries[i].checksum.to_bits()
+            );
+        }
+        assert_eq!(b.stats.threads, 2);
+    }
+
+    #[test]
+    fn batch_validates_epsilon_before_running() {
+        let m = chain();
+        let goal = [false, false, true];
+        let err = ReachBatch::new(&m, &goal)
+            .with_epsilon(-0.5)
+            .query(1.0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ReachError::InvalidEpsilon { epsilon } if epsilon == -0.5));
+    }
+
+    #[test]
+    fn resolve_threads_auto_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

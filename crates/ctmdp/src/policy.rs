@@ -7,9 +7,11 @@
 //! sampling error, unlike the [`simulate`](crate::simulate) engine.
 
 use unicon_ctmc::Ctmc;
+use unicon_numeric::FoxGlynn;
 
 use crate::model::Ctmdp;
-use crate::scheduler::Stationary;
+use crate::reachability::{validate_epsilon, Precompute, ReachError};
+use crate::scheduler::{Stationary, StepDependent};
 
 /// Builds the CTMC induced by resolving every choice of `ctmdp` with the
 /// stationary policy.
@@ -58,6 +60,81 @@ pub fn evaluate_policy(
     let ctmc = induced_ctmc(ctmdp, policy);
     let opts = unicon_ctmc::transient::TransientOptions::default().with_epsilon(epsilon);
     unicon_ctmc::transient::reachability(&ctmc, goal, t, &opts).from_state(ctmdp.initial())
+}
+
+/// Evaluates a step-dependent deterministic scheduler exactly, by the same
+/// uniformization recursion as Algorithm 1 with the recorded choice
+/// substituted for the per-state optimization.
+///
+/// Because the arithmetic mirrors the engine's kernel term for term,
+/// applying the scheduler extracted from a decision-recording run
+/// reproduces the recorded optimal value **bitwise** — the strongest
+/// possible check that the recorded decisions attain the optimum.
+///
+/// Steps beyond the scheduler's horizon fall back to its last recorded
+/// step, matching [`StepDependent`]'s simulation semantics; choice indices
+/// out of range are clamped to the last available transition.
+///
+/// # Errors
+///
+/// See [`crate::reachability::timed_reachability`].
+///
+/// # Panics
+///
+/// Panics if `goal.len()` mismatches the state count or `t` is
+/// negative/not finite.
+pub fn evaluate_step_dependent(
+    ctmdp: &Ctmdp,
+    sched: &StepDependent,
+    goal: &[bool],
+    t: f64,
+    epsilon: f64,
+) -> Result<f64, ReachError> {
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time bound must be finite and >= 0"
+    );
+    validate_epsilon(epsilon)?;
+    let pre = Precompute::new(ctmdp, goal)?;
+    let init = ctmdp.initial() as usize;
+    if t == 0.0 || pre.rate == 0.0 {
+        return Ok(f64::from(u8::from(goal[init])));
+    }
+    let fg = FoxGlynn::new(pre.rate * t);
+    let k = fg.right_truncation(epsilon);
+    let n = ctmdp.num_states();
+    let decisions = sched.decisions();
+
+    let mut q_next = vec![0.0f64; n];
+    let mut q = vec![0.0f64; n];
+    for i in (1..=k).rev() {
+        let psi = fg.psi(i);
+        let step = &decisions[(i - 1).min(decisions.len() - 1)];
+        for s in 0..n {
+            if goal[s] {
+                q[s] = psi + q_next[s];
+                continue;
+            }
+            let trans = ctmdp.transitions_from(s as u32);
+            if trans.is_empty() {
+                q[s] = 0.0;
+                continue;
+            }
+            let choice = (step[s] as usize).min(trans.len() - 1);
+            let rf = trans[choice].rate_fn as usize;
+            let mut v = psi * pre.prob_goal[rf];
+            for (tgt, p) in pre.probs.row(rf) {
+                v += p * q_next[tgt];
+            }
+            q[s] = v;
+        }
+        std::mem::swap(&mut q, &mut q_next);
+    }
+    Ok(if goal[init] {
+        1.0
+    } else {
+        q_next[init].clamp(0.0, 1.0)
+    })
 }
 
 /// Enumerates all stationary deterministic policies of a (small) CTMDP.
@@ -175,5 +252,111 @@ mod tests {
     fn all_policies_enumerates_the_product() {
         let m = race_model(); // one binary choice
         assert_eq!(all_policies(&m).len(), 2);
+    }
+
+    fn nondeterministic_model() -> Ctmdp {
+        let mut b = CtmdpBuilder::new(4, 0);
+        b.transition(0, "x", &[(1, 1.0), (2, 1.0)]);
+        b.transition(0, "y", &[(2, 1.5), (3, 0.5)]);
+        b.transition(1, "x", &[(3, 2.0)]);
+        b.transition(1, "z", &[(0, 2.0)]);
+        b.transition(2, "x", &[(0, 2.0)]);
+        b.transition(3, "x", &[(3, 2.0)]);
+        b.build()
+    }
+
+    #[test]
+    fn recorded_scheduler_reproduces_the_optimal_value_bitwise() {
+        use crate::scheduler::StepDependent;
+
+        let m = nondeterministic_model();
+        let goal = [false, false, false, true];
+        let t = 1.3;
+        let eps = 1e-10;
+        for objective in [Objective::Maximize, Objective::Minimize] {
+            let res = timed_reachability(
+                &m,
+                &goal,
+                t,
+                &ReachOptions::default()
+                    .with_epsilon(eps)
+                    .with_objective(objective)
+                    .recording_decisions(),
+            )
+            .unwrap();
+            let sched = StepDependent::from_result(&res);
+            let replayed = evaluate_step_dependent(&m, &sched, &goal, t, eps).unwrap();
+            assert_eq!(
+                replayed.to_bits(),
+                res.from_state(0).to_bits(),
+                "{objective:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exported_scheduler_round_trips_and_still_attains_the_value() {
+        use crate::export;
+        use crate::scheduler::StepDependent;
+
+        let m = nondeterministic_model();
+        let goal = [false, false, false, true];
+        let t = 0.8;
+        let eps = 1e-9;
+        let res = timed_reachability(
+            &m,
+            &goal,
+            t,
+            &ReachOptions::default()
+                .with_epsilon(eps)
+                .recording_decisions(),
+        )
+        .unwrap();
+        let sched = StepDependent::from_result(&res);
+        let restored = export::scheduler_from_text(&export::scheduler_to_text(&sched)).unwrap();
+        assert_eq!(restored, sched);
+        let replayed = evaluate_step_dependent(&m, &restored, &goal, t, eps).unwrap();
+        assert_eq!(replayed.to_bits(), res.from_state(0).to_bits());
+    }
+
+    #[test]
+    fn suboptimal_step_dependent_scheduler_falls_below_the_sup() {
+        use crate::scheduler::StepDependent;
+
+        let m = race_model();
+        let goal = [false, true, false];
+        let t = 0.9;
+        let eps = 1e-10;
+        let sup = timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(eps))
+            .unwrap()
+            .from_state(0);
+        // always "bad": never reaches the goal
+        let bad = StepDependent::new(vec![vec![1, 0, 0]]);
+        let v = evaluate_step_dependent(&m, &bad, &goal, t, eps).unwrap();
+        assert_close!(v, 0.0, 1e-9);
+        assert!(v < sup);
+        // a one-step table that picks "good" matches the stationary value
+        let good = StepDependent::new(vec![vec![0, 0, 0]]);
+        let vg = evaluate_step_dependent(&m, &good, &goal, t, eps).unwrap();
+        let stationary = evaluate_policy(&m, &Stationary::new(vec![0, 0, 0]), &goal, t, eps);
+        assert_close!(vg, stationary, 1e-8);
+    }
+
+    #[test]
+    fn evaluate_step_dependent_validates_inputs() {
+        use crate::scheduler::StepDependent;
+
+        let m = race_model();
+        let goal = [false, true, false];
+        let sched = StepDependent::new(vec![vec![0, 0, 0]]);
+        assert!(matches!(
+            evaluate_step_dependent(&m, &sched, &goal, 1.0, -1.0),
+            Err(ReachError::InvalidEpsilon { .. })
+        ));
+        // t = 0: indicator of the initial state
+        let v = evaluate_step_dependent(&m, &sched, &goal, 0.0, 1e-9).unwrap();
+        assert_eq!(v, 0.0);
+        let v = evaluate_step_dependent(&m, &sched, &[true, false, false], 0.0, 1e-9).unwrap();
+        assert_eq!(v, 1.0);
     }
 }

@@ -15,8 +15,57 @@
 use std::time::Instant;
 
 use unicon_numeric::FoxGlynn;
+use unicon_sparse::CsrMatrix;
 
 use crate::model::{Ctmdp, NotUniformError};
+
+/// Structured error of the timed-reachability engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReachError {
+    /// The CTMDP's exit rates differ — Algorithm 1 requires uniformity.
+    NotUniform(NotUniformError),
+    /// The requested truncation precision is outside `(0, 1)`.
+    InvalidEpsilon {
+        /// The offending value (may be non-finite).
+        epsilon: f64,
+    },
+}
+
+impl std::fmt::Display for ReachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReachError::NotUniform(e) => e.fmt(f),
+            ReachError::InvalidEpsilon { epsilon } => write!(
+                f,
+                "truncation precision epsilon must lie in (0, 1), got {epsilon}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReachError::NotUniform(e) => Some(e),
+            ReachError::InvalidEpsilon { .. } => None,
+        }
+    }
+}
+
+impl From<NotUniformError> for ReachError {
+    fn from(e: NotUniformError) -> Self {
+        ReachError::NotUniform(e)
+    }
+}
+
+/// Validates a truncation precision, mirroring the Fox–Glynn contract.
+pub(crate) fn validate_epsilon(epsilon: f64) -> Result<(), ReachError> {
+    if epsilon > 0.0 && epsilon < 1.0 {
+        Ok(())
+    } else {
+        Err(ReachError::InvalidEpsilon { epsilon })
+    }
+}
 
 /// Optimization direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,11 +103,11 @@ impl Default for ReachOptions {
 impl ReachOptions {
     /// Sets the precision.
     ///
-    /// # Panics
-    ///
-    /// Panics if `epsilon` is not in `(0, 1)`.
+    /// The value is validated by the analyses, not here: running any
+    /// engine with an epsilon outside `(0, 1)` (including NaN) returns
+    /// [`ReachError::InvalidEpsilon`] instead of panicking, so option
+    /// construction stays infallible and chainable.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
         self.epsilon = epsilon;
         self
     }
@@ -100,6 +149,110 @@ impl ReachResult {
     }
 }
 
+/// The query-independent precomputation shared by the sequential,
+/// parallel and batched engines: the uniform rate, the branching
+/// probabilities of every rate function as a CSR matrix (rate functions ×
+/// states) and the one-step probability into the goal set.
+#[derive(Debug, Clone)]
+pub(crate) struct Precompute {
+    /// The uniform exit rate `E`.
+    pub(crate) rate: f64,
+    /// `probs[rf][s'] = R(s') / E_R`, rows in target order.
+    pub(crate) probs: CsrMatrix,
+    /// `prob_goal[rf] = R(B) / E_R`.
+    pub(crate) prob_goal: Vec<f64>,
+}
+
+impl Precompute {
+    /// Verifies uniformity and builds the shared traversal structures.
+    pub(crate) fn new(ctmdp: &Ctmdp, goal: &[bool]) -> Result<Self, ReachError> {
+        assert_eq!(
+            goal.len(),
+            ctmdp.num_states(),
+            "goal vector length mismatch"
+        );
+        let rate = ctmdp.uniform_rate()?;
+        let rfs = ctmdp.rate_functions();
+        let probs = CsrMatrix::from_triplets(
+            rfs.len(),
+            ctmdp.num_states(),
+            rfs.iter()
+                .enumerate()
+                .flat_map(|(i, rf)| rf.probs().map(move |(tgt, p)| (i, tgt as usize, p))),
+        );
+        let prob_goal: Vec<f64> = rfs
+            .iter()
+            .map(|rf| rf.rate_into(goal) / rf.total())
+            .collect();
+        Ok(Self {
+            rate,
+            probs,
+            prob_goal,
+        })
+    }
+}
+
+/// One backward value-iteration update of a single state — the kernel
+/// shared verbatim by the sequential and parallel engines, which makes
+/// their outputs bitwise identical by construction.
+///
+/// Returns the new value `q_i(s)` and the index of the optimizing
+/// transition (0 for goal and absorbing states).
+#[inline]
+pub(crate) fn step_state(
+    ctmdp: &Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    s: usize,
+    psi: f64,
+    q_next: &[f64],
+    maximize: bool,
+) -> (f64, u16) {
+    if goal[s] {
+        return (psi + q_next[s], 0);
+    }
+    let trans = ctmdp.transitions_from(s as u32);
+    if trans.is_empty() {
+        return (0.0, 0);
+    }
+    let mut best = if maximize { -1.0f64 } else { f64::INFINITY };
+    let mut best_idx = 0u16;
+    for (idx, tr) in trans.iter().enumerate() {
+        let rf = tr.rate_fn as usize;
+        let mut v = psi * pre.prob_goal[rf];
+        for (tgt, p) in pre.probs.row(rf) {
+            v += p * q_next[tgt];
+        }
+        let better = if maximize { v > best } else { v < best };
+        if better {
+            best = v;
+            best_idx = idx as u16;
+        }
+    }
+    (best, best_idx)
+}
+
+/// The trivial result when no Markov jump can happen (`t = 0` or `E = 0`):
+/// the indicator of the goal set.
+pub(crate) fn indicator_result(goal: &[bool], rate: f64) -> ReachResult {
+    ReachResult {
+        values: goal.iter().map(|&g| f64::from(u8::from(g))).collect(),
+        iterations: 0,
+        uniform_rate: rate,
+        runtime: std::time::Duration::ZERO,
+        decisions: Vec::new(),
+    }
+}
+
+/// Clamps the iterated vector into probabilities and pins goal states to 1
+/// — the common epilogue of every engine.
+pub(crate) fn finalize_values(goal: &[bool], q1: &[f64]) -> Vec<f64> {
+    goal.iter()
+        .zip(q1)
+        .map(|(&g, &v)| if g { 1.0 } else { v.clamp(0.0, 1.0) })
+        .collect()
+}
+
 /// Computes `opt_D Pr_D(s ⤳≤t B)` for every state `s` of a **uniform**
 /// CTMDP (Algorithm 1).
 ///
@@ -108,7 +261,9 @@ impl ReachResult {
 ///
 /// # Errors
 ///
-/// Returns [`NotUniformError`] if the transitions' exit rates differ.
+/// Returns [`ReachError::NotUniform`] if the transitions' exit rates
+/// differ and [`ReachError::InvalidEpsilon`] if `opts.epsilon` lies
+/// outside `(0, 1)`.
 ///
 /// # Panics
 ///
@@ -119,42 +274,36 @@ pub fn timed_reachability(
     goal: &[bool],
     t: f64,
     opts: &ReachOptions,
-) -> Result<ReachResult, NotUniformError> {
-    assert_eq!(
-        goal.len(),
-        ctmdp.num_states(),
-        "goal vector length mismatch"
-    );
+) -> Result<ReachResult, ReachError> {
     assert!(
         t.is_finite() && t >= 0.0,
         "time bound must be finite and >= 0"
     );
-    let e = ctmdp.uniform_rate()?;
-    let n = ctmdp.num_states();
+    validate_epsilon(opts.epsilon)?;
+    let pre = Precompute::new(ctmdp, goal)?;
 
-    if t == 0.0 || e == 0.0 {
-        return Ok(ReachResult {
-            values: goal.iter().map(|&g| f64::from(u8::from(g))).collect(),
-            iterations: 0,
-            uniform_rate: e,
-            runtime: std::time::Duration::ZERO,
-            decisions: Vec::new(),
-        });
+    if t == 0.0 || pre.rate == 0.0 {
+        return Ok(indicator_result(goal, pre.rate));
     }
 
     let start = Instant::now();
-    let fg = FoxGlynn::new(e * t);
+    let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
+    Ok(iterate_sequential(ctmdp, &pre, goal, &fg, k, opts, start))
+}
 
-    // Precompute, per rate function: branching probabilities and the
-    // one-step probability into B.
-    let rfs = ctmdp.rate_functions();
-    let probs: Vec<Vec<(u32, f64)>> = rfs.iter().map(|rf| rf.probs().collect()).collect();
-    let prob_goal: Vec<f64> = rfs
-        .iter()
-        .map(|rf| rf.rate_into(goal) / rf.total())
-        .collect();
-
+/// The sequential value-iteration driver, shared by the single-query API
+/// and the batch engine's one-thread path.
+pub(crate) fn iterate_sequential(
+    ctmdp: &Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    fg: &FoxGlynn,
+    k: usize,
+    opts: &ReachOptions,
+    start: Instant,
+) -> ReachResult {
+    let n = ctmdp.num_states();
     let maximize = opts.objective == Objective::Maximize;
     let mut decisions: Vec<Vec<u16>> = Vec::new();
     if opts.record_decisions {
@@ -171,32 +320,10 @@ pub fn timed_reachability(
             Vec::new()
         };
         for s in 0..n {
-            if goal[s] {
-                q[s] = psi + q_next[s];
-                continue;
-            }
-            let trans = ctmdp.transitions_from(s as u32);
-            if trans.is_empty() {
-                q[s] = 0.0;
-                continue;
-            }
-            let mut best = if maximize { -1.0f64 } else { f64::INFINITY };
-            let mut best_idx = 0u16;
-            for (idx, tr) in trans.iter().enumerate() {
-                let rf = tr.rate_fn as usize;
-                let mut v = psi * prob_goal[rf];
-                for &(tgt, p) in &probs[rf] {
-                    v += p * q_next[tgt as usize];
-                }
-                let better = if maximize { v > best } else { v < best };
-                if better {
-                    best = v;
-                    best_idx = idx as u16;
-                }
-            }
-            q[s] = best;
+            let (v, idx) = step_state(ctmdp, pre, goal, s, psi, &q_next, maximize);
+            q[s] = v;
             if opts.record_decisions {
-                step_decisions[s] = best_idx;
+                step_decisions[s] = idx;
             }
         }
         if opts.record_decisions {
@@ -205,22 +332,13 @@ pub fn timed_reachability(
         std::mem::swap(&mut q, &mut q_next);
     }
     // q_next holds q_1.
-    let values = (0..n)
-        .map(|s| {
-            if goal[s] {
-                1.0
-            } else {
-                q_next[s].clamp(0.0, 1.0)
-            }
-        })
-        .collect();
-    Ok(ReachResult {
-        values,
+    ReachResult {
+        values: finalize_values(goal, &q_next),
         iterations: k,
-        uniform_rate: e,
+        uniform_rate: pre.rate,
         runtime: start.elapsed(),
         decisions,
-    })
+    }
 }
 
 /// Step-bounded reachability: the optimal probability to reach `B` within
@@ -303,7 +421,7 @@ pub fn timed_reachability_from_initial(
     goal: &[bool],
     t: f64,
     opts: &ReachOptions,
-) -> Result<f64, NotUniformError> {
+) -> Result<f64, ReachError> {
     Ok(timed_reachability(ctmdp, goal, t, opts)?.from_state(ctmdp.initial()))
 }
 
@@ -437,7 +555,31 @@ mod tests {
         b.transition(0, "a", &[(1, 1.0)]);
         b.transition(1, "a", &[(0, 3.0)]);
         let m = b.build();
-        assert!(timed_reachability(&m, &[false, true], 1.0, &ReachOptions::default()).is_err());
+        let err =
+            timed_reachability(&m, &[false, true], 1.0, &ReachOptions::default()).unwrap_err();
+        assert!(matches!(err, ReachError::NotUniform(_)));
+        assert!(err.to_string().contains("not uniform"));
+    }
+
+    #[test]
+    fn rejects_non_positive_epsilon() {
+        let (m, _) = chain_as_ctmdp();
+        let goal = [false, false, true];
+        for eps in [0.0, -1e-9, -3.0, 1.0, 2.5, f64::NAN, f64::INFINITY] {
+            let err =
+                timed_reachability(&m, &goal, 1.0, &ReachOptions::default().with_epsilon(eps))
+                    .unwrap_err();
+            assert!(
+                matches!(err, ReachError::InvalidEpsilon { epsilon } if epsilon.to_bits() == eps.to_bits()),
+                "eps {eps} gave {err:?}"
+            );
+            assert!(err.to_string().contains("epsilon"));
+        }
+        // even the t = 0 shortcut validates first
+        assert!(matches!(
+            timed_reachability(&m, &goal, 0.0, &ReachOptions::default().with_epsilon(-1.0)),
+            Err(ReachError::InvalidEpsilon { .. })
+        ));
     }
 
     #[test]

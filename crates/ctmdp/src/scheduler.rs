@@ -110,6 +110,12 @@ impl StepDependent {
     pub fn horizon(&self) -> usize {
         self.decisions.len()
     }
+
+    /// The recorded decision table: `decisions()[i][s]` is the transition
+    /// index chosen at step `i + 1` in state `s`.
+    pub fn decisions(&self) -> &[Vec<u16>] {
+        &self.decisions
+    }
 }
 
 impl Scheduler for StepDependent {

@@ -1,0 +1,167 @@
+//! Differential tests of the parallel and batched reachability engines.
+//!
+//! The determinism contract says parallel results are **bitwise
+//! identical** to the sequential engine's for every thread count, and a
+//! batch run is bitwise identical to its queries run one by one. These
+//! tests pin both claims on randomly generated uniform CTMDPs
+//! (XorShift64-seeded, so every run sees the same models).
+
+use unicon_ctmdp::par::{timed_reachability_par, ReachBatch};
+use unicon_ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
+use unicon_ctmdp::{Ctmdp, CtmdpBuilder};
+use unicon_numeric::rng::{Rng, XorShift64};
+
+/// Builds a random uniform CTMDP: every rate function distributes
+/// `UNITS * 0.5` of exit rate over up to four distinct targets, so all
+/// exit rates are exactly equal (integer halves) by construction.
+fn random_uniform_ctmdp(n: usize, seed: u64) -> Ctmdp {
+    const UNITS: u64 = 8;
+    let mut rng = XorShift64::seed_from_u64(seed);
+    let mut b = CtmdpBuilder::new(n, 0);
+    for s in 0..n as u32 {
+        let choices = 1 + rng.random_range(3);
+        for c in 0..choices {
+            let k = 1 + rng.random_range(4.min(n));
+            let mut targets = Vec::with_capacity(k);
+            while targets.len() < k {
+                let t = rng.random_range(n) as u32;
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            // one unit each, then scatter the rest — totals stay exact
+            let mut units = vec![1u64; k];
+            for _ in 0..UNITS - k as u64 {
+                units[rng.random_range(k)] += 1;
+            }
+            let rates: Vec<(u32, f64)> = targets
+                .iter()
+                .zip(&units)
+                .map(|(&t, &u)| (t, u as f64 * 0.5))
+                .collect();
+            b.transition(s, &format!("a{c}"), &rates);
+        }
+    }
+    b.build()
+}
+
+fn random_goal(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = XorShift64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut goal: Vec<bool> = (0..n).map(|_| rng.random_range(5) == 0).collect();
+    goal[n - 1] = true; // never empty
+    goal
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn generated_models_are_uniform() {
+    for seed in 0..5 {
+        let m = random_uniform_ctmdp(20, seed);
+        assert_eq!(m.uniform_rate().unwrap(), 4.0, "seed {seed}");
+    }
+}
+
+#[test]
+fn parallel_is_bitwise_equal_for_1_2_and_8_threads() {
+    for (n, seed, t) in [(7, 1, 0.7), (33, 2, 3.0), (64, 3, 1.5)] {
+        let m = random_uniform_ctmdp(n, seed);
+        let goal = random_goal(n, seed);
+        for objective in [Objective::Maximize, Objective::Minimize] {
+            let opts = ReachOptions::default()
+                .with_epsilon(1e-9)
+                .with_objective(objective);
+            let seq = timed_reachability(&m, &goal, t, &opts).unwrap();
+            for threads in [1, 2, 8] {
+                let par = timed_reachability_par(&m, &goal, t, &opts, threads).unwrap();
+                assert_eq!(
+                    bits(&par.values),
+                    bits(&seq.values),
+                    "n={n} seed={seed} t={t} {objective:?} threads={threads}"
+                );
+                assert_eq!(par.iterations, seq.iterations);
+                assert_eq!(par.uniform_rate.to_bits(), seq.uniform_rate.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_decision_recording_is_bitwise_equal() {
+    let n = 40;
+    let m = random_uniform_ctmdp(n, 11);
+    let goal = random_goal(n, 11);
+    let opts = ReachOptions::default()
+        .with_epsilon(1e-8)
+        .recording_decisions();
+    let seq = timed_reachability(&m, &goal, 2.0, &opts).unwrap();
+    assert!(!seq.decisions.is_empty());
+    for threads in [2, 8] {
+        let par = timed_reachability_par(&m, &goal, 2.0, &opts, threads).unwrap();
+        assert_eq!(par.decisions, seq.decisions, "threads {threads}");
+        assert_eq!(bits(&par.values), bits(&seq.values));
+    }
+}
+
+#[test]
+fn batch_is_bitwise_equal_to_repeated_single_queries() {
+    let n = 25;
+    let m = random_uniform_ctmdp(n, 7);
+    let goal = random_goal(n, 7);
+    let eps = 1e-9;
+    let bounds = [0.3, 1.0, 1.0, 4.0];
+    for threads in [1, 2, 8] {
+        let mut batch = ReachBatch::new(&m, &goal)
+            .with_epsilon(eps)
+            .with_threads(threads);
+        for &t in &bounds {
+            batch = batch.query(t);
+        }
+        let out = batch.run().unwrap();
+        assert_eq!(out.results.len(), bounds.len());
+        for (r, &t) in out.results.iter().zip(&bounds) {
+            let single =
+                timed_reachability(&m, &goal, t, &ReachOptions::default().with_epsilon(eps))
+                    .unwrap();
+            assert_eq!(
+                bits(&r.values),
+                bits(&single.values),
+                "t={t} threads={threads}"
+            );
+            assert_eq!(r.iterations, single.iterations);
+        }
+        // the repeated bound re-uses its weight vector
+        assert_eq!(out.stats.cache_misses, 3);
+        assert_eq!(out.stats.cache_hits, 1);
+    }
+}
+
+#[test]
+fn batch_checksums_are_identical_across_thread_counts() {
+    let n = 50;
+    let m = random_uniform_ctmdp(n, 23);
+    let goal = random_goal(n, 23);
+    let run = |threads| {
+        ReachBatch::new(&m, &goal)
+            .with_epsilon(1e-9)
+            .with_threads(threads)
+            .query(0.5)
+            .query(2.0)
+            .run()
+            .unwrap()
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        let out = run(threads);
+        for (a, b) in reference.stats.queries.iter().zip(&out.stats.queries) {
+            assert_eq!(
+                a.checksum.to_bits(),
+                b.checksum.to_bits(),
+                "t={} threads={threads}",
+                a.t
+            );
+        }
+    }
+}

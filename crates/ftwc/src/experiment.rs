@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use unicon_core::PreparedModel;
 use unicon_ctmc::transient::{self, TransientOptions};
+use unicon_ctmdp::export;
+use unicon_ctmdp::par::BatchResult;
 use unicon_ctmdp::reachability::ReachResult;
 
 use crate::generator;
@@ -64,6 +66,91 @@ pub fn table1_row(params: &FtwcParams, time_bounds: &[f64], epsilon: f64) -> Tab
         memory_bytes: prepared.stats.memory_bytes,
         transform_time,
         analyses,
+    }
+}
+
+/// Measurements of one batched worst-case reachability run over the FTWC —
+/// the payload behind `unicon reach --ftwc` and `BENCH_reach.json`.
+#[derive(Debug, Clone)]
+pub struct ReachBench {
+    /// Cluster size `N`.
+    pub n: usize,
+    /// CTMDP state count.
+    pub states: usize,
+    /// The CTMDP's initial state.
+    pub initial: u32,
+    /// Truncation precision.
+    pub epsilon: f64,
+    /// Wall-clock time of generation + transformation.
+    pub build_time: Duration,
+    /// The batch engine's answers, per time bound, plus phase timings and
+    /// weight-cache counters.
+    pub batch: BatchResult,
+}
+
+impl ReachBench {
+    /// Per query: `(t, worst-case probability from the initial state)`.
+    pub fn initial_values(&self) -> Vec<(f64, f64)> {
+        self.batch
+            .stats
+            .queries
+            .iter()
+            .zip(&self.batch.results)
+            .map(|(q, r)| (q.t, r.from_state(self.initial)))
+            .collect()
+    }
+
+    /// Renders the run as one JSON object (the `BENCH_reach.json` format):
+    /// the FTWC instance header plus [`export::batch_to_json`]'s phase
+    /// timings, cache counters and per-query detail.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"case_study\":\"ftwc\",\"n\":{},\"states\":{},\"epsilon\":{:e},\
+             \"build_ms\":{},\"reach\":{}}}",
+            self.n,
+            self.states,
+            self.epsilon,
+            self.build_time.as_secs_f64() * 1e3,
+            export::batch_to_json(&self.batch, self.initial)
+        )
+    }
+}
+
+/// Builds the FTWC for `params`, transforms it, and answers all
+/// `time_bounds` worst-case queries in one batched pass over `threads`
+/// worker threads — the driver behind `unicon reach --ftwc`.
+///
+/// # Panics
+///
+/// Panics if the generated model fails to transform or `epsilon` is
+/// invalid (cannot happen for well-formed parameters).
+pub fn reach_bench(
+    params: &FtwcParams,
+    time_bounds: &[f64],
+    epsilon: f64,
+    threads: usize,
+) -> ReachBench {
+    let start = std::time::Instant::now();
+    let model = generator::build_uimc(params);
+    let prepared =
+        PreparedModel::new(&model.uniform, &model.premium_down).expect("FTWC transforms cleanly");
+    let build_time = start.elapsed();
+
+    let mut batch = prepared
+        .reach_batch()
+        .with_epsilon(epsilon)
+        .with_threads(threads);
+    for &t in time_bounds {
+        batch = batch.query(t);
+    }
+    let batch = batch.run().expect("FTWC CTMDP is uniform");
+    ReachBench {
+        n: params.n,
+        states: prepared.ctmdp.num_states(),
+        initial: prepared.ctmdp.initial(),
+        epsilon,
+        build_time,
+        batch,
     }
 }
 
@@ -228,6 +315,29 @@ mod tests {
         assert!(a1 > 0.999, "a1 = {a1}");
         assert!(a4 < a1, "a4 = {a4} should be below a1 = {a1}");
         assert!(a4 > 0.99, "a4 = {a4}");
+    }
+
+    #[test]
+    fn reach_bench_matches_table1_values() {
+        let params = FtwcParams::new(1);
+        let bounds = [10.0, 100.0];
+        let eps = 1e-6;
+        let bench = reach_bench(&params, &bounds, eps, 2);
+        let row = table1_row(&params, &bounds, eps);
+        let values = bench.initial_values();
+        assert_eq!(values.len(), 2);
+        for ((t, v), &(rt, _, iters, p)) in values.iter().zip(&row.analyses) {
+            assert_eq!(*t, rt);
+            assert_eq!(v.to_bits(), p.to_bits(), "t = {t}");
+            let qs = &bench.batch.stats.queries;
+            assert_eq!(qs.iter().find(|q| q.t == *t).unwrap().iterations, iters);
+        }
+        // each distinct bound computes its weights once
+        assert_eq!(bench.batch.stats.cache_misses, 2);
+        let json = bench.to_json();
+        assert!(json.contains("\"case_study\":\"ftwc\""));
+        assert!(json.contains("\"n\":1"));
+        assert!(json.contains("\"queries\":[{"));
     }
 
     #[test]

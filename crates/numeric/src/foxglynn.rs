@@ -213,6 +213,97 @@ impl FoxGlynn {
     }
 }
 
+/// A Fox–Glynn weight vector together with the right truncation point it
+/// was requested for — the unit the batched reachability engine caches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedWeights {
+    /// The Poisson weights for `λ = rate · t`.
+    pub fg: FoxGlynn,
+    /// `k(ε, rate, t)` — the value-iteration step count.
+    pub truncation: usize,
+}
+
+/// A memoization table for Fox–Glynn weight vectors, keyed by the exact
+/// bit patterns of `(rate, t, epsilon)`.
+///
+/// Computing the weights for `λ = E·t` costs `O(λ + √λ)` and is repeated
+/// verbatim whenever several queries share a time bound (max/min pairs,
+/// repeated batch runs, figure sweeps). The cache trades a small amount of
+/// memory — `O(√λ)` per distinct key — for skipping that recomputation,
+/// and counts hits/misses so engines can report cache effectiveness.
+///
+/// Keys compare by `f64::to_bits`, so `-0.0`/`+0.0` or differently-rounded
+/// inputs are distinct keys; that is deliberate — a cache hit must be
+/// bitwise indistinguishable from recomputation.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::WeightCache;
+///
+/// let mut cache = WeightCache::new();
+/// let k1 = cache.get(2.0, 50.0, 1e-6).truncation;
+/// let k2 = cache.get(2.0, 50.0, 1e-6).truncation;
+/// assert_eq!(k1, k2);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WeightCache {
+    entries: std::collections::HashMap<(u64, u64, u64), CachedWeights>,
+    hits: usize,
+    misses: usize,
+}
+
+impl WeightCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the weights for `λ = rate · t` truncated at precision
+    /// `epsilon`, computing and storing them on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`FoxGlynn::new`] and
+    /// [`FoxGlynn::right_truncation`] (invalid `rate · t` or `epsilon`).
+    pub fn get(&mut self, rate: f64, t: f64, epsilon: f64) -> &CachedWeights {
+        let key = (rate.to_bits(), t.to_bits(), epsilon.to_bits());
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                let fg = FoxGlynn::new(rate * t);
+                let truncation = fg.right_truncation(epsilon);
+                e.insert(CachedWeights { fg, truncation })
+            }
+        }
+    }
+
+    /// Number of lookups answered from the table.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of lookups that had to compute fresh weights.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct `(rate, t, epsilon)` keys stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +420,29 @@ mod tests {
     #[should_panic(expected = "epsilon must be in (0,1)")]
     fn rejects_bad_epsilon() {
         FoxGlynn::new(1.0).right_truncation(0.0);
+    }
+
+    #[test]
+    fn cache_hits_are_bitwise_identical_to_recomputation() {
+        let mut cache = WeightCache::new();
+        let first = cache.get(2.0047, 100.0, 1e-6).clone();
+        let again = cache.get(2.0047, 100.0, 1e-6).clone();
+        assert_eq!(first, again);
+        let fresh = FoxGlynn::new(2.0047 * 100.0);
+        assert_eq!(first.fg, fresh);
+        assert_eq!(first.truncation, fresh.right_truncation(1e-6));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn cache_distinguishes_rate_time_and_epsilon() {
+        let mut cache = WeightCache::new();
+        cache.get(2.0, 10.0, 1e-6);
+        cache.get(10.0, 2.0, 1e-6); // same λ, different key — by design
+        cache.get(2.0, 10.0, 1e-9);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+        assert!(!cache.is_empty());
     }
 }

@@ -78,6 +78,55 @@ pub fn stable_sum<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
     iter.into_iter().collect::<NeumaierSum>().value()
 }
 
+/// Neumaier-sums one fixed-size chunk of a larger vector, for use with
+/// [`combine_chunk_sums`].
+///
+/// The two-level scheme gives parallel reductions a *determinism
+/// contract*: as long as the chunk size is a fixed constant (not derived
+/// from the number of worker threads), every chunk partial and therefore
+/// the combined total is bitwise identical no matter how the chunks are
+/// distributed over threads.
+pub fn chunk_sum(chunk: &[f64]) -> f64 {
+    let mut s = NeumaierSum::new();
+    for &x in chunk {
+        s.add(x);
+    }
+    s.value()
+}
+
+/// Combines per-chunk partial sums (in chunk order) into the final value
+/// of a chunked Neumaier reduction.
+pub fn combine_chunk_sums<I: IntoIterator<Item = f64>>(partials: I) -> f64 {
+    stable_sum(partials)
+}
+
+/// Deterministic chunked Neumaier reduction of a slice: partials over
+/// fixed `chunk_size` blocks, combined in block order.
+///
+/// This is the reference (sequential) evaluation of the reduction the
+/// parallel reachability engine performs chunk-by-chunk; for any thread
+/// count the parallel result is bitwise equal to this function's.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use unicon_numeric::sum::chunked_stable_sum;
+///
+/// let v: Vec<f64> = (0..10_000).map(|i| 1.0 / (i + 1) as f64).collect();
+/// // Independent of the chunk granularity chosen for distribution...
+/// let a = chunked_stable_sum(&v, 1024);
+/// // ...the reduction is reproducible bit for bit.
+/// assert_eq!(a.to_bits(), chunked_stable_sum(&v, 1024).to_bits());
+/// ```
+pub fn chunked_stable_sum(values: &[f64], chunk_size: usize) -> f64 {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    combine_chunk_sums(values.chunks(chunk_size).map(chunk_sum))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +162,30 @@ mod tests {
         a.extend(xs.iter().copied());
         let b: NeumaierSum = xs.iter().copied().collect();
         assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn chunked_sum_matches_two_level_manual_evaluation() {
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let manual = combine_chunk_sums(v.chunks(64).map(chunk_sum));
+        assert_eq!(chunked_stable_sum(&v, 64).to_bits(), manual.to_bits());
+        // and it is accurate
+        let reference = stable_sum(v.iter().copied());
+        assert!((chunked_stable_sum(&v, 64) - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_sum_handles_edge_shapes() {
+        assert_eq!(chunked_stable_sum(&[], 8), 0.0);
+        assert_eq!(chunked_stable_sum(&[1.5], 8), 1.5);
+        // chunk size larger than the slice degenerates to one chunk
+        let v = [0.25, 0.5, 0.125];
+        assert_eq!(chunked_stable_sum(&v, 100), chunk_sum(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn chunked_sum_rejects_zero_chunk() {
+        chunked_stable_sum(&[1.0], 0);
     }
 }

@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 mod coo;
 mod csr;
 
+pub use chunk::{assign_blocks, fixed_blocks, RowChunk};
 pub use coo::CooBuilder;
 pub use csr::{CsrMatrix, RowIter};

@@ -6,6 +6,7 @@
 //! unicon lint <model.aut> [--deny warnings]      U001–U008 diagnostics
 //! unicon transform <model.aut> [--dot out.dot]   uIMC -> uCTMDP
 //! unicon analyze <model.aut> --goal 1,2,3 --time 10 [options]
+//! unicon reach --ftwc 4 --time-bounds 10,100 --threads 2   batched engine
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
 //! ```
 //!
@@ -16,6 +17,7 @@ use std::process::ExitCode;
 
 use unicon::core::ClosedModel;
 use unicon::ctmdp::export;
+use unicon::ctmdp::par::ReachBatch;
 use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
 use unicon::ftwc::{experiment, FtwcParams};
 use unicon::imc::{analysis, io, Imc, View};
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("transform") => cmd_transform(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("reach") => cmd_reach(&args[1..]),
         Some("ftwc") => cmd_ftwc(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -54,7 +57,15 @@ fn print_usage() {
          unicon transform <model.aut> [--dot <out.dot>]\n  \
          unicon analyze <model.aut> --goal <s1,s2,…> --time <t>\n          \
          [--epsilon <e>] [--min] [--exact-goal]\n  \
+         unicon reach (--ftwc <N> | <model.aut> --goal <s1,s2,…>)\n          \
+         --time-bounds <t1,t2,…> [--threads <n>] [--epsilon <e>]\n          \
+         [--min] [--exact-goal] [--json <out.json>] [--values-out <dump>]\n  \
          unicon ftwc --n <N> --time <t> [--epsilon <e>]\n\n\
+         `reach` answers all time bounds in one batched pass (shared\n\
+         precomputation, cached Fox–Glynn weights, optional worker threads;\n\
+         results are bitwise independent of --threads) and prints phase\n\
+         timings as JSON. --values-out dumps every state value as hex bits\n\
+         for exact cross-run comparison.\n\n\
          Models use the extended Aldebaran format: interactive transitions\n\
          as (from, \"label\", to), Markov transitions as (from, \"rate λ\", to),\n\
          τ spelled \"i\"."
@@ -220,6 +231,109 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         "uniform rate {}, {} iterations, {:?}",
         res.uniform_rate, res.iterations, res.runtime
     );
+    Ok(())
+}
+
+fn cmd_reach(args: &[String]) -> Result<(), String> {
+    let bounds: Vec<f64> = opt(args, "--time-bounds")
+        .ok_or("reach needs --time-bounds t1,t2,…")?
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|e| format!("bad time bound '{p}': {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if bounds.is_empty() {
+        return Err("reach needs at least one time bound".into());
+    }
+    let epsilon: f64 = opt(args, "--epsilon")
+        .unwrap_or("1e-6")
+        .parse()
+        .map_err(|e| format!("bad --epsilon: {e}"))?;
+    let threads: usize = opt(args, "--threads")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+
+    let (json, results, initial) = if let Some(nspec) = opt(args, "--ftwc") {
+        let n: usize = nspec.parse().map_err(|e| format!("bad --ftwc: {e}"))?;
+        let bench = experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads);
+        let initial = bench.initial;
+        (bench.to_json(), bench.batch.results, initial)
+    } else {
+        let path = args
+            .iter()
+            .position(|a| !a.starts_with("--"))
+            .map(|i| args[i].as_str())
+            .ok_or("reach needs --ftwc <N> or a model file")?;
+        let imc = load(path)?;
+        let goal_spec = opt(args, "--goal").ok_or("reach on a model needs --goal s1,s2,…")?;
+        let mut goal = vec![false; imc.num_states()];
+        for part in goal_spec.split(',') {
+            let s: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad goal state '{part}'"))?;
+            *goal
+                .get_mut(s)
+                .ok_or(format!("goal state {s} out of range"))? = true;
+        }
+        ClosedModel::try_new(imc.clone()).map_err(|e| e.to_string())?;
+        let out = transform(&imc).map_err(|e| e.to_string())?;
+        let cgoal = if flag(args, "--exact-goal") {
+            out.goal_vector_exact(&goal)
+        } else {
+            out.goal_vector(&goal)
+        };
+        let objective = if flag(args, "--min") {
+            Objective::Minimize
+        } else {
+            Objective::Maximize
+        };
+        let mut batch = ReachBatch::new(&out.ctmdp, &cgoal)
+            .with_epsilon(epsilon)
+            .with_threads(threads);
+        for &t in &bounds {
+            batch = batch.query_with(t, objective);
+        }
+        let res = batch.run().map_err(|e| e.to_string())?;
+        let initial = out.ctmdp.initial();
+        let json = format!(
+            "{{\"model\":\"{path}\",\"states\":{},\"epsilon\":{epsilon:e},\"reach\":{}}}",
+            out.ctmdp.num_states(),
+            export::batch_to_json(&res, initial)
+        );
+        (json, res.results, initial)
+    };
+
+    if let Some(out_path) = opt(args, "--json") {
+        std::fs::write(out_path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+    } else {
+        println!("{json}");
+    }
+    for (t, r) in bounds.iter().zip(&results) {
+        eprintln!(
+            "t = {t}: value {:.10e} ({} iterations, {:?})",
+            r.from_state(initial),
+            r.iterations,
+            r.runtime
+        );
+    }
+    if let Some(dump_path) = opt(args, "--values-out") {
+        let mut dump = String::new();
+        for (qi, r) in results.iter().enumerate() {
+            for (s, v) in r.values.iter().enumerate() {
+                use std::fmt::Write as _;
+                writeln!(dump, "{qi} {s} {:016x}", v.to_bits())
+                    .expect("writing to a String cannot fail");
+            }
+        }
+        std::fs::write(dump_path, dump).map_err(|e| format!("cannot write {dump_path}: {e}"))?;
+        eprintln!("wrote {dump_path}");
+    }
     Ok(())
 }
 
