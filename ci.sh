@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> fault-injection gate (deterministic seeded faults)"
+cargo test -q -p unicon-ctmdp --features fault-inject
+
 echo "==> reach determinism contract (--threads 1 vs --threads 4)"
 cargo build --release -q
 CI_DIR=target/ci
@@ -27,6 +30,30 @@ if ! cmp -s "$CI_DIR/reach_t1.hex" "$CI_DIR/reach_t4.hex"; then
     exit 1
 fi
 echo "reach values bitwise identical across thread counts"
+
+echo "==> checkpoint kill/resume gate (interrupted + resumed vs uninterrupted)"
+RBOUNDS="50,200"
+for T in 1 4; do
+    CK="$CI_DIR/resume_t$T.ck"
+    rm -f "$CK"
+    ./target/release/unicon reach --ftwc 8 --time-bounds "$RBOUNDS" --threads "$T" \
+        --values-out "$CI_DIR/full_t$T.hex" >/dev/null 2>&1
+    # interrupt mid-run on a budget: must exit 3 (partial) with a checkpoint
+    status=0
+    ./target/release/unicon reach --ftwc 8 --time-bounds "$RBOUNDS" --threads "$T" \
+        --max-iters 40 --checkpoint "$CK" --checkpoint-every 16 >/dev/null 2>&1 || status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "FAIL: budgeted reach exited $status, expected 3 (partial; threads $T)"
+        exit 1
+    fi
+    ./target/release/unicon reach --ftwc 8 --time-bounds "$RBOUNDS" --threads "$T" \
+        --resume "$CK" --values-out "$CI_DIR/resumed_t$T.hex" >/dev/null 2>&1
+    if ! cmp -s "$CI_DIR/full_t$T.hex" "$CI_DIR/resumed_t$T.hex"; then
+        echo "FAIL: resumed values diverge from the uninterrupted run (threads $T)"
+        exit 1
+    fi
+done
+echo "kill/resume dumps bitwise identical at 1 and 4 threads"
 
 # BENCH_reach.json: both runs plus the wall-clock ratio of the iterate phase
 ms1=$(sed -n 's/.*"iterate_ms":\([0-9.e+-]*\).*/\1/p' "$CI_DIR/reach_t1.json")

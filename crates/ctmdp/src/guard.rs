@@ -1,0 +1,1678 @@
+//! Guarded execution layer for the timed-reachability engines.
+//!
+//! [`ReachBatch::run_guarded`] wraps the sequential and parallel value
+//! iteration with four robustness facilities that the plain engines
+//! deliberately do not carry:
+//!
+//! * **numeric health monitoring** — after every value-iteration step the
+//!   fresh iterate is scanned for NaN, infinities and out-of-`[0, 1]`
+//!   drift (beyond [`HEALTH_SLACK`]), and the deterministic chunked
+//!   Neumaier checksum is re-validated; a violation surfaces as a
+//!   structured [`NumericHealthError`] naming the step and state;
+//! * **budgets and cooperative cancellation** — a [`RunBudget`] bounds
+//!   the iteration count and wall clock and polls a shared cancel flag;
+//!   exhaustion is not an abort: the run returns a [`GuardedRun`] whose
+//!   [`PartialQuery`] brackets the in-flight query's true values with
+//!   lower/upper bounds derived from the unprocessed Poisson mass;
+//! * **checkpoint/resume** — a versioned binary checkpoint of the raw
+//!   iterate, the step index and all completed answers is written
+//!   atomically every K steps (and on budget stops), and
+//!   [`ReachBatch::resume`] continues **bitwise identically**: the
+//!   checkpoint stores exact `f64` bits and the Fox–Glynn weights are
+//!   recomputed deterministically from the stored `(rate, t, ε)` regime.
+//!   A checksum trailer (FNV-1a 64) makes truncation and bit rot a typed
+//!   [`GuardError::CheckpointCorrupt`], never undefined behaviour;
+//! * **panic quarantine** — every parallel step runs its workers under
+//!   [`std::panic::catch_unwind`]; a panicking worker either fails the
+//!   run with a typed [`GuardError::WorkerPanicked`]
+//!   ([`DegradePolicy::Fail`]) or is quarantined: the step is recomputed
+//!   sequentially from the same snapshot (so the result stays bitwise
+//!   identical) and the run degrades to one thread, recording a
+//!   [`GuardEvent::Degradation`] ([`DegradePolicy::Sequential`]).
+//!
+//! Under the `fault-inject` cargo feature a deterministic, seeded
+//! [`FaultPlan`] can flip a value to NaN at a chosen step, panic a chosen
+//! worker, or truncate every checkpoint it writes — the CI gate drives
+//! all three and asserts the typed outcomes above.
+//!
+//! # Determinism
+//!
+//! A guarded run's values are bitwise identical to the plain
+//! [`ReachBatch::run`] for every thread count: the per-state kernel is
+//! the shared [`step_state`], workers read the previous iterate as an
+//! immutable snapshot and write disjoint slots, and degradation replays
+//! the interrupted step from that same snapshot. The guarded parallel
+//! path trades the plain engine's persistent worker pool for one scope
+//! per step so that each step is a quarantine boundary.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use unicon_numeric::{chunked_stable_sum, FoxGlynn, FoxGlynnError};
+use unicon_sparse::assign_blocks;
+
+#[cfg(feature = "fault-inject")]
+use unicon_numeric::rng::{Rng, XorShift64};
+
+use crate::par::{resolve_threads, ReachBatch, CHECKSUM_BLOCK};
+use crate::reachability::{
+    finalize_values, indicator_result, step_state, validate_epsilon, validate_time, Objective,
+    Precompute, ReachError, ReachResult,
+};
+
+/// Tolerance of the out-of-range health check: iterates may drift this
+/// far outside `[0, 1]` from benign rounding before the run is failed.
+pub const HEALTH_SLACK: f64 = 1e-9;
+
+/// What kind of numeric corruption the health monitor observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealthKind {
+    /// The value is NaN.
+    NotANumber,
+    /// The value is `+inf` or `-inf`.
+    Infinite,
+    /// The value lies outside `[0, 1]` by more than [`HEALTH_SLACK`].
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for HealthKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthKind::NotANumber => write!(f, "value is NaN"),
+            HealthKind::Infinite => write!(f, "value is infinite"),
+            HealthKind::OutOfRange { value } => {
+                write!(f, "value {value} lies outside [0, 1] beyond tolerance")
+            }
+        }
+    }
+}
+
+/// A numeric-health violation detected during a guarded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericHealthError {
+    /// The 1-based value-iteration step at which the violation appeared.
+    pub step: usize,
+    /// The state whose value is corrupt.
+    pub state: usize,
+    /// What was wrong with it.
+    pub kind: HealthKind,
+}
+
+impl std::fmt::Display for NumericHealthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "numeric health violation at step {}, state {}: {}",
+            self.step, self.state, self.kind
+        )
+    }
+}
+
+impl std::error::Error for NumericHealthError {}
+
+/// Why a guarded run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// [`RunBudget::max_iterations`] was reached.
+    MaxIterations,
+    /// [`RunBudget::wall_deadline`] passed.
+    DeadlineExpired,
+    /// [`RunBudget::cancel_flag`] was raised.
+    Cancelled,
+}
+
+impl StopReason {
+    /// A short stable identifier (used by the CLI's JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::MaxIterations => "max-iterations",
+            StopReason::DeadlineExpired => "deadline",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Resource limits of a guarded run. All limits are optional; the
+/// default budget is unlimited.
+///
+/// Budgets are per *run*: a resumed run starts its iteration count and
+/// deadline afresh.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Stop after this many value-iteration steps (summed over queries).
+    pub max_iterations: Option<usize>,
+    /// Stop once the wall clock reaches this instant.
+    pub wall_deadline: Option<Instant>,
+    /// Stop as soon as this flag is observed `true` (checked before
+    /// every step — cancellation is cooperative, never mid-step).
+    pub cancel_flag: Option<Arc<AtomicBool>>,
+}
+
+impl RunBudget {
+    /// Caps the total number of value-iteration steps.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.wall_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a shared cancellation flag.
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel_flag = Some(flag);
+        self
+    }
+
+    /// Checks the budget before a step; `Some` means "stop now".
+    ///
+    /// Cancellation wins over the iteration cap, which wins over the
+    /// deadline, so concurrent exhaustion reports deterministically.
+    pub fn exceeded(&self, iterations_done: usize) -> Option<StopReason> {
+        if let Some(flag) = &self.cancel_flag {
+            if flag.load(Ordering::SeqCst) {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(max) = self.max_iterations {
+            if iterations_done >= max {
+                return Some(StopReason::MaxIterations);
+            }
+        }
+        if let Some(deadline) = self.wall_deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        None
+    }
+}
+
+/// How to react to a panicking worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Fail the run with [`GuardError::WorkerPanicked`].
+    Fail,
+    /// Quarantine the panic: recompute the step sequentially from the
+    /// same snapshot (bitwise identical by the determinism contract) and
+    /// continue single-threaded, recording a [`GuardEvent::Degradation`].
+    #[default]
+    Sequential,
+}
+
+/// Where and how often to write checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// The checkpoint file (written atomically: temp file + rename).
+    pub path: PathBuf,
+    /// Write every this many value-iteration steps (`0` is treated
+    /// as `1`). A checkpoint is also written on budget stops and after
+    /// each completed query.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// A checkpoint at `path` every `every` steps.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            path: path.into(),
+            every,
+        }
+    }
+}
+
+/// A deterministic, seeded fault plan — only available with the
+/// `fault-inject` cargo feature, so release builds carry no injection
+/// sites with live triggers.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Overwrite `q[state]` with NaN right after step `step` computes.
+    pub nan_at: Option<(usize, usize)>,
+    /// Panic worker `worker` at the start of step `step`.
+    pub panic_worker_at: Option<(usize, usize)>,
+    /// Truncate this many bytes off the end of every checkpoint written.
+    pub truncate_checkpoint_bytes: Option<u64>,
+}
+
+#[cfg(feature = "fault-inject")]
+impl FaultPlan {
+    /// Plans a NaN flip at a seed-chosen `(step, state)` with step in
+    /// `1..=k` and state in `0..n`.
+    pub fn nan(seed: u64, k: usize, n: usize) -> Self {
+        let mut rng = XorShift64::seed_from_u64(seed);
+        Self {
+            nan_at: Some((1 + rng.random_range(k.max(1)), rng.random_range(n.max(1)))),
+            ..Self::default()
+        }
+    }
+
+    /// Plans a worker panic at a seed-chosen `(step, worker)` with step
+    /// in `1..=k` and worker in `0..workers`.
+    pub fn worker_panic(seed: u64, k: usize, workers: usize) -> Self {
+        let mut rng = XorShift64::seed_from_u64(seed);
+        Self {
+            panic_worker_at: Some((
+                1 + rng.random_range(k.max(1)),
+                rng.random_range(workers.max(1)),
+            )),
+            ..Self::default()
+        }
+    }
+
+    /// Plans checkpoint truncation by `bytes` trailing bytes.
+    pub fn truncate(bytes: u64) -> Self {
+        Self {
+            truncate_checkpoint_bytes: Some(bytes),
+            ..Self::default()
+        }
+    }
+}
+
+/// Options of a guarded run. The default is "no guards": unlimited
+/// budget, no checkpointing, degrade-to-sequential on worker panics.
+#[derive(Debug, Clone, Default)]
+pub struct GuardOptions {
+    /// Iteration/wall-clock/cancellation limits.
+    pub budget: RunBudget,
+    /// Periodic checkpointing, when configured.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Reaction to worker panics.
+    pub on_degrade: DegradePolicy,
+    /// Deterministic fault injection (testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl GuardOptions {
+    /// Sets the budget.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables checkpointing.
+    pub fn with_checkpoint(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoint = Some(config);
+        self
+    }
+
+    /// Sets the worker-panic policy.
+    pub fn with_degrade_policy(mut self, policy: DegradePolicy) -> Self {
+        self.on_degrade = policy;
+        self
+    }
+
+    /// Arms a fault plan.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// A noteworthy occurrence during a guarded run, in chronological order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardEvent {
+    /// A worker panicked and the run fell back to sequential execution.
+    Degradation {
+        /// Query index being iterated.
+        query: usize,
+        /// 1-based step at which the panic happened.
+        step: usize,
+        /// Index of the panicking worker.
+        worker: usize,
+        /// Worker count before the degradation.
+        from_threads: usize,
+        /// Worker count afterwards (always 1).
+        to_threads: usize,
+    },
+    /// A checkpoint was persisted (`step == 0` marks the end-of-query
+    /// checkpoint, which has no in-progress iterate).
+    CheckpointWritten {
+        /// Query index covered by the checkpoint.
+        query: usize,
+        /// 1-based step the stored iterate corresponds to, 0 if none.
+        step: usize,
+    },
+    /// The run was restored from a checkpoint.
+    Resumed {
+        /// Query index the run continues at.
+        query: usize,
+        /// 1-based step of the restored iterate, 0 when the checkpoint
+        /// holds only completed queries.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for GuardEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardEvent::Degradation {
+                query,
+                step,
+                worker,
+                from_threads,
+                to_threads,
+            } => write!(
+                f,
+                "degraded query {query} at step {step}: worker {worker} panicked, \
+                 falling back from {from_threads} to {to_threads} thread(s)"
+            ),
+            GuardEvent::CheckpointWritten { query, step } => {
+                write!(f, "checkpoint written (query {query}, step {step})")
+            }
+            GuardEvent::Resumed { query, step } => {
+                write!(f, "resumed from checkpoint (query {query}, step {step})")
+            }
+        }
+    }
+}
+
+/// Structured error of the guarded engine.
+#[derive(Debug)]
+pub enum GuardError {
+    /// A model/parameter error from the underlying engine.
+    Reach(ReachError),
+    /// The health monitor detected numeric corruption.
+    Health(NumericHealthError),
+    /// The Fox–Glynn weights cannot certify the requested precision
+    /// (underflow) or the regime is invalid.
+    FoxGlynn(FoxGlynnError),
+    /// A worker panicked and the policy is [`DegradePolicy::Fail`].
+    WorkerPanicked {
+        /// Query index being iterated.
+        query: usize,
+        /// 1-based step at which the panic happened.
+        step: usize,
+        /// Index of the panicking worker.
+        worker: usize,
+    },
+    /// The checkpoint file failed structural or checksum validation.
+    CheckpointCorrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly failed.
+        reason: String,
+    },
+    /// The checkpoint is intact but belongs to a different batch
+    /// (model size, precision, rate or query list differ).
+    CheckpointMismatch {
+        /// Which field disagreed.
+        reason: String,
+    },
+    /// Reading or writing a checkpoint failed at the filesystem level.
+    Io {
+        /// The path being accessed.
+        path: PathBuf,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardError::Reach(e) => e.fmt(f),
+            GuardError::Health(e) => e.fmt(f),
+            GuardError::FoxGlynn(e) => e.fmt(f),
+            GuardError::WorkerPanicked {
+                query,
+                step,
+                worker,
+            } => write!(
+                f,
+                "worker {worker} panicked at step {step} of query {query} (degrade policy: fail)"
+            ),
+            GuardError::CheckpointCorrupt { path, reason } => {
+                write!(f, "checkpoint {} is corrupt: {reason}", path.display())
+            }
+            GuardError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint does not match this batch: {reason}")
+            }
+            GuardError::Io { path, message } => {
+                write!(f, "i/o error on {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuardError::Reach(e) => Some(e),
+            GuardError::Health(e) => Some(e),
+            GuardError::FoxGlynn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReachError> for GuardError {
+    fn from(e: ReachError) -> Self {
+        GuardError::Reach(e)
+    }
+}
+
+impl From<NumericHealthError> for GuardError {
+    fn from(e: NumericHealthError) -> Self {
+        GuardError::Health(e)
+    }
+}
+
+impl From<FoxGlynnError> for GuardError {
+    fn from(e: FoxGlynnError) -> Self {
+        GuardError::FoxGlynn(e)
+    }
+}
+
+/// Bounds on the query that was in flight when the budget ran out.
+///
+/// `lower` is the value of the truncated iteration — a lower bound on
+/// the true values up to the truncation precision ε and rounding (the
+/// truncated iterate only counts hit events that still fit the executed
+/// suffix of Poisson weights). `upper` adds the maximal Poisson mass of
+/// any window as long as the unprocessed step range, plus ε, clamped to
+/// 1, so `lower[s] <= value[s] <= upper[s]` brackets the answer the
+/// completed run would have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialQuery {
+    /// Index of the interrupted query.
+    pub query: usize,
+    /// Its time bound.
+    pub t: f64,
+    /// Value-iteration steps already executed (including steps executed
+    /// by earlier runs when resuming from a checkpoint).
+    pub completed_steps: usize,
+    /// Total steps `k(ε, E, t)` the query needs.
+    pub total_steps: usize,
+    /// Per-state lower bounds.
+    pub lower: Vec<f64>,
+    /// Per-state upper bounds.
+    pub upper: Vec<f64>,
+}
+
+/// The outcome of a guarded run.
+#[derive(Debug, Clone)]
+pub struct GuardedRun {
+    /// Completed answers, in query order — each bitwise equal to the
+    /// plain [`ReachBatch::run`] result for that query.
+    pub results: Vec<ReachResult>,
+    /// `Some` when a budget stopped the run: the reason, plus bounds on
+    /// the interrupted query (`None` only if no query was in flight).
+    pub stopped: Option<(StopReason, Option<PartialQuery>)>,
+    /// Degradations, checkpoints and resumes, in order.
+    pub events: Vec<GuardEvent>,
+    /// Number of per-step health checks performed.
+    pub health_checks: usize,
+}
+
+impl GuardedRun {
+    /// `true` when every query completed (no budget stop).
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Health monitoring
+// ---------------------------------------------------------------------
+
+/// Scans a fresh iterate for numeric corruption and re-validates the
+/// deterministic chunked checksum.
+pub(crate) fn check_health(q: &[f64], step: usize) -> Result<(), NumericHealthError> {
+    for (state, &v) in q.iter().enumerate() {
+        let kind = if v.is_nan() {
+            HealthKind::NotANumber
+        } else if v.is_infinite() {
+            HealthKind::Infinite
+        } else if !(-HEALTH_SLACK..=1.0 + HEALTH_SLACK).contains(&v) {
+            HealthKind::OutOfRange { value: v }
+        } else {
+            continue;
+        };
+        return Err(NumericHealthError { step, state, kind });
+    }
+    // Belt and braces: finite summands in [-slack, 1 + slack] cannot
+    // overflow a Neumaier reduction, so a non-finite checksum here means
+    // memory corruption rather than arithmetic — attribute it to the
+    // reduction itself.
+    if !chunked_stable_sum(q, CHECKSUM_BLOCK).is_finite() {
+        return Err(NumericHealthError {
+            step,
+            state: 0,
+            kind: HealthKind::Infinite,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint format (version 1)
+//
+// All integers little-endian, all f64 stored as raw bits (bitwise-exact
+// resume is the whole point):
+//
+//   magic[8] | version u32 | n u64 | epsilon bits u64 | rate bits u64
+//   | nqueries u64 | nqueries x (t bits u64, objective u8)
+//   | ncompleted u64 | ncompleted x (iterations u64, n x value bits u64)
+//   | has_in_progress u8
+//   | [query u64 | k u64 | current_i u64 | n x q bits u64]   (if 1)
+//   | fnv1a-64 of everything above, u64
+//
+// The stored iterate is q_{current_i} (the vector after step current_i
+// completed); resuming executes steps current_i - 1 down to 1.
+// ---------------------------------------------------------------------
+
+/// File magic of version-1 checkpoints.
+const CK_MAGIC: [u8; 8] = *b"UNICKPT\0";
+/// Current checkpoint format version.
+const CK_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit, the checkpoint trailer hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn objective_byte(objective: Objective) -> u8 {
+    match objective {
+        Objective::Maximize => 0,
+        Objective::Minimize => 1,
+    }
+}
+
+/// A completed query's answer as stored in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+struct CompletedQuery {
+    iterations: usize,
+    values: Vec<f64>,
+}
+
+/// The interrupted query's raw state as stored in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct InProgress {
+    /// Index of the interrupted query (always `completed.len()`).
+    query: usize,
+    /// Its total step count `k(ε, E, t)`.
+    k: usize,
+    /// The stored iterate is `q_{current_i}`; in `1..=k + 1`.
+    current_i: usize,
+    /// Raw (unclamped) iterate bits.
+    q: Vec<f64>,
+}
+
+/// The full decoded content of a checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CheckpointData {
+    n: usize,
+    epsilon_bits: u64,
+    rate_bits: u64,
+    /// `(t bits, objective byte)` per query, in batch order.
+    queries: Vec<(u64, u8)>,
+    completed: Vec<CompletedQuery>,
+    in_progress: Option<InProgress>,
+}
+
+/// Bounds-checked little-endian cursor over a checkpoint body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("file ends {} bytes short", len))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn len64(&mut self, what: &str) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| format!("{what} does not fit in usize"))
+    }
+
+    /// Reads `n` f64 bit patterns; bounds are checked before allocating.
+    fn f64_vec(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        let raw = self.take(n.checked_mul(8).ok_or("value vector length overflows")?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+}
+
+fn io_error(path: &Path, e: std::io::Error) -> GuardError {
+    GuardError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+impl CheckpointData {
+    fn push_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CK_MAGIC);
+        out.extend_from_slice(&CK_VERSION.to_le_bytes());
+        Self::push_u64(&mut out, self.n as u64);
+        Self::push_u64(&mut out, self.epsilon_bits);
+        Self::push_u64(&mut out, self.rate_bits);
+        Self::push_u64(&mut out, self.queries.len() as u64);
+        for &(t_bits, objective) in &self.queries {
+            Self::push_u64(&mut out, t_bits);
+            out.push(objective);
+        }
+        Self::push_u64(&mut out, self.completed.len() as u64);
+        for done in &self.completed {
+            Self::push_u64(&mut out, done.iterations as u64);
+            for v in &done.values {
+                Self::push_u64(&mut out, v.to_bits());
+            }
+        }
+        match &self.in_progress {
+            None => out.push(0),
+            Some(ip) => {
+                out.push(1);
+                Self::push_u64(&mut out, ip.query as u64);
+                Self::push_u64(&mut out, ip.k as u64);
+                Self::push_u64(&mut out, ip.current_i as u64);
+                for v in &ip.q {
+                    Self::push_u64(&mut out, v.to_bits());
+                }
+            }
+        }
+        let trailer = fnv1a64(&out);
+        out.extend_from_slice(&trailer.to_le_bytes());
+        out
+    }
+
+    /// Decodes and fully validates a checkpoint image; the `Err` string
+    /// is the corruption reason.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let min = CK_MAGIC.len() + 4 + 8; // header + trailer
+        if bytes.len() < min {
+            return Err(format!(
+                "file is {} bytes, shorter than the {min}-byte minimum (truncated?)",
+                bytes.len()
+            ));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let actual = fnv1a64(body);
+        if stored != actual {
+            return Err(format!(
+                "checksum trailer mismatch: stored {stored:#018x}, computed {actual:#018x} \
+                 (truncated or bit-rotted file)"
+            ));
+        }
+        let mut r = Reader {
+            bytes: body,
+            pos: 0,
+        };
+        if r.take(CK_MAGIC.len())? != CK_MAGIC {
+            return Err("bad magic: not a unicon checkpoint".into());
+        }
+        let version = r.u32()?;
+        if version != CK_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (this build reads {CK_VERSION})"
+            ));
+        }
+        let n = r.len64("state count")?;
+        let epsilon_bits = r.u64()?;
+        let rate_bits = r.u64()?;
+        let nqueries = r.len64("query count")?;
+        // every query costs 9 bytes; reject absurd counts before allocating
+        if nqueries.checked_mul(9).is_none_or(|b| b > body.len()) {
+            return Err(format!("query count {nqueries} exceeds the file size"));
+        }
+        let mut queries = Vec::with_capacity(nqueries);
+        for _ in 0..nqueries {
+            let t_bits = r.u64()?;
+            let objective = r.u8()?;
+            if objective > 1 {
+                return Err(format!("objective byte {objective} is neither 0 nor 1"));
+            }
+            queries.push((t_bits, objective));
+        }
+        let ncompleted = r.len64("completed count")?;
+        if ncompleted > nqueries {
+            return Err(format!(
+                "{ncompleted} completed queries recorded but only {nqueries} queries exist"
+            ));
+        }
+        let mut completed = Vec::with_capacity(ncompleted);
+        for _ in 0..ncompleted {
+            let iterations = r.len64("iteration count")?;
+            let values = r.f64_vec(n)?;
+            completed.push(CompletedQuery { iterations, values });
+        }
+        let in_progress = match r.u8()? {
+            0 => None,
+            1 => {
+                let query = r.len64("in-progress query index")?;
+                let k = r.len64("in-progress step total")?;
+                let current_i = r.len64("in-progress step index")?;
+                let q = r.f64_vec(n)?;
+                if query != completed.len() {
+                    return Err(format!(
+                        "in-progress query index {query} does not follow the \
+                         {} completed queries",
+                        completed.len()
+                    ));
+                }
+                if query >= nqueries {
+                    return Err(format!(
+                        "in-progress query index {query} out of range for {nqueries} queries"
+                    ));
+                }
+                if current_i == 0 || current_i > k + 1 {
+                    return Err(format!(
+                        "in-progress step index {current_i} outside 1..={}",
+                        k + 1
+                    ));
+                }
+                Some(InProgress {
+                    query,
+                    k,
+                    current_i,
+                    q,
+                })
+            }
+            other => {
+                return Err(format!(
+                    "in-progress marker byte {other} is neither 0 nor 1"
+                ))
+            }
+        };
+        if r.pos != body.len() {
+            return Err(format!(
+                "{} trailing bytes after the in-progress section",
+                body.len() - r.pos
+            ));
+        }
+        Ok(Self {
+            n,
+            epsilon_bits,
+            rate_bits,
+            queries,
+            completed,
+            in_progress,
+        })
+    }
+
+    /// Writes atomically: temp file in the same directory, then rename.
+    fn write_atomic(&self, path: &Path) -> Result<(), GuardError> {
+        let bytes = self.to_bytes();
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        std::fs::write(&tmp, &bytes).map_err(|e| io_error(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_error(path, e))?;
+        Ok(())
+    }
+
+    fn read(path: &Path) -> Result<Self, GuardError> {
+        let bytes = std::fs::read(path).map_err(|e| io_error(path, e))?;
+        Self::from_bytes(&bytes).map_err(|reason| GuardError::CheckpointCorrupt {
+            path: path.to_path_buf(),
+            reason,
+        })
+    }
+
+    /// Rejects checkpoints taken from a different batch. Comparisons are
+    /// bitwise: resuming under a perturbed epsilon, rate or query list
+    /// would silently break the determinism contract.
+    fn validate_against(&self, batch: &ReachBatch<'_>, pre: &Precompute) -> Result<(), GuardError> {
+        let mismatch = |reason: String| Err(GuardError::CheckpointMismatch { reason });
+        if self.n != batch.ctmdp.num_states() {
+            return mismatch(format!(
+                "checkpoint covers {} states, the batch model has {}",
+                self.n,
+                batch.ctmdp.num_states()
+            ));
+        }
+        if self.epsilon_bits != batch.epsilon.to_bits() {
+            return mismatch(format!(
+                "checkpoint epsilon {} differs from batch epsilon {}",
+                f64::from_bits(self.epsilon_bits),
+                batch.epsilon
+            ));
+        }
+        if self.rate_bits != pre.rate.to_bits() {
+            return mismatch(format!(
+                "checkpoint uniform rate {} differs from the model's {}",
+                f64::from_bits(self.rate_bits),
+                pre.rate
+            ));
+        }
+        if self.queries.len() != batch.queries.len() {
+            return mismatch(format!(
+                "checkpoint lists {} queries, the batch has {}",
+                self.queries.len(),
+                batch.queries.len()
+            ));
+        }
+        for (i, (&(t_bits, objective), q)) in self.queries.iter().zip(&batch.queries).enumerate() {
+            if t_bits != q.t.to_bits() || objective != objective_byte(q.objective) {
+                return mismatch(format!(
+                    "query {i} differs: checkpoint (t = {}, objective byte {objective}), \
+                     batch (t = {}, objective byte {})",
+                    f64::from_bits(t_bits),
+                    q.t,
+                    objective_byte(q.objective)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The guarded engine
+// ---------------------------------------------------------------------
+
+/// One guarded value-iteration step, split over `workers` scoped threads
+/// with each worker's chunk under `catch_unwind`. Returns the index of a
+/// panicking worker, leaving `q_out` partially written (the caller
+/// discards or recomputes it).
+///
+/// Determinism: every slot is written by the shared [`step_state`]
+/// kernel against the immutable `q_next` snapshot, so the result is
+/// bitwise independent of `workers`.
+#[allow(clippy::too_many_arguments)]
+fn guarded_step(
+    ctmdp: &crate::model::Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    psi: f64,
+    q_next: &[f64],
+    q_out: &mut [f64],
+    maximize: bool,
+    workers: usize,
+    step: usize,
+    panic_at: Option<(usize, usize)>,
+) -> Result<(), usize> {
+    let ranges: Vec<std::ops::Range<usize>> = assign_blocks(q_out.len(), workers.max(1))
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut failed: Option<usize> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [f64] = q_out;
+        for (w, range) in ranges.iter().enumerate() {
+            // assign_blocks yields contiguous ascending ranges over
+            // 0..n, so splitting in order hands each worker its slots.
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            handles.push(scope.spawn(move || {
+                // AssertUnwindSafe: on Err the chunk is discarded (Fail)
+                // or fully rewritten (Sequential), so a half-written
+                // buffer never escapes.
+                catch_unwind(AssertUnwindSafe(|| {
+                    if panic_at == Some((step, w)) {
+                        panic!("injected worker fault (step {step}, worker {w})");
+                    }
+                    for (slot, s) in chunk.iter_mut().zip(range) {
+                        *slot = step_state(ctmdp, pre, goal, s, psi, q_next, maximize).0;
+                    }
+                }))
+                .map_err(|_| w)
+            }));
+        }
+        for handle in handles {
+            if let Err(w) = handle.join().expect("guarded worker catches its panics") {
+                failed.get_or_insert(w);
+            }
+        }
+    });
+    match failed {
+        Some(w) => Err(w),
+        None => Ok(()),
+    }
+}
+
+/// Sequential recomputation of one step — the quarantine fallback.
+fn sequential_step(
+    ctmdp: &crate::model::Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    psi: f64,
+    q_next: &[f64],
+    q_out: &mut [f64],
+    maximize: bool,
+) {
+    for (s, slot) in q_out.iter_mut().enumerate() {
+        *slot = step_state(ctmdp, pre, goal, s, psi, q_next, maximize).0;
+    }
+}
+
+/// Brackets the interrupted query when stopping before step `next_i`
+/// with `q_next` holding `q_{next_i + 1}`.
+#[allow(clippy::too_many_arguments)]
+fn make_partial(
+    query: usize,
+    t: f64,
+    fg: &FoxGlynn,
+    k: usize,
+    next_i: usize,
+    goal: &[bool],
+    q_next: &[f64],
+    epsilon: f64,
+) -> PartialQuery {
+    let lower = finalize_values(goal, q_next);
+    // Soundness of the bracket: the truncated iterate counts exactly the
+    // first-hit events "hit at the r-th jump AND at least next_i + r
+    // Poisson jumps happen within t", so it undercounts the true value
+    // (lower bound), and each event's deficit is the Poisson mass of the
+    // length-next_i window starting at its jump index. First-hit events
+    // are disjoint (their probabilities sum to <= 1), so the worst such
+    // window (plus the truncation error ε) bounds the gap from above.
+    let mut window = 0.0f64;
+    for r in 1..=k {
+        window = window.max(fg.tail_from(r) - fg.tail_from(r + next_i));
+    }
+    let remaining = window.max(0.0) + epsilon;
+    let upper = lower.iter().map(|&v| (v + remaining).min(1.0)).collect();
+    PartialQuery {
+        query,
+        t,
+        completed_steps: k - next_i,
+        total_steps: k,
+        lower,
+        upper,
+    }
+}
+
+/// Snapshot of everything a checkpoint must capture at this moment.
+fn checkpoint_data(
+    batch: &ReachBatch<'_>,
+    pre: &Precompute,
+    results: &[ReachResult],
+    in_progress: Option<InProgress>,
+) -> CheckpointData {
+    CheckpointData {
+        n: batch.ctmdp.num_states(),
+        epsilon_bits: batch.epsilon.to_bits(),
+        rate_bits: pre.rate.to_bits(),
+        queries: batch
+            .queries
+            .iter()
+            .map(|q| (q.t.to_bits(), objective_byte(q.objective)))
+            .collect(),
+        completed: results
+            .iter()
+            .map(|r| CompletedQuery {
+                iterations: r.iterations,
+                values: r.values.clone(),
+            })
+            .collect(),
+        in_progress,
+    }
+}
+
+/// Applies the planned checkpoint truncation, if armed.
+#[cfg(feature = "fault-inject")]
+fn apply_truncate_fault(guard: &GuardOptions, path: &Path) -> Result<(), GuardError> {
+    if let Some(bytes) = guard
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.truncate_checkpoint_bytes)
+    {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_error(path, e))?;
+        let len = file.metadata().map_err(|e| io_error(path, e))?.len();
+        file.set_len(len.saturating_sub(bytes))
+            .map_err(|e| io_error(path, e))?;
+    }
+    Ok(())
+}
+
+/// Writes a checkpoint, records the event and (under `fault-inject`)
+/// applies the planned truncation.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    batch: &ReachBatch<'_>,
+    pre: &Precompute,
+    guard: &GuardOptions,
+    results: &[ReachResult],
+    in_progress: Option<InProgress>,
+    query: usize,
+    step: usize,
+    events: &mut Vec<GuardEvent>,
+) -> Result<(), GuardError> {
+    let Some(cfg) = &guard.checkpoint else {
+        return Ok(());
+    };
+    checkpoint_data(batch, pre, results, in_progress).write_atomic(&cfg.path)?;
+    events.push(GuardEvent::CheckpointWritten { query, step });
+    #[cfg(feature = "fault-inject")]
+    apply_truncate_fault(guard, &cfg.path)?;
+    Ok(())
+}
+
+/// The shared driver behind [`ReachBatch::run_guarded`] and
+/// [`ReachBatch::resume`].
+fn run_guarded_inner(
+    batch: &ReachBatch<'_>,
+    guard: &GuardOptions,
+    resume: Option<CheckpointData>,
+) -> Result<GuardedRun, GuardError> {
+    validate_epsilon(batch.epsilon)?;
+    for q in &batch.queries {
+        validate_time(q.t)?;
+    }
+    let pre = Precompute::new(batch.ctmdp, &batch.goal)?;
+    let n = batch.ctmdp.num_states();
+    let mut workers = resolve_threads(batch.threads).min(n).max(1);
+    let every = guard.checkpoint.as_ref().map_or(1, |c| c.every.max(1));
+
+    let mut results: Vec<ReachResult> = Vec::new();
+    let mut events: Vec<GuardEvent> = Vec::new();
+    let mut in_progress: Option<InProgress> = None;
+    if let Some(ck) = resume {
+        ck.validate_against(batch, &pre)?;
+        for done in ck.completed {
+            results.push(ReachResult {
+                values: done.values,
+                iterations: done.iterations,
+                uniform_rate: pre.rate,
+                runtime: Duration::ZERO,
+                decisions: Vec::new(),
+            });
+        }
+        in_progress = ck.in_progress;
+        let (query, step) = match &in_progress {
+            Some(ip) => (ip.query, ip.current_i),
+            None => (results.len(), 0),
+        };
+        events.push(GuardEvent::Resumed { query, step });
+    }
+    let start_query = results.len();
+
+    #[cfg(feature = "fault-inject")]
+    let panic_at = guard.fault_plan.as_ref().and_then(|p| p.panic_worker_at);
+    #[cfg(not(feature = "fault-inject"))]
+    let panic_at: Option<(usize, usize)> = None;
+
+    let mut iterations_done = 0usize;
+    let mut health_checks = 0usize;
+    let mut steps_since_ck = 0usize;
+
+    for qi in start_query..batch.queries.len() {
+        let query = batch.queries[qi];
+        let query_start = Instant::now();
+        if query.t == 0.0 || pre.rate == 0.0 {
+            results.push(indicator_result(&batch.goal, pre.rate));
+            write_checkpoint(batch, &pre, guard, &results, None, qi, 0, &mut events)?;
+            continue;
+        }
+
+        // Bitwise identical to the plain batch path: try_weights runs the
+        // exact FoxGlynn::new + right_truncation the WeightCache runs,
+        // and additionally types the underflow regime.
+        let cached = FoxGlynn::try_weights(pre.rate * query.t, batch.epsilon)?;
+        let (fg, k) = (cached.fg, cached.truncation);
+        let maximize = query.objective == Objective::Maximize;
+
+        let mut q_next = vec![0.0f64; n]; // q_{k+1} = 0
+        let mut q = vec![0.0f64; n];
+        let mut i_start = k;
+        if let Some(ip) = in_progress.take() {
+            if ip.k != k {
+                return Err(GuardError::CheckpointMismatch {
+                    reason: format!(
+                        "query {qi} needs {k} steps but the checkpoint recorded {} — \
+                         the checkpoint was written by a different build",
+                        ip.k
+                    ),
+                });
+            }
+            if ip.q.len() != n {
+                return Err(GuardError::CheckpointMismatch {
+                    reason: format!("stored iterate has {} entries, expected {n}", ip.q.len()),
+                });
+            }
+            q_next = ip.q; // q_{current_i}, exact bits
+            i_start = ip.current_i - 1; // next step to execute
+        }
+
+        for i in (1..=i_start).rev() {
+            if let Some(reason) = guard.budget.exceeded(iterations_done) {
+                let partial =
+                    make_partial(qi, query.t, &fg, k, i, &batch.goal, &q_next, batch.epsilon);
+                write_checkpoint(
+                    batch,
+                    &pre,
+                    guard,
+                    &results,
+                    Some(InProgress {
+                        query: qi,
+                        k,
+                        current_i: i + 1,
+                        q: q_next.clone(),
+                    }),
+                    qi,
+                    i + 1,
+                    &mut events,
+                )?;
+                return Ok(GuardedRun {
+                    results,
+                    stopped: Some((reason, Some(partial))),
+                    events,
+                    health_checks,
+                });
+            }
+
+            let psi = fg.psi(i);
+            if let Err(worker) = guarded_step(
+                batch.ctmdp,
+                &pre,
+                &batch.goal,
+                psi,
+                &q_next,
+                &mut q,
+                maximize,
+                workers,
+                i,
+                panic_at,
+            ) {
+                match guard.on_degrade {
+                    DegradePolicy::Fail => {
+                        return Err(GuardError::WorkerPanicked {
+                            query: qi,
+                            step: i,
+                            worker,
+                        });
+                    }
+                    DegradePolicy::Sequential => {
+                        events.push(GuardEvent::Degradation {
+                            query: qi,
+                            step: i,
+                            worker,
+                            from_threads: workers,
+                            to_threads: 1,
+                        });
+                        workers = 1;
+                        // Replay from the untouched snapshot — same
+                        // kernel, same inputs, so the degraded step is
+                        // bitwise the step the workers should have done.
+                        sequential_step(
+                            batch.ctmdp,
+                            &pre,
+                            &batch.goal,
+                            psi,
+                            &q_next,
+                            &mut q,
+                            maximize,
+                        );
+                    }
+                }
+            }
+
+            #[cfg(feature = "fault-inject")]
+            if let Some((fault_step, fault_state)) =
+                guard.fault_plan.as_ref().and_then(|p| p.nan_at)
+            {
+                if fault_step == i && fault_state < n {
+                    q[fault_state] = f64::NAN;
+                }
+            }
+
+            health_checks += 1;
+            check_health(&q, i)?;
+            iterations_done += 1;
+            std::mem::swap(&mut q, &mut q_next); // q_next now holds q_i
+
+            if guard.checkpoint.is_some() {
+                steps_since_ck += 1;
+                if steps_since_ck >= every {
+                    steps_since_ck = 0;
+                    write_checkpoint(
+                        batch,
+                        &pre,
+                        guard,
+                        &results,
+                        Some(InProgress {
+                            query: qi,
+                            k,
+                            current_i: i,
+                            q: q_next.clone(),
+                        }),
+                        qi,
+                        i,
+                        &mut events,
+                    )?;
+                }
+            }
+        }
+
+        results.push(ReachResult {
+            values: finalize_values(&batch.goal, &q_next),
+            iterations: k,
+            uniform_rate: pre.rate,
+            runtime: query_start.elapsed(),
+            decisions: Vec::new(),
+        });
+        steps_since_ck = 0;
+        write_checkpoint(batch, &pre, guard, &results, None, qi, 0, &mut events)?;
+    }
+
+    Ok(GuardedRun {
+        results,
+        stopped: None,
+        events,
+        health_checks,
+    })
+}
+
+impl ReachBatch<'_> {
+    /// Runs the batch under the guarded execution layer: numeric health
+    /// checks after every step, budget/cancellation polling before every
+    /// step, optional periodic checkpoints and worker-panic quarantine.
+    ///
+    /// Completed results are bitwise identical to [`ReachBatch::run`]
+    /// for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError::Reach`] for invalid parameters or a non-uniform
+    /// model, [`GuardError::FoxGlynn`] when ε is below the certifiable
+    /// floor for `rate·t`, [`GuardError::Health`] on numeric corruption,
+    /// [`GuardError::WorkerPanicked`] under [`DegradePolicy::Fail`], and
+    /// [`GuardError::Io`] if a checkpoint cannot be written. Budget
+    /// exhaustion is **not** an error — see [`GuardedRun::stopped`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use unicon_ctmdp::guard::{GuardOptions, RunBudget};
+    /// use unicon_ctmdp::{par::ReachBatch, CtmdpBuilder};
+    ///
+    /// let mut b = CtmdpBuilder::new(3, 0);
+    /// b.transition(0, "a", &[(1, 1.0), (0, 1.0)]);
+    /// b.transition(1, "a", &[(2, 2.0)]);
+    /// b.transition(2, "a", &[(2, 2.0)]);
+    /// let m = b.build();
+    /// let batch = ReachBatch::new(&m, &[false, false, true]).query(2.0);
+    ///
+    /// let run = batch.run_guarded(&GuardOptions::default()).unwrap();
+    /// assert!(run.is_complete());
+    ///
+    /// let tight = GuardOptions::default().with_budget(RunBudget::default().with_max_iterations(1));
+    /// let partial = batch.run_guarded(&tight).unwrap();
+    /// assert!(!partial.is_complete());
+    /// ```
+    pub fn run_guarded(&self, guard: &GuardOptions) -> Result<GuardedRun, GuardError> {
+        run_guarded_inner(self, guard, None)
+    }
+
+    /// Resumes a guarded run from a checkpoint written by an earlier
+    /// [`ReachBatch::run_guarded`] against the **same** batch.
+    ///
+    /// The continuation is bitwise identical to an uninterrupted run:
+    /// the checkpoint stores the exact iterate bits and the Poisson
+    /// weights are recomputed deterministically from the stored regime.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError::CheckpointCorrupt`] when the file fails structural
+    /// or checksum validation (including truncation),
+    /// [`GuardError::CheckpointMismatch`] when it was taken from a
+    /// different batch, plus every error [`ReachBatch::run_guarded`]
+    /// can return.
+    pub fn resume(
+        &self,
+        path: impl AsRef<Path>,
+        guard: &GuardOptions,
+    ) -> Result<GuardedRun, GuardError> {
+        let data = CheckpointData::read(path.as_ref())?;
+        run_guarded_inner(self, guard, Some(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Ctmdp, CtmdpBuilder};
+
+    fn chain() -> Ctmdp {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.transition(0, "a", &[(1, 1.0), (0, 1.0)]);
+        b.transition(1, "a", &[(2, 2.0)]);
+        b.transition(2, "a", &[(2, 2.0)]);
+        b.build()
+    }
+
+    fn bits(values: &[f64]) -> Vec<u64> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn temp_ck(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("unicon_guard_{}_{name}.ck", std::process::id()))
+    }
+
+    #[test]
+    fn guarded_run_matches_plain_batch_bitwise() {
+        let m = chain();
+        let goal = [false, false, true];
+        for threads in [1, 3] {
+            let batch = ReachBatch::new(&m, &goal)
+                .with_epsilon(1e-9)
+                .with_threads(threads)
+                .query(0.5)
+                .query(2.5)
+                .query_with(2.5, Objective::Minimize)
+                .query(0.0);
+            let plain = batch.run().unwrap();
+            let guarded = batch.run_guarded(&GuardOptions::default()).unwrap();
+            assert!(guarded.is_complete());
+            assert_eq!(guarded.results.len(), plain.results.len());
+            for (g, p) in guarded.results.iter().zip(&plain.results) {
+                assert_eq!(bits(&g.values), bits(&p.values), "threads {threads}");
+                assert_eq!(g.iterations, p.iterations);
+            }
+            assert!(guarded.events.is_empty());
+            let steps: usize = plain.results.iter().map(|r| r.iterations).sum();
+            assert_eq!(guarded.health_checks, steps);
+        }
+    }
+
+    #[test]
+    fn budget_stop_yields_partial_bracketing_the_true_values() {
+        let m = chain();
+        let goal = [false, false, true];
+        let batch = ReachBatch::new(&m, &goal).with_epsilon(1e-9).query(2.5);
+        let full = batch.run().unwrap();
+        let k = full.results[0].iterations;
+        assert!(k > 4, "need a multi-step query, got k = {k}");
+        for max in [0, 1, k / 2, k - 1] {
+            let guard =
+                GuardOptions::default().with_budget(RunBudget::default().with_max_iterations(max));
+            let run = batch.run_guarded(&guard).unwrap();
+            let (reason, partial) = run.stopped.expect("budget must stop the run");
+            assert_eq!(reason, StopReason::MaxIterations);
+            let partial = partial.expect("a query was in flight");
+            assert_eq!(partial.query, 0);
+            assert_eq!(partial.completed_steps, max);
+            assert_eq!(partial.total_steps, k);
+            for s in 0..3 {
+                let v = full.results[0].values[s];
+                assert!(
+                    partial.lower[s] <= v + 1e-9,
+                    "max {max} state {s}: lower {} vs {v}",
+                    partial.lower[s]
+                );
+                assert!(
+                    partial.upper[s] >= v - 1e-9,
+                    "max {max} state {s}: upper {} vs {v}",
+                    partial.upper[s]
+                );
+                assert!((0.0..=1.0).contains(&partial.lower[s]));
+                assert!((0.0..=1.0).contains(&partial.upper[s]));
+            }
+            assert!(run.results.is_empty());
+        }
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_before_the_first_step() {
+        let m = chain();
+        let goal = [false, false, true];
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = GuardOptions::default()
+            .with_budget(RunBudget::default().with_cancel_flag(Arc::clone(&flag)));
+        let run = ReachBatch::new(&m, &goal)
+            .query(2.5)
+            .run_guarded(&guard)
+            .unwrap();
+        let (reason, partial) = run.stopped.unwrap();
+        assert_eq!(reason, StopReason::Cancelled);
+        assert_eq!(partial.unwrap().completed_steps, 0);
+        assert_eq!(run.health_checks, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_run() {
+        let m = chain();
+        let goal = [false, false, true];
+        let guard =
+            GuardOptions::default().with_budget(RunBudget::default().with_deadline(Instant::now()));
+        let run = ReachBatch::new(&m, &goal)
+            .query(2.5)
+            .run_guarded(&guard)
+            .unwrap();
+        assert_eq!(run.stopped.unwrap().0, StopReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bitwise_identical() {
+        let m = chain();
+        let goal = [false, false, true];
+        for threads in [1, 3] {
+            let path = temp_ck(&format!("resume_t{threads}"));
+            let batch = ReachBatch::new(&m, &goal)
+                .with_epsilon(1e-9)
+                .with_threads(threads)
+                .query(1.0)
+                .query(2.5);
+            let reference = batch.run().unwrap();
+
+            // Stop after 1 step, then after 4 more, then run to the end:
+            // two resume hops across a query boundary-free region plus a
+            // final unbounded hop.
+            let ck = CheckpointConfig::new(&path, 2);
+            let guard_stop1 = GuardOptions::default()
+                .with_checkpoint(ck.clone())
+                .with_budget(RunBudget::default().with_max_iterations(1));
+            let first = batch.run_guarded(&guard_stop1).unwrap();
+            assert!(!first.is_complete());
+
+            let guard_stop2 = GuardOptions::default()
+                .with_checkpoint(ck.clone())
+                .with_budget(RunBudget::default().with_max_iterations(4));
+            let second = batch.resume(&path, &guard_stop2).unwrap();
+            assert!(!second.is_complete());
+            assert!(matches!(
+                second.events.first(),
+                Some(GuardEvent::Resumed { .. })
+            ));
+
+            let final_run = batch
+                .resume(&path, &GuardOptions::default().with_checkpoint(ck))
+                .unwrap();
+            assert!(final_run.is_complete(), "threads {threads}");
+            assert_eq!(final_run.results.len(), reference.results.len());
+            for (g, p) in final_run.results.iter().zip(&reference.results) {
+                assert_eq!(bits(&g.values), bits(&p.values), "threads {threads}");
+                assert_eq!(g.iterations, p.iterations);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn resume_of_a_completed_checkpoint_returns_the_results() {
+        let m = chain();
+        let goal = [false, false, true];
+        let path = temp_ck("completed");
+        let batch = ReachBatch::new(&m, &goal).query(1.0);
+        let guard = GuardOptions::default().with_checkpoint(CheckpointConfig::new(&path, 8));
+        let run = batch.run_guarded(&guard).unwrap();
+        assert!(run.is_complete());
+        let resumed = batch.resume(&path, &GuardOptions::default()).unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(
+            bits(&resumed.results[0].values),
+            bits(&run.results[0].values)
+        );
+        assert!(matches!(
+            resumed.events.first(),
+            Some(GuardEvent::Resumed { query: 1, step: 0 })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_reports_corrupt_not_ub() {
+        let m = chain();
+        let goal = [false, false, true];
+        let path = temp_ck("truncated");
+        let batch = ReachBatch::new(&m, &goal).query(2.5);
+        let guard = GuardOptions::default()
+            .with_checkpoint(CheckpointConfig::new(&path, 1))
+            .with_budget(RunBudget::default().with_max_iterations(3));
+        batch.run_guarded(&guard).unwrap();
+
+        // chop bytes off the tail: the trailer no longer matches
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1, 7, full.len() / 2] {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            let err = batch.resume(&path, &GuardOptions::default()).unwrap_err();
+            assert!(
+                matches!(err, GuardError::CheckpointCorrupt { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+        // flip a byte in the middle: same detection
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            batch.resume(&path, &GuardOptions::default()),
+            Err(GuardError::CheckpointCorrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_batch_is_a_mismatch() {
+        let m = chain();
+        let goal = [false, false, true];
+        let path = temp_ck("mismatch");
+        let batch = ReachBatch::new(&m, &goal).with_epsilon(1e-6).query(2.5);
+        let guard = GuardOptions::default()
+            .with_checkpoint(CheckpointConfig::new(&path, 1))
+            .with_budget(RunBudget::default().with_max_iterations(2));
+        batch.run_guarded(&guard).unwrap();
+
+        let other_eps = ReachBatch::new(&m, &goal).with_epsilon(1e-8).query(2.5);
+        let err = other_eps
+            .resume(&path, &GuardOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, GuardError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("epsilon"));
+
+        let other_queries = ReachBatch::new(&m, &goal).with_epsilon(1e-6).query(3.0);
+        let err = other_queries
+            .resume(&path, &GuardOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, GuardError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_every_bit() {
+        let data = CheckpointData {
+            n: 3,
+            epsilon_bits: 1e-9f64.to_bits(),
+            rate_bits: 2.0f64.to_bits(),
+            queries: vec![(1.0f64.to_bits(), 0), (2.5f64.to_bits(), 1)],
+            completed: vec![CompletedQuery {
+                iterations: 17,
+                values: vec![0.25, 0.5, 1.0],
+            }],
+            in_progress: Some(InProgress {
+                query: 1,
+                k: 23,
+                current_i: 9,
+                q: vec![0.1, 0.2, 0.3],
+            }),
+        };
+        let decoded = CheckpointData::from_bytes(&data.to_bytes()).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn health_check_flags_each_corruption_kind() {
+        assert!(check_health(&[0.0, 0.5, 1.0], 7).is_ok());
+        // tolerated drift
+        assert!(check_health(&[1.0 + HEALTH_SLACK / 2.0, -HEALTH_SLACK / 2.0], 7).is_ok());
+        let err = check_health(&[0.0, f64::NAN, 1.0], 7).unwrap_err();
+        assert_eq!(err.step, 7);
+        assert_eq!(err.state, 1);
+        assert_eq!(err.kind, HealthKind::NotANumber);
+        let err = check_health(&[f64::INFINITY], 3).unwrap_err();
+        assert_eq!(err.kind, HealthKind::Infinite);
+        let err = check_health(&[0.0, 1.5], 2).unwrap_err();
+        assert_eq!(err.state, 1);
+        assert!(matches!(err.kind, HealthKind::OutOfRange { value } if value == 1.5));
+        let err = check_health(&[-1e-3], 1).unwrap_err();
+        assert!(matches!(err.kind, HealthKind::OutOfRange { .. }));
+        assert!(err.to_string().contains("step 1"));
+    }
+
+    #[test]
+    fn budget_precedence_is_cancel_then_iterations_then_deadline() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = RunBudget::default()
+            .with_cancel_flag(Arc::clone(&flag))
+            .with_max_iterations(0)
+            .with_deadline(Instant::now());
+        assert_eq!(budget.exceeded(0), Some(StopReason::Cancelled));
+        flag.store(false, Ordering::SeqCst);
+        assert_eq!(budget.exceeded(0), Some(StopReason::MaxIterations));
+        let budget = RunBudget::default().with_deadline(Instant::now());
+        assert_eq!(budget.exceeded(0), Some(StopReason::DeadlineExpired));
+        assert_eq!(RunBudget::default().exceeded(usize::MAX), None);
+    }
+}

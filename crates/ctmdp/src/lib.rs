@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod guard;
 mod model;
 pub mod par;
 pub mod policy;

@@ -38,8 +38,8 @@ use unicon_sparse::assign_blocks;
 
 use crate::model::Ctmdp;
 use crate::reachability::{
-    finalize_values, indicator_result, iterate_sequential, step_state, validate_epsilon, Objective,
-    Precompute, ReachError, ReachOptions, ReachResult,
+    finalize_values, indicator_result, iterate_sequential, step_state, validate_epsilon,
+    validate_time, Objective, Precompute, ReachError, ReachOptions, ReachResult,
 };
 
 /// Fixed block size of the deterministic checksum reduction — a property
@@ -67,12 +67,8 @@ pub fn resolve_threads(threads: usize) -> usize {
 ///
 /// # Errors
 ///
-/// See [`crate::reachability::timed_reachability`].
-///
-/// # Panics
-///
-/// Panics if `goal.len()` mismatches the state count or `t` is negative
-/// or not finite.
+/// See [`crate::reachability::timed_reachability`] — invalid `t`, epsilon
+/// or goal length are typed errors, not panics.
 pub fn timed_reachability_par(
     ctmdp: &Ctmdp,
     goal: &[bool],
@@ -80,10 +76,7 @@ pub fn timed_reachability_par(
     opts: &ReachOptions,
     threads: usize,
 ) -> Result<ReachResult, ReachError> {
-    assert!(
-        t.is_finite() && t >= 0.0,
-        "time bound must be finite and >= 0"
-    );
+    validate_time(t)?;
     validate_epsilon(opts.epsilon)?;
     let pre = Precompute::new(ctmdp, goal)?;
     if t == 0.0 || pre.rate == 0.0 {
@@ -337,11 +330,13 @@ pub struct BatchResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReachBatch<'a> {
-    ctmdp: &'a Ctmdp,
-    goal: Vec<bool>,
-    epsilon: f64,
-    threads: usize,
-    queries: Vec<ReachQuery>,
+    // pub(crate): the guard module wraps batches without re-borrowing
+    // through accessors.
+    pub(crate) ctmdp: &'a Ctmdp,
+    pub(crate) goal: Vec<bool>,
+    pub(crate) epsilon: f64,
+    pub(crate) threads: usize,
+    pub(crate) queries: Vec<ReachQuery>,
 }
 
 impl<'a> ReachBatch<'a> {
@@ -386,14 +381,10 @@ impl<'a> ReachBatch<'a> {
 
     /// Adds a query with an explicit objective.
     ///
-    /// # Panics
-    ///
-    /// Panics if `t` is negative or not finite.
+    /// The time bound is validated at [`ReachBatch::run`] time (like the
+    /// epsilon), so building a batch from untrusted input never panics —
+    /// a bad bound surfaces as [`ReachError::InvalidTimeBound`].
     pub fn query_with(mut self, t: f64, objective: Objective) -> Self {
-        assert!(
-            t.is_finite() && t >= 0.0,
-            "time bound must be finite and >= 0"
-        );
         self.queries.push(ReachQuery { t, objective });
         self
     }
@@ -414,6 +405,9 @@ impl<'a> ReachBatch<'a> {
     /// See [`crate::reachability::timed_reachability`].
     pub fn run(&self) -> Result<BatchResult, ReachError> {
         validate_epsilon(self.epsilon)?;
+        for q in &self.queries {
+            validate_time(q.t)?;
+        }
         let threads = resolve_threads(self.threads);
 
         let pre_start = Instant::now();
@@ -635,6 +629,19 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, ReachError::InvalidEpsilon { epsilon } if epsilon == -0.5));
+    }
+
+    #[test]
+    fn batch_validates_time_bounds_at_run_time() {
+        let m = chain();
+        let goal = [false, false, true];
+        // building with a bad bound must not panic...
+        let batch = ReachBatch::new(&m, &goal).query(f64::NAN).query(1.0);
+        // ...the error surfaces from run()
+        let err = batch.run().unwrap_err();
+        assert!(matches!(err, ReachError::InvalidTimeBound { t } if t.is_nan()));
+        let err = ReachBatch::new(&m, &goal).query(-2.0).run().unwrap_err();
+        assert!(matches!(err, ReachError::InvalidTimeBound { t } if t == -2.0));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use unicon_ctmc::Ctmc;
 use unicon_numeric::FoxGlynn;
 
 use crate::model::Ctmdp;
-use crate::reachability::{validate_epsilon, Precompute, ReachError};
+use crate::reachability::{validate_epsilon, validate_goal, validate_time, Precompute, ReachError};
 use crate::scheduler::{Stationary, StepDependent};
 
 /// Builds the CTMC induced by resolving every choice of `ctmdp` with the
@@ -77,12 +77,8 @@ pub fn evaluate_policy(
 ///
 /// # Errors
 ///
-/// See [`crate::reachability::timed_reachability`].
-///
-/// # Panics
-///
-/// Panics if `goal.len()` mismatches the state count or `t` is
-/// negative/not finite.
+/// See [`crate::reachability::timed_reachability`] — invalid `t`,
+/// `epsilon` or goal length are typed errors, not panics.
 pub fn evaluate_step_dependent(
     ctmdp: &Ctmdp,
     sched: &StepDependent,
@@ -90,11 +86,9 @@ pub fn evaluate_step_dependent(
     t: f64,
     epsilon: f64,
 ) -> Result<f64, ReachError> {
-    assert!(
-        t.is_finite() && t >= 0.0,
-        "time bound must be finite and >= 0"
-    );
+    validate_time(t)?;
     validate_epsilon(epsilon)?;
+    validate_goal(goal, ctmdp)?;
     let pre = Precompute::new(ctmdp, goal)?;
     let init = ctmdp.initial() as usize;
     if t == 0.0 || pre.rate == 0.0 {
@@ -109,6 +103,8 @@ pub fn evaluate_step_dependent(
     let mut q = vec![0.0f64; n];
     for i in (1..=k).rev() {
         let psi = fg.psi(i);
+        // decisions.len() >= 1 is a StepDependent constructor invariant
+        // ("at least one step"), so the `- 1` cannot underflow.
         let step = &decisions[(i - 1).min(decisions.len() - 1)];
         for s in 0..n {
             if goal[s] {

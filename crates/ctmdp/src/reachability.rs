@@ -29,6 +29,18 @@ pub enum ReachError {
         /// The offending value (may be non-finite).
         epsilon: f64,
     },
+    /// The time bound is negative, NaN or infinite.
+    InvalidTimeBound {
+        /// The offending value.
+        t: f64,
+    },
+    /// The goal vector's length disagrees with the model's state count.
+    GoalLengthMismatch {
+        /// Entries in the supplied goal vector.
+        goal_len: usize,
+        /// States of the analyzed CTMDP.
+        num_states: usize,
+    },
 }
 
 impl std::fmt::Display for ReachError {
@@ -39,6 +51,16 @@ impl std::fmt::Display for ReachError {
                 f,
                 "truncation precision epsilon must lie in (0, 1), got {epsilon}"
             ),
+            ReachError::InvalidTimeBound { t } => {
+                write!(f, "time bound must be finite and >= 0, got {t}")
+            }
+            ReachError::GoalLengthMismatch {
+                goal_len,
+                num_states,
+            } => write!(
+                f,
+                "goal vector has {goal_len} entries but the CTMDP has {num_states} states"
+            ),
         }
     }
 }
@@ -47,7 +69,7 @@ impl std::error::Error for ReachError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ReachError::NotUniform(e) => Some(e),
-            ReachError::InvalidEpsilon { .. } => None,
+            _ => None,
         }
     }
 }
@@ -64,6 +86,27 @@ pub(crate) fn validate_epsilon(epsilon: f64) -> Result<(), ReachError> {
         Ok(())
     } else {
         Err(ReachError::InvalidEpsilon { epsilon })
+    }
+}
+
+/// Validates a time bound: finite and nonnegative (NaN fails both tests).
+pub(crate) fn validate_time(t: f64) -> Result<(), ReachError> {
+    if t.is_finite() && t >= 0.0 {
+        Ok(())
+    } else {
+        Err(ReachError::InvalidTimeBound { t })
+    }
+}
+
+/// Validates that a goal vector covers the state space exactly.
+pub(crate) fn validate_goal(goal: &[bool], ctmdp: &Ctmdp) -> Result<(), ReachError> {
+    if goal.len() == ctmdp.num_states() {
+        Ok(())
+    } else {
+        Err(ReachError::GoalLengthMismatch {
+            goal_len: goal.len(),
+            num_states: ctmdp.num_states(),
+        })
     }
 }
 
@@ -166,11 +209,7 @@ pub(crate) struct Precompute {
 impl Precompute {
     /// Verifies uniformity and builds the shared traversal structures.
     pub(crate) fn new(ctmdp: &Ctmdp, goal: &[bool]) -> Result<Self, ReachError> {
-        assert_eq!(
-            goal.len(),
-            ctmdp.num_states(),
-            "goal vector length mismatch"
-        );
+        validate_goal(goal, ctmdp)?;
         let rate = ctmdp.uniform_rate()?;
         let rfs = ctmdp.rate_functions();
         let probs = CsrMatrix::from_triplets(
@@ -262,23 +301,18 @@ pub(crate) fn finalize_values(goal: &[bool], q1: &[f64]) -> Vec<f64> {
 /// # Errors
 ///
 /// Returns [`ReachError::NotUniform`] if the transitions' exit rates
-/// differ and [`ReachError::InvalidEpsilon`] if `opts.epsilon` lies
-/// outside `(0, 1)`.
-///
-/// # Panics
-///
-/// Panics if `goal.len()` mismatches the state count or `t` is negative or
-/// not finite.
+/// differ, [`ReachError::InvalidEpsilon`] if `opts.epsilon` lies outside
+/// `(0, 1)`, [`ReachError::InvalidTimeBound`] if `t` is negative or not
+/// finite, and [`ReachError::GoalLengthMismatch`] if `goal.len()`
+/// disagrees with the state count — all reachable from untrusted input,
+/// so none of them panic.
 pub fn timed_reachability(
     ctmdp: &Ctmdp,
     goal: &[bool],
     t: f64,
     opts: &ReachOptions,
 ) -> Result<ReachResult, ReachError> {
-    assert!(
-        t.is_finite() && t >= 0.0,
-        "time bound must be finite and >= 0"
-    );
+    validate_time(t)?;
     validate_epsilon(opts.epsilon)?;
     let pre = Precompute::new(ctmdp, goal)?;
 
@@ -375,6 +409,9 @@ pub fn step_bounded_reachability(
     k: usize,
     objective: Objective,
 ) -> Vec<f64> {
+    // Infallible return type: a mismatched goal is a caller bug here (the
+    // CLI paths all build the goal from the model they pass), so this is a
+    // documented panic rather than a ReachError.
     assert_eq!(
         goal.len(),
         ctmdp.num_states(),
@@ -580,6 +617,30 @@ mod tests {
             timed_reachability(&m, &goal, 0.0, &ReachOptions::default().with_epsilon(-1.0)),
             Err(ReachError::InvalidEpsilon { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_bad_time_bounds_and_goal_length() {
+        let (m, _) = chain_as_ctmdp();
+        let goal = [false, false, true];
+        for t in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = timed_reachability(&m, &goal, t, &ReachOptions::default()).unwrap_err();
+            assert!(
+                matches!(err, ReachError::InvalidTimeBound { t: bad } if bad.to_bits() == t.to_bits()),
+                "t {t} gave {err:?}"
+            );
+            assert!(err.to_string().contains("time bound"));
+        }
+        let err =
+            timed_reachability(&m, &[false, true], 1.0, &ReachOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ReachError::GoalLengthMismatch {
+                goal_len: 2,
+                num_states: 3
+            }
+        ));
+        assert!(err.to_string().contains("goal vector"));
     }
 
     #[test]

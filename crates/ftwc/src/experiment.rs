@@ -41,11 +41,7 @@ pub struct Table1Row {
 /// Panics if the generated model fails to transform (cannot happen for
 /// well-formed parameters).
 pub fn table1_row(params: &FtwcParams, time_bounds: &[f64], epsilon: f64) -> Table1Row {
-    let start = std::time::Instant::now();
-    let model = generator::build_uimc(params);
-    let prepared =
-        PreparedModel::new(&model.uniform, &model.premium_down).expect("FTWC transforms cleanly");
-    let transform_time = start.elapsed();
+    let (prepared, transform_time) = prepare(params);
 
     let mut analyses = Vec::new();
     for &t in time_bounds {
@@ -116,6 +112,25 @@ impl ReachBench {
     }
 }
 
+/// Builds the FTWC for `params` and transforms it into a
+/// [`PreparedModel`], returning the wall-clock time the build took.
+///
+/// This is the shared front half of [`reach_bench`] and of the CLI's
+/// guarded `unicon reach --ftwc` path, which needs the prepared model
+/// itself to wire budgets and checkpoints around the batch run.
+///
+/// # Panics
+///
+/// Panics if the generated model fails to transform (cannot happen for
+/// well-formed parameters).
+pub fn prepare(params: &FtwcParams) -> (PreparedModel, Duration) {
+    let start = std::time::Instant::now();
+    let model = generator::build_uimc(params);
+    let prepared =
+        PreparedModel::new(&model.uniform, &model.premium_down).expect("FTWC transforms cleanly");
+    (prepared, start.elapsed())
+}
+
 /// Builds the FTWC for `params`, transforms it, and answers all
 /// `time_bounds` worst-case queries in one batched pass over `threads`
 /// worker threads — the driver behind `unicon reach --ftwc`.
@@ -130,11 +145,7 @@ pub fn reach_bench(
     epsilon: f64,
     threads: usize,
 ) -> ReachBench {
-    let start = std::time::Instant::now();
-    let model = generator::build_uimc(params);
-    let prepared =
-        PreparedModel::new(&model.uniform, &model.premium_down).expect("FTWC transforms cleanly");
-    let build_time = start.elapsed();
+    let (prepared, build_time) = prepare(params);
 
     let mut batch = prepared
         .reach_batch()

@@ -17,6 +17,58 @@ use crate::NeumaierSum;
 /// affect reported truncation points down to ε ≈ 1e-14.
 const WEIGHT_CUTOFF: f64 = 1e-18;
 
+/// Typed failure of a Fox–Glynn weight computation: the `(λ = rate·t, ε)`
+/// regime that the stored window cannot serve, reported instead of a panic
+/// or NaN weights so long-running analyses can fail loudly and partially.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FoxGlynnError {
+    /// `λ = rate·t` is NaN, infinite or negative — typically a mis-scaled
+    /// rate or time bound upstream.
+    InvalidLambda {
+        /// The offending Poisson parameter.
+        lambda: f64,
+    },
+    /// The truncation precision lies outside `(0, 1)` (including NaN).
+    InvalidEpsilon {
+        /// The offending value.
+        epsilon: f64,
+    },
+    /// The requested precision is below what the stored weight window can
+    /// certify: mass truncated at the relative weight cutoff (1e-18) is no
+    /// longer negligible against `ε`, so the truncation point would be
+    /// determined by underflow, not by the Poisson tail.
+    Underflow {
+        /// The Poisson parameter `λ = rate·t` of the failing request.
+        lambda: f64,
+        /// The precision that cannot be certified for this `λ`.
+        epsilon: f64,
+    },
+}
+
+impl std::fmt::Display for FoxGlynnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoxGlynnError::InvalidLambda { lambda } => write!(
+                f,
+                "Fox-Glynn requires a finite nonnegative lambda = rate*t, got {lambda}"
+            ),
+            FoxGlynnError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon must lie in (0, 1), got {epsilon}")
+            }
+            FoxGlynnError::Underflow { lambda, epsilon } => write!(
+                f,
+                "Fox-Glynn underflow: epsilon = {epsilon} is below the certifiable \
+                 floor {:.3e} for lambda = rate*t = {lambda} (weights below the \
+                 1e-18 relative cutoff are dropped); use a larger epsilon or \
+                 rescale the rates",
+                FoxGlynn::min_certifiable_epsilon(*lambda)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FoxGlynnError {}
+
 /// Poisson weights `ψ(n, λ)` with stable tails and truncation queries.
 ///
 /// The weights are stored for the contiguous index window in which they are
@@ -125,6 +177,70 @@ impl FoxGlynn {
             weights,
             suffix,
         }
+    }
+
+    /// Non-panicking constructor: [`FoxGlynn::new`] with the precondition
+    /// surfaced as [`FoxGlynnError::InvalidLambda`].
+    ///
+    /// # Errors
+    ///
+    /// [`FoxGlynnError::InvalidLambda`] if `lambda` is negative, NaN or
+    /// infinite.
+    pub fn try_new(lambda: f64) -> Result<Self, FoxGlynnError> {
+        if lambda.is_finite() && lambda >= 0.0 {
+            Ok(Self::new(lambda))
+        } else {
+            Err(FoxGlynnError::InvalidLambda { lambda })
+        }
+    }
+
+    /// The smallest truncation precision the stored window can certify for
+    /// `lambda`.
+    ///
+    /// Both recurrences stop once a weight falls below the relative cutoff
+    /// 1e-18; the neglected tail mass beyond each end is bounded by a
+    /// geometric series whose ratio approaches 1 like `1 - c/√λ`, giving a
+    /// total neglected mass of order `1e-18 · (√λ + const)`. Requests with
+    /// an `epsilon` below this floor would have their truncation point set
+    /// by underflow rather than the Poisson tail, so they are refused with
+    /// [`FoxGlynnError::Underflow`].
+    pub fn min_certifiable_epsilon(lambda: f64) -> f64 {
+        // 2 tails, geometric-sum factor ≈ √λ/9 + 1 each, and a 4x safety
+        // margin on top of the cutoff.
+        WEIGHT_CUTOFF * 8.0 * (lambda.max(0.0).sqrt() / 9.0 + 1.0)
+    }
+
+    /// Computes the weights and right truncation point for `λ = rate·t`
+    /// with every failure surfaced as a typed [`FoxGlynnError`] — the
+    /// guarded engines' entry point, bitwise identical to
+    /// [`FoxGlynn::new`] + [`FoxGlynn::right_truncation`] on success.
+    ///
+    /// # Errors
+    ///
+    /// [`FoxGlynnError::InvalidLambda`] for non-finite or negative λ,
+    /// [`FoxGlynnError::InvalidEpsilon`] for ε outside `(0, 1)`, and
+    /// [`FoxGlynnError::Underflow`] when ε is below
+    /// [`FoxGlynn::min_certifiable_epsilon`].
+    pub fn try_weights(lambda: f64, epsilon: f64) -> Result<CachedWeights, FoxGlynnError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(FoxGlynnError::InvalidEpsilon { epsilon });
+        }
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(FoxGlynnError::InvalidLambda { lambda });
+        }
+        if epsilon < Self::min_certifiable_epsilon(lambda) {
+            return Err(FoxGlynnError::Underflow { lambda, epsilon });
+        }
+        let fg = Self::new(lambda);
+        // Defence in depth: the recurrences are stable over the admitted
+        // regime, but a future regression must fail loudly here rather
+        // than propagate NaN into value iterations.
+        if !fg.total().is_finite() || fg.total() <= 0.0 || fg.weights.iter().any(|w| !w.is_finite())
+        {
+            return Err(FoxGlynnError::Underflow { lambda, epsilon });
+        }
+        let truncation = fg.right_truncation(epsilon);
+        Ok(CachedWeights { fg, truncation })
     }
 
     /// The Poisson parameter λ.
@@ -420,6 +536,58 @@ mod tests {
     #[should_panic(expected = "epsilon must be in (0,1)")]
     fn rejects_bad_epsilon() {
         FoxGlynn::new(1.0).right_truncation(0.0);
+    }
+
+    #[test]
+    fn try_new_matches_new_and_reports_bad_lambda() {
+        let a = FoxGlynn::try_new(42.5).unwrap();
+        assert_eq!(a, FoxGlynn::new(42.5));
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FoxGlynn::try_new(bad).unwrap_err();
+            assert!(
+                matches!(err, FoxGlynnError::InvalidLambda { lambda } if lambda.to_bits() == bad.to_bits())
+            );
+            assert!(err.to_string().contains("lambda"));
+        }
+    }
+
+    #[test]
+    fn try_weights_is_bitwise_identical_to_direct_computation() {
+        for (lambda, eps) in [(0.5, 1e-6), (200.0, 1e-9), (60_000.0, 1e-12)] {
+            let cw = FoxGlynn::try_weights(lambda, eps).unwrap();
+            let fg = FoxGlynn::new(lambda);
+            assert_eq!(cw.fg, fg);
+            assert_eq!(cw.truncation, fg.right_truncation(eps));
+        }
+    }
+
+    #[test]
+    fn try_weights_rejects_bad_epsilon_and_underflow() {
+        assert!(matches!(
+            FoxGlynn::try_weights(10.0, 0.0),
+            Err(FoxGlynnError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            FoxGlynn::try_weights(10.0, f64::NAN),
+            Err(FoxGlynnError::InvalidEpsilon { .. })
+        ));
+        // below the certifiable floor: typed underflow, never NaN weights
+        let err = FoxGlynn::try_weights(1e6, 1e-17).unwrap_err();
+        assert!(matches!(
+            err,
+            FoxGlynnError::Underflow { lambda, epsilon }
+                if lambda == 1e6 && epsilon == 1e-17
+        ));
+        assert!(err.to_string().contains("underflow"));
+    }
+
+    #[test]
+    fn certifiable_floor_grows_with_lambda_but_stays_tiny() {
+        let small = FoxGlynn::min_certifiable_epsilon(1.0);
+        let large = FoxGlynn::min_certifiable_epsilon(1e6);
+        assert!(small < large);
+        // 1e-12 stays certifiable across the whole supported regime
+        assert!(large < 1e-12);
     }
 
     #[test]

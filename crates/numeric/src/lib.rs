@@ -37,5 +37,5 @@ pub mod special;
 pub mod sum;
 
 pub use approx::{approx_eq, rate_tolerance, rates_approx_eq, ApproxMode, RATE_RTOL};
-pub use foxglynn::{CachedWeights, FoxGlynn, WeightCache};
+pub use foxglynn::{CachedWeights, FoxGlynn, FoxGlynnError, WeightCache};
 pub use sum::{chunked_stable_sum, stable_sum, NeumaierSum};

@@ -54,11 +54,15 @@ pub enum Code {
     /// Zeno behaviour / pre-empted rates: interactive cycles (error) or
     /// Markov transitions that urgency makes unfirable (info).
     U008,
+    /// Rate magnitudes spread wider than Fox–Glynn can resolve at the
+    /// default epsilon: branch probabilities below the weights'
+    /// floating-point floor silently contribute nothing.
+    U009,
 }
 
 impl Code {
     /// All codes, in order.
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 9] = [
         Code::U001,
         Code::U002,
         Code::U003,
@@ -67,6 +71,7 @@ impl Code {
         Code::U006,
         Code::U007,
         Code::U008,
+        Code::U009,
     ];
 
     /// The code as printed, e.g. `"U001"`.
@@ -80,6 +85,7 @@ impl Code {
             Code::U006 => "U006",
             Code::U007 => "U007",
             Code::U008 => "U008",
+            Code::U009 => "U009",
         }
     }
 
@@ -94,6 +100,7 @@ impl Code {
             Code::U006 => "reachable deadlock/absorbing state",
             Code::U007 => "unreachable states",
             Code::U008 => "interactive cycle (Zeno) or pre-empted Markov rates",
+            Code::U009 => "rate spread exceeds Fox–Glynn resolution at default epsilon",
         }
     }
 }

@@ -18,6 +18,7 @@
 //! | U006 | warning/info | reachable deadlock/absorbing state (`S_A ≠ ∅`) |
 //! | U007 | warning | unreachable states |
 //! | U008 | error/info | interactive cycle (Zeno) / pre-empted Markov rates |
+//! | U009 | warning | rate spread exceeds Fox–Glynn resolution at default epsilon |
 //!
 //! A model "lints clean" when no errors **and** no warnings fire
 //! ([`Report::is_clean`]); informational findings are always allowed.

@@ -11,6 +11,13 @@ use crate::diag::{Code, Diagnostic, Report, Severity};
 /// How many individual loci a lint names before aggregating.
 const MAX_LISTED: usize = 8;
 
+/// Smallest branch probability `v / E` the Fox–Glynn weights still
+/// resolve at the engine's default `ε = 1e-6`: the weights are computed
+/// in double precision and normalised to total ≈ 1, so per-jump
+/// contributions below ~1e-12 drown in the accumulated rounding noise
+/// and the truncation slack. U009 warns below this floor.
+const FOXGLYNN_SPREAD_FLOOR: f64 = 1e-12;
+
 /// Options controlling a lint pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LintOptions {
@@ -451,6 +458,46 @@ pub fn lint_ctmdp(ctmdp: &Ctmdp) -> Report {
         );
     }
 
+    // U009: rate magnitudes spread wider than Fox–Glynn resolves. The
+    // uniformization rate E is pinned by the fastest transition, and a
+    // branch of rate v only contributes probability v/E per jump — once
+    // that ratio sinks below the weights' floating-point floor, the slow
+    // branch silently contributes nothing to any transient analysis.
+    let max_exit = ctmdp
+        .rate_functions()
+        .iter()
+        .map(|rf| rf.total())
+        .filter(|e| e.is_finite())
+        .fold(0.0f64, f64::max);
+    let min_branch = ctmdp
+        .rate_functions()
+        .iter()
+        .flat_map(|rf| rf.targets().iter())
+        .map(|&(_, v)| v)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if max_exit > 0.0 && min_branch.is_finite() && min_branch / max_exit < FOXGLYNN_SPREAD_FLOOR {
+        r.push(
+            Diagnostic::new(
+                Code::U009,
+                Severity::Warning,
+                format!(
+                    "rate magnitudes spread over {:.1e}: smallest branch rate {min_branch:e} \
+                     against fastest exit rate {max_exit:e}, so the slow branch's per-jump \
+                     probability {:.1e} is below the {FOXGLYNN_SPREAD_FLOOR:e} resolution of \
+                     the Fox–Glynn weights at the default epsilon 1e-6",
+                    max_exit / min_branch,
+                    min_branch / max_exit
+                ),
+            )
+            .with_hint(
+                "the uniformization rate is driven by the fastest transition; rescale the \
+                 slow rates, analyse the fast subsystem separately, or tighten epsilon only \
+                 as far as min_certifiable_epsilon allows",
+            ),
+        );
+    }
+
     // Reachability over chosen-transition branches.
     let mut reachable = vec![false; n];
     reachable[ctmdp.initial() as usize] = true;
@@ -868,6 +915,42 @@ mod tests {
         b.transition(0, "a", &[(1, 1.0)]);
         let r = lint_ctmdp(&b.build());
         assert!(codes(&r).contains(&Code::U006));
+    }
+
+    #[test]
+    fn ctmdp_extreme_rate_spread_fires_u009() {
+        // branch probability 1e-7 / (1e9 + 1e-7) ≈ 1e-16 < 1e-12: the slow
+        // branch is invisible to Fox–Glynn at the default epsilon
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.transition(0, "a", &[(1, 1e9), (0, 1e-7)]);
+        b.transition(1, "b", &[(0, 1e9 + 1e-7)]);
+        let r = lint_ctmdp(&b.build());
+        let u9: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::U009)
+            .collect();
+        assert_eq!(u9.len(), 1, "diagnostics: {:?}", r.diagnostics());
+        assert_eq!(u9[0].severity, Severity::Warning);
+        assert!(u9[0].message.contains("spread"), "{}", u9[0].message);
+        assert!(
+            u9[0]
+                .hint
+                .as_deref()
+                .unwrap_or("")
+                .contains("uniformization"),
+            "hint must point at the uniformization rate"
+        );
+    }
+
+    #[test]
+    fn ctmdp_moderate_rate_spread_stays_silent() {
+        // spread 1e6: comfortably within Fox–Glynn resolution
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.transition(0, "a", &[(1, 1e3), (0, 1e-3)]);
+        b.transition(1, "b", &[(0, 1e3 + 1e-3)]);
+        let r = lint_ctmdp(&b.build());
+        assert!(!codes(&r).contains(&Code::U009), "{:?}", r.diagnostics());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! * [`ctmdp`] — CTMDPs, Algorithm 1 (timed reachability), schedulers,
 //!   simulation,
 //! * [`transform`] — the uIMC → uCTMDP trajectory,
-//! * [`verify`] — static model analysis (`unicon lint`): U001–U008
+//! * [`verify`] — static model analysis (`unicon lint`): U001–U009
 //!   diagnostics proving uniformity by construction actually held,
 //! * [`core`] — the uniformity-by-construction API ([`UniformImc`],
 //!   [`ClosedModel`], [`PreparedModel`]),

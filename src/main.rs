@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! unicon check <model.aut>                       inspect an IMC
-//! unicon lint <model.aut> [--deny warnings]      U001–U008 diagnostics
+//! unicon lint <model.aut> [--deny warnings]      U001–U009 diagnostics
 //! unicon transform <model.aut> [--dot out.dot]   uIMC -> uCTMDP
 //! unicon analyze <model.aut> --goal 1,2,3 --time 10 [options]
 //! unicon reach --ftwc 4 --time-bounds 10,100 --threads 2   batched engine
@@ -12,17 +12,40 @@
 //!
 //! Models are read in the extended Aldebaran format of `unicon-imc::io`
 //! (CADP-compatible: Markov transitions labeled `rate <λ>`, τ spelled `i`).
+//!
+//! Exit codes: 0 success, 1 runtime error, 2 usage error (malformed or
+//! semantically invalid flags), 3 partial result (a budgeted `reach` run
+//! stopped before completing; resume it with `--resume`).
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use unicon::core::ClosedModel;
 use unicon::ctmdp::export;
+use unicon::ctmdp::guard::{CheckpointConfig, DegradePolicy, GuardOptions, GuardedRun, RunBudget};
 use unicon::ctmdp::par::ReachBatch;
-use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions};
+use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions, ReachResult};
 use unicon::ftwc::{experiment, FtwcParams};
 use unicon::imc::{analysis, io, Imc, View};
 use unicon::transform::transform;
 use unicon::verify::{lint_imc, LintOptions};
+
+/// A classified CLI failure: usage errors (exit 2) are the caller's
+/// fault — malformed or semantically invalid arguments — while runtime
+/// errors (exit 1) arise from the models and files being operated on.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage(flag: &str, reason: impl std::fmt::Display) -> CliError {
+    CliError::Usage(format!("{flag}: {reason}"))
+}
+
+fn runtime(msg: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(msg.to_string())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,15 +58,21 @@ fn main() -> ExitCode {
         Some("ftwc") => cmd_ftwc(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command '{other}' (try --help)"
+        ))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(code) => code,
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
         }
     }
 }
@@ -59,37 +88,160 @@ fn print_usage() {
          [--epsilon <e>] [--min] [--exact-goal]\n  \
          unicon reach (--ftwc <N> | <model.aut> --goal <s1,s2,…>)\n          \
          --time-bounds <t1,t2,…> [--threads <n>] [--epsilon <e>]\n          \
-         [--min] [--exact-goal] [--json <out.json>] [--values-out <dump>]\n  \
+         [--min] [--exact-goal] [--json <out.json>] [--values-out <dump>]\n          \
+         [--max-iters <n>] [--timeout <secs>] [--checkpoint <file>]\n          \
+         [--checkpoint-every <k>] [--resume <file>] [--on-degrade fail|sequential]\n  \
          unicon ftwc --n <N> --time <t> [--epsilon <e>]\n\n\
          `reach` answers all time bounds in one batched pass (shared\n\
          precomputation, cached Fox–Glynn weights, optional worker threads;\n\
          results are bitwise independent of --threads) and prints phase\n\
          timings as JSON. --values-out dumps every state value as hex bits\n\
          for exact cross-run comparison.\n\n\
+         Any of --max-iters/--timeout/--checkpoint/--resume/--on-degrade\n\
+         selects the guarded engine: per-iteration numeric health checks,\n\
+         budget stops with partial lower/upper bounds (exit 3), periodic\n\
+         checkpoints, and bitwise-identical resume from a checkpoint.\n\n\
+         Exit codes: 0 ok, 1 runtime error, 2 usage error, 3 partial result.\n\n\
          Models use the extended Aldebaran format: interactive transitions\n\
          as (from, \"label\", to), Markov transitions as (from, \"rate λ\", to),\n\
          τ spelled \"i\"."
     );
 }
 
-fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+// ---------------------------------------------------------------------------
+// Typed argument parsing
+// ---------------------------------------------------------------------------
+
+/// Arguments of one subcommand, split into `--flag value` pairs, bare
+/// `--switch`es, and positional operands. Unknown flags and flags
+/// missing their value are rejected up front, so a typo can never be
+/// silently read as a model path or swallowed by a default.
+struct Cli<'a> {
+    values: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+    positional: Vec<&'a str>,
 }
 
-fn flag(args: &[String], key: &str) -> bool {
-    args.iter().any(|a| a == key)
+fn parse_cli<'a>(
+    args: &'a [String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Cli<'a>, CliError> {
+    let mut cli = Cli {
+        values: Vec::new(),
+        switches: Vec::new(),
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => cli.values.push((a, v.as_str())),
+                _ => return Err(usage(a, "expects a value")),
+            }
+            i += 2;
+        } else if switch_flags.contains(&a) {
+            cli.switches.push(a);
+            i += 1;
+        } else if a.starts_with("--") {
+            return Err(usage(a, "unknown flag for this command"));
+        } else {
+            cli.positional.push(a);
+            i += 1;
+        }
+    }
+    Ok(cli)
 }
 
-fn load(path: &str) -> Result<Imc, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    io::from_aut(&text).map_err(|e| e.to_string())
+impl<'a> Cli<'a> {
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.values.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.contains(&key)
+    }
+
+    /// The single positional operand (the model path), or a usage error.
+    fn model_path(&self, command: &str) -> Result<&'a str, CliError> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            [] => Err(CliError::Usage(format!("{command} needs a model file"))),
+            [_, extra, ..] => Err(CliError::Usage(format!(
+                "{command}: unexpected extra argument '{extra}'"
+            ))),
+        }
+    }
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("check needs a model file")?;
+fn parse_usize(key: &str, s: &str) -> Result<usize, CliError> {
+    s.parse()
+        .map_err(|_| usage(key, format!("'{s}' is not a non-negative integer")))
+}
+
+fn parse_f64(key: &str, s: &str) -> Result<f64, CliError> {
+    s.parse()
+        .map_err(|_| usage(key, format!("'{s}' is not a number")))
+}
+
+/// A time value: finite and non-negative (rejects `nan`, `inf`, `-1`).
+fn parse_time(key: &str, s: &str) -> Result<f64, CliError> {
+    let t = parse_f64(key, s)?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(usage(
+            key,
+            format!("time bound must be finite and non-negative, got '{s}'"),
+        ));
+    }
+    Ok(t)
+}
+
+/// A truncation error bound: strictly inside (0, 1). `nan` fails the
+/// comparison chain, so it is rejected too.
+fn parse_epsilon(key: &str, s: &str) -> Result<f64, CliError> {
+    let e = parse_f64(key, s)?;
+    if !(e > 0.0 && e < 1.0) {
+        return Err(usage(
+            key,
+            format!("must be in the open interval (0, 1), got '{s}'"),
+        ));
+    }
+    Ok(e)
+}
+
+fn epsilon_or_default(cli: &Cli) -> Result<f64, CliError> {
+    cli.value("--epsilon")
+        .map_or(Ok(1e-6), |s| parse_epsilon("--epsilon", s))
+}
+
+fn parse_goal(spec: &str, num_states: usize) -> Result<Vec<bool>, CliError> {
+    let mut goal = vec![false; num_states];
+    for part in spec.split(',') {
+        let s: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| usage("--goal", format!("bad goal state '{part}'")))?;
+        *goal
+            .get_mut(s)
+            .ok_or_else(|| usage("--goal", format!("goal state {s} out of range")))? = true;
+    }
+    Ok(goal)
+}
+
+fn load(path: &str) -> Result<Imc, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("cannot read {path}: {e}")))?;
+    io::from_aut(&text).map_err(runtime)
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &[], &[])?;
+    let path = cli.model_path("check")?;
     let imc = load(path)?;
     let (markov, interactive, hybrid, absorbing) = imc.kind_counts();
     println!(
@@ -111,24 +263,30 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         None => println!("Zeno-free: yes"),
         Some(c) => println!("Zeno-free: NO — interactive cycle through {c:?}"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("lint needs a model file")?;
+fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--view", "--deny"], &["--json"])?;
+    let path = cli.model_path("lint")?;
     let imc = load(path)?;
-    let view = match opt(args, "--view") {
+    let view = match cli.value("--view") {
         None | Some("closed") => View::Closed,
         Some("open") => View::Open,
-        Some(other) => return Err(format!("bad --view '{other}' (open or closed)")),
+        Some(other) => {
+            return Err(usage(
+                "--view",
+                format!("'{other}' is not 'open' or 'closed'"),
+            ))
+        }
     };
-    let deny_warnings = match opt(args, "--deny") {
+    let deny_warnings = match cli.value("--deny") {
         None => false,
         Some("warnings") => true,
-        Some(other) => return Err(format!("bad --deny '{other}' (only 'warnings')")),
+        Some(other) => return Err(usage("--deny", format!("'{other}' is not 'warnings'"))),
     };
     let report = lint_imc(&imc, &LintOptions { view });
-    if flag(args, "--json") {
+    if cli.has("--json") {
         println!("{}", report.to_json());
     } else {
         for d in report.diagnostics() {
@@ -142,21 +300,25 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         }
     }
     if report.has_errors() {
-        Err(format!("lint failed with {} error(s)", report.num_errors()))
+        Err(runtime(format!(
+            "lint failed with {} error(s)",
+            report.num_errors()
+        )))
     } else if deny_warnings && report.num_warnings() > 0 {
-        Err(format!(
+        Err(runtime(format!(
             "lint failed with {} warning(s) (--deny warnings)",
             report.num_warnings()
-        ))
+        )))
     } else {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     }
 }
 
-fn cmd_transform(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("transform needs a model file")?;
+fn cmd_transform(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--dot"], &[])?;
+    let path = cli.model_path("transform")?;
     let imc = load(path)?;
-    let out = transform(&imc).map_err(|e| e.to_string())?;
+    let out = transform(&imc).map_err(runtime)?;
     println!(
         "strictly alternating IMC: {} interactive + {} Markov states, \
          {} interactive + {} Markov transitions ({} bytes, {:?})",
@@ -168,47 +330,44 @@ fn cmd_transform(args: &[String]) -> Result<(), String> {
         out.stats.transform_time
     );
     println!("CTMDP: {}", export::summary(&out.ctmdp));
-    if let Some(dot_path) = opt(args, "--dot") {
+    if let Some(dot_path) = cli.value("--dot") {
         std::fs::write(dot_path, export::to_dot(&out.ctmdp, path))
-            .map_err(|e| format!("cannot write {dot_path}: {e}"))?;
+            .map_err(|e| runtime(format!("cannot write {dot_path}: {e}")))?;
         println!("wrote {dot_path}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("analyze needs a model file")?;
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(
+        args,
+        &["--goal", "--time", "--epsilon"],
+        &["--min", "--exact-goal"],
+    )?;
+    // validate every flag before touching the filesystem, so malformed
+    // arguments are usage errors even when the model path is bad too
+    let path = cli.model_path("analyze")?;
+    let goal_spec = cli
+        .value("--goal")
+        .ok_or_else(|| CliError::Usage("analyze needs --goal s1,s2,…".into()))?;
+    let t = parse_time(
+        "--time",
+        cli.value("--time")
+            .ok_or_else(|| CliError::Usage("analyze needs --time <t>".into()))?,
+    )?;
+    let epsilon = epsilon_or_default(&cli)?;
     let imc = load(path)?;
-    let goal_spec = opt(args, "--goal").ok_or("analyze needs --goal s1,s2,…")?;
-    let t: f64 = opt(args, "--time")
-        .ok_or("analyze needs --time <t>")?
-        .parse()
-        .map_err(|e| format!("bad --time: {e}"))?;
-    let epsilon: f64 = opt(args, "--epsilon")
-        .unwrap_or("1e-6")
-        .parse()
-        .map_err(|e| format!("bad --epsilon: {e}"))?;
-
-    let mut goal = vec![false; imc.num_states()];
-    for part in goal_spec.split(',') {
-        let s: usize = part
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad goal state '{part}'"))?;
-        *goal
-            .get_mut(s)
-            .ok_or(format!("goal state {s} out of range"))? = true;
-    }
+    let goal = parse_goal(goal_spec, imc.num_states())?;
 
     // Verify uniformity under the closed view before transforming.
-    ClosedModel::try_new(imc.clone()).map_err(|e| e.to_string())?;
-    let out = transform(&imc).map_err(|e| e.to_string())?;
-    let cgoal = if flag(args, "--exact-goal") {
+    ClosedModel::try_new(imc.clone()).map_err(runtime)?;
+    let out = transform(&imc).map_err(runtime)?;
+    let cgoal = if cli.has("--exact-goal") {
         out.goal_vector_exact(&goal)
     } else {
         out.goal_vector(&goal)
     };
-    let objective = if flag(args, "--min") {
+    let objective = if cli.has("--min") {
         Objective::Minimize
     } else {
         Objective::Maximize
@@ -221,72 +380,186 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             .with_epsilon(epsilon)
             .with_objective(objective),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(runtime)?;
     println!(
         "{} P(reach goal within {t}) = {:.10e}",
-        if flag(args, "--min") { "min" } else { "max" },
+        if cli.has("--min") { "min" } else { "max" },
         res.from_state(out.ctmdp.initial())
     );
     println!(
         "uniform rate {}, {} iterations, {:?}",
         res.uniform_rate, res.iterations, res.runtime
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_reach(args: &[String]) -> Result<(), String> {
-    let bounds: Vec<f64> = opt(args, "--time-bounds")
-        .ok_or("reach needs --time-bounds t1,t2,…")?
-        .split(',')
-        .map(|p| {
-            p.trim()
-                .parse()
-                .map_err(|e| format!("bad time bound '{p}': {e}"))
+// ---------------------------------------------------------------------------
+// reach: batched + guarded timed reachability
+// ---------------------------------------------------------------------------
+
+/// Guard configuration distilled from the CLI: `None` when no guard
+/// flag is present (the plain batched engine runs), otherwise the
+/// options plus an optional checkpoint to resume from.
+struct GuardSpec<'a> {
+    options: GuardOptions,
+    resume: Option<&'a str>,
+}
+
+fn guard_spec<'a>(cli: &Cli<'a>) -> Result<Option<GuardSpec<'a>>, CliError> {
+    let max_iters = cli
+        .value("--max-iters")
+        .map(|s| parse_usize("--max-iters", s))
+        .transpose()?;
+    let timeout = cli
+        .value("--timeout")
+        .map(|s| {
+            let secs = parse_f64("--timeout", s)?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(usage(
+                    "--timeout",
+                    format!("must be a positive number of seconds, got '{s}'"),
+                ));
+            }
+            Ok(secs)
         })
+        .transpose()?;
+    let checkpoint = cli.value("--checkpoint");
+    let every = cli
+        .value("--checkpoint-every")
+        .map(|s| parse_usize("--checkpoint-every", s))
+        .transpose()?;
+    let resume = cli.value("--resume");
+    let on_degrade = match cli.value("--on-degrade") {
+        None => None,
+        Some("fail") => Some(DegradePolicy::Fail),
+        Some("sequential") => Some(DegradePolicy::Sequential),
+        Some(other) => {
+            return Err(usage(
+                "--on-degrade",
+                format!("'{other}' is not 'fail' or 'sequential'"),
+            ))
+        }
+    };
+    if every.is_some() && checkpoint.is_none() {
+        return Err(usage("--checkpoint-every", "requires --checkpoint"));
+    }
+    if max_iters.is_none()
+        && timeout.is_none()
+        && checkpoint.is_none()
+        && resume.is_none()
+        && on_degrade.is_none()
+    {
+        return Ok(None);
+    }
+
+    let mut budget = RunBudget::default();
+    if let Some(n) = max_iters {
+        budget = budget.with_max_iterations(n);
+    }
+    if let Some(secs) = timeout {
+        budget = budget.with_timeout(Duration::from_secs_f64(secs));
+    }
+    let mut options = GuardOptions::default()
+        .with_budget(budget)
+        .with_degrade_policy(on_degrade.unwrap_or_default());
+    if let Some(path) = checkpoint {
+        options = options.with_checkpoint(CheckpointConfig::new(path, every.unwrap_or(64)));
+    }
+    Ok(Some(GuardSpec { options, resume }))
+}
+
+fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(
+        args,
+        &[
+            "--ftwc",
+            "--goal",
+            "--time-bounds",
+            "--threads",
+            "--epsilon",
+            "--json",
+            "--values-out",
+            "--max-iters",
+            "--timeout",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
+            "--on-degrade",
+        ],
+        &["--min", "--exact-goal"],
+    )?;
+    let bounds: Vec<f64> = cli
+        .value("--time-bounds")
+        .ok_or_else(|| CliError::Usage("reach needs --time-bounds t1,t2,…".into()))?
+        .split(',')
+        .map(|p| parse_time("--time-bounds", p.trim()))
         .collect::<Result<_, _>>()?;
     if bounds.is_empty() {
-        return Err("reach needs at least one time bound".into());
+        return Err(CliError::Usage(
+            "reach needs at least one time bound".into(),
+        ));
     }
-    let epsilon: f64 = opt(args, "--epsilon")
-        .unwrap_or("1e-6")
-        .parse()
-        .map_err(|e| format!("bad --epsilon: {e}"))?;
-    let threads: usize = opt(args, "--threads")
-        .unwrap_or("1")
-        .parse()
-        .map_err(|e| format!("bad --threads: {e}"))?;
+    let epsilon = epsilon_or_default(&cli)?;
+    let threads = cli
+        .value("--threads")
+        .map_or(Ok(1), |s| parse_usize("--threads", s))?;
+    let guard = guard_spec(&cli)?;
 
-    let (json, results, initial) = if let Some(nspec) = opt(args, "--ftwc") {
-        let n: usize = nspec.parse().map_err(|e| format!("bad --ftwc: {e}"))?;
-        let bench = experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads);
-        let initial = bench.initial;
-        (bench.to_json(), bench.batch.results, initial)
-    } else {
-        let path = args
-            .iter()
-            .position(|a| !a.starts_with("--"))
-            .map(|i| args[i].as_str())
-            .ok_or("reach needs --ftwc <N> or a model file")?;
-        let imc = load(path)?;
-        let goal_spec = opt(args, "--goal").ok_or("reach on a model needs --goal s1,s2,…")?;
-        let mut goal = vec![false; imc.num_states()];
-        for part in goal_spec.split(',') {
-            let s: usize = part
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad goal state '{part}'"))?;
-            *goal
-                .get_mut(s)
-                .ok_or(format!("goal state {s} out of range"))? = true;
+    if let Some(nspec) = cli.value("--ftwc") {
+        let n = parse_usize("--ftwc", nspec)?;
+        match guard {
+            None => {
+                // plain batched engine with full phase-timing stats
+                let bench = experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads);
+                let initial = bench.initial;
+                emit_results(
+                    &cli,
+                    &bench.to_json(),
+                    &bench.batch.results,
+                    initial,
+                    &bounds,
+                )?;
+                Ok(ExitCode::SUCCESS)
+            }
+            Some(spec) => {
+                let (prepared, _build) = experiment::prepare(&FtwcParams::new(n));
+                let mut batch = prepared
+                    .reach_batch()
+                    .with_epsilon(epsilon)
+                    .with_threads(threads);
+                for &t in &bounds {
+                    batch = batch.query(t);
+                }
+                let meta = format!(
+                    "\"case_study\":\"ftwc\",\"n\":{n},\"states\":{}",
+                    prepared.ctmdp.num_states()
+                );
+                run_guarded_reach(
+                    &batch,
+                    &spec,
+                    &cli,
+                    &bounds,
+                    prepared.ctmdp.initial(),
+                    &meta,
+                    epsilon,
+                )
+            }
         }
-        ClosedModel::try_new(imc.clone()).map_err(|e| e.to_string())?;
-        let out = transform(&imc).map_err(|e| e.to_string())?;
-        let cgoal = if flag(args, "--exact-goal") {
+    } else {
+        let path = cli.model_path("reach")?;
+        let imc = load(path)?;
+        let goal_spec = cli
+            .value("--goal")
+            .ok_or_else(|| CliError::Usage("reach on a model needs --goal s1,s2,…".into()))?;
+        let goal = parse_goal(goal_spec, imc.num_states())?;
+        ClosedModel::try_new(imc.clone()).map_err(runtime)?;
+        let out = transform(&imc).map_err(runtime)?;
+        let cgoal = if cli.has("--exact-goal") {
             out.goal_vector_exact(&goal)
         } else {
             out.goal_vector(&goal)
         };
-        let objective = if flag(args, "--min") {
+        let objective = if cli.has("--min") {
             Objective::Minimize
         } else {
             Objective::Maximize
@@ -297,24 +570,135 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
         for &t in &bounds {
             batch = batch.query_with(t, objective);
         }
-        let res = batch.run().map_err(|e| e.to_string())?;
         let initial = out.ctmdp.initial();
-        let json = format!(
-            "{{\"model\":\"{path}\",\"states\":{},\"epsilon\":{epsilon:e},\"reach\":{}}}",
-            out.ctmdp.num_states(),
-            export::batch_to_json(&res, initial)
-        );
-        (json, res.results, initial)
-    };
+        match guard {
+            None => {
+                let res = batch.run().map_err(runtime)?;
+                let json = format!(
+                    "{{\"model\":\"{path}\",\"states\":{},\"epsilon\":{epsilon:e},\"reach\":{}}}",
+                    out.ctmdp.num_states(),
+                    export::batch_to_json(&res, initial)
+                );
+                emit_results(&cli, &json, &res.results, initial, &bounds)?;
+                Ok(ExitCode::SUCCESS)
+            }
+            Some(spec) => {
+                let meta = format!("\"model\":\"{path}\",\"states\":{}", out.ctmdp.num_states());
+                run_guarded_reach(&batch, &spec, &cli, &bounds, initial, &meta, epsilon)
+            }
+        }
+    }
+}
 
-    if let Some(out_path) = opt(args, "--json") {
+/// Runs (or resumes) the guarded engine, reports events and partial
+/// bounds, and maps a budget stop to exit code 3.
+fn run_guarded_reach(
+    batch: &ReachBatch<'_>,
+    spec: &GuardSpec<'_>,
+    cli: &Cli<'_>,
+    bounds: &[f64],
+    initial: u32,
+    meta: &str,
+    epsilon: f64,
+) -> Result<ExitCode, CliError> {
+    let run: GuardedRun = match spec.resume {
+        Some(path) => batch.resume(path, &spec.options),
+        None => batch.run_guarded(&spec.options),
+    }
+    .map_err(runtime)?;
+
+    for ev in &run.events {
+        eprintln!("note: {ev}");
+    }
+
+    let mut json = format!(
+        "{{{meta},\"epsilon\":{epsilon:e},\"guarded\":true,\"complete\":{},\"health_checks\":{},\"stopped\":",
+        run.is_complete(),
+        run.health_checks
+    );
+    match &run.stopped {
+        None => json.push_str("null"),
+        Some((reason, _)) => {
+            let _ = write!(json, "\"{}\"", reason.as_str());
+        }
+    }
+    json.push_str(",\"results\":[");
+    for (qi, r) in run.results.iter().enumerate() {
+        if qi > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"t\":{},\"value\":{:e},\"iterations\":{}}}",
+            bounds[qi],
+            r.from_state(initial),
+            r.iterations
+        );
+    }
+    json.push_str("],\"partial\":");
+    match run.stopped.as_ref().and_then(|(_, p)| p.as_ref()) {
+        None => json.push_str("null"),
+        Some(p) => {
+            let _ = write!(
+                json,
+                "{{\"query\":{},\"t\":{},\"completed_steps\":{},\"total_steps\":{},\
+                 \"lower\":{:e},\"upper\":{:e}}}",
+                p.query,
+                p.t,
+                p.completed_steps,
+                p.total_steps,
+                p.lower[initial as usize],
+                p.upper[initial as usize]
+            );
+        }
+    }
+    json.push('}');
+    emit_results(cli, &json, &run.results, initial, bounds)?;
+
+    match run.stopped {
+        None => Ok(ExitCode::SUCCESS),
+        Some((reason, partial)) => {
+            if let Some(p) = partial {
+                eprintln!(
+                    "partial: stopped by {} during query {} (t = {}) after {}/{} steps; \
+                     value at initial state is in [{:.6e}, {:.6e}]",
+                    reason.as_str(),
+                    p.query,
+                    p.t,
+                    p.completed_steps,
+                    p.total_steps,
+                    p.lower[initial as usize],
+                    p.upper[initial as usize]
+                );
+            } else {
+                eprintln!("partial: stopped by {}", reason.as_str());
+            }
+            if spec.options.checkpoint.is_some() {
+                eprintln!("resume with: unicon reach … --resume <checkpoint>");
+            }
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+/// Emits the JSON payload (stdout or `--json <file>`), the per-query
+/// stderr summary, and the optional `--values-out` hex dump shared by
+/// the plain and guarded `reach` paths.
+fn emit_results(
+    cli: &Cli<'_>,
+    json: &str,
+    results: &[ReachResult],
+    initial: u32,
+    bounds: &[f64],
+) -> Result<(), CliError> {
+    if let Some(out_path) = cli.value("--json") {
         std::fs::write(out_path, format!("{json}\n"))
-            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            .map_err(|e| runtime(format!("cannot write {out_path}: {e}")))?;
         eprintln!("wrote {out_path}");
     } else {
         println!("{json}");
     }
-    for (t, r) in bounds.iter().zip(&results) {
+    for (t, r) in bounds.iter().zip(results) {
         eprintln!(
             "t = {t}: value {:.10e} ({} iterations, {:?})",
             r.from_state(initial),
@@ -322,34 +706,28 @@ fn cmd_reach(args: &[String]) -> Result<(), String> {
             r.runtime
         );
     }
-    if let Some(dump_path) = opt(args, "--values-out") {
+    if let Some(dump_path) = cli.value("--values-out") {
         let mut dump = String::new();
         for (qi, r) in results.iter().enumerate() {
             for (s, v) in r.values.iter().enumerate() {
-                use std::fmt::Write as _;
                 writeln!(dump, "{qi} {s} {:016x}", v.to_bits())
                     .expect("writing to a String cannot fail");
             }
         }
-        std::fs::write(dump_path, dump).map_err(|e| format!("cannot write {dump_path}: {e}"))?;
+        std::fs::write(dump_path, dump)
+            .map_err(|e| runtime(format!("cannot write {dump_path}: {e}")))?;
         eprintln!("wrote {dump_path}");
     }
     Ok(())
 }
 
-fn cmd_ftwc(args: &[String]) -> Result<(), String> {
-    let n: usize = opt(args, "--n")
-        .unwrap_or("4")
-        .parse()
-        .map_err(|e| format!("bad --n: {e}"))?;
-    let t: f64 = opt(args, "--time")
-        .unwrap_or("100")
-        .parse()
-        .map_err(|e| format!("bad --time: {e}"))?;
-    let epsilon: f64 = opt(args, "--epsilon")
-        .unwrap_or("1e-6")
-        .parse()
-        .map_err(|e| format!("bad --epsilon: {e}"))?;
+fn cmd_ftwc(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--n", "--time", "--epsilon"], &[])?;
+    let n = cli.value("--n").map_or(Ok(4), |s| parse_usize("--n", s))?;
+    let t = cli
+        .value("--time")
+        .map_or(Ok(100.0), |s| parse_time("--time", s))?;
+    let epsilon = epsilon_or_default(&cli)?;
     let row = experiment::table1_row(&FtwcParams::new(n), &[t], epsilon);
     println!(
         "FTWC N={n}: CTMDP {} states / {} transitions, {} Markov states, built in {:?}",
@@ -359,5 +737,5 @@ fn cmd_ftwc(args: &[String]) -> Result<(), String> {
     println!(
         "worst-case P(premium lost within {t} h) = {p:.10e} ({iters} iterations, {runtime:?})"
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

@@ -201,6 +201,194 @@ fn lint_json_output_is_machine_readable() {
 }
 
 #[test]
+fn malformed_flags_are_usage_errors_with_exit_2() {
+    // (args, expected fragment of the `error: <flag>: <reason>` line)
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &[
+                "reach",
+                "--ftwc",
+                "1",
+                "--time-bounds",
+                "5",
+                "--threads",
+                "x",
+            ],
+            "--threads: 'x' is not a non-negative integer",
+        ),
+        (
+            &[
+                "reach",
+                "--ftwc",
+                "1",
+                "--time-bounds",
+                "5",
+                "--epsilon",
+                "nan",
+            ],
+            "--epsilon: must be in the open interval (0, 1)",
+        ),
+        (
+            &[
+                "reach",
+                "--ftwc",
+                "1",
+                "--time-bounds",
+                "5",
+                "--epsilon",
+                "2",
+            ],
+            "--epsilon",
+        ),
+        (
+            &["reach", "--ftwc", "1", "--time-bounds", "-1"],
+            "--time-bounds: time bound must be finite and non-negative",
+        ),
+        (
+            &["reach", "--ftwc", "1", "--time-bounds", "inf"],
+            "--time-bounds",
+        ),
+        (
+            &["reach", "--ftwc", "1", "--time-bounds"],
+            "--time-bounds: expects a value",
+        ),
+        (
+            &[
+                "reach",
+                "--ftwc",
+                "1",
+                "--time-bounds",
+                "5",
+                "--frobnicate",
+                "3",
+            ],
+            "--frobnicate: unknown flag",
+        ),
+        (
+            &[
+                "reach",
+                "--ftwc",
+                "1",
+                "--time-bounds",
+                "5",
+                "--on-degrade",
+                "retry",
+            ],
+            "--on-degrade: 'retry' is not 'fail' or 'sequential'",
+        ),
+        (
+            &[
+                "reach",
+                "--ftwc",
+                "1",
+                "--time-bounds",
+                "5",
+                "--checkpoint-every",
+                "8",
+            ],
+            "--checkpoint-every: requires --checkpoint",
+        ),
+        (
+            &["analyze", "x.aut", "--goal", "0", "--time", "nan"],
+            "--time",
+        ),
+        (&["ftwc", "--n", "-3"], "--n"),
+    ];
+    for (args, fragment) in cases {
+        let out = unicon().args(*args).output().expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("error: "), "{args:?}: {err}");
+        assert!(err.contains(fragment), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn budget_stop_exits_3_and_resume_completes_bitwise() {
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("unicon_cli_partial_{}.ck", std::process::id()));
+    let full = dir.join(format!("unicon_cli_full_{}.hex", std::process::id()));
+    let resumed = dir.join(format!("unicon_cli_resumed_{}.hex", std::process::id()));
+
+    let out = unicon()
+        .args(["reach", "--ftwc", "1", "--time-bounds", "5"])
+        .arg("--values-out")
+        .arg(&full)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // a budget that cannot finish: exit 3, checkpoint on disk, partial
+    // bounds on stderr
+    let out = unicon()
+        .args([
+            "reach",
+            "--ftwc",
+            "1",
+            "--time-bounds",
+            "5",
+            "--max-iters",
+            "2",
+        ])
+        .args(["--checkpoint"])
+        .arg(&ck)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("partial: stopped by max-iterations"), "{err}");
+    assert!(err.contains("value at initial state is in ["), "{err}");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"guarded\":true"), "{json}");
+    assert!(json.contains("\"complete\":false"), "{json}");
+    assert!(json.contains("\"stopped\":\"max-iterations\""), "{json}");
+
+    // unbudgeted resume finishes and matches the uninterrupted dump
+    let out = unicon()
+        .args(["reach", "--ftwc", "1", "--time-bounds", "5", "--resume"])
+        .arg(&ck)
+        .arg("--values-out")
+        .arg(&resumed)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let full_dump = std::fs::read(&full).expect("full dump written");
+    let resumed_dump = std::fs::read(&resumed).expect("resumed dump written");
+    assert_eq!(full_dump, resumed_dump, "resume must be bitwise identical");
+
+    std::fs::remove_file(&ck).ok();
+    std::fs::remove_file(&full).ok();
+    std::fs::remove_file(&resumed).ok();
+}
+
+#[test]
+fn resume_from_a_missing_checkpoint_is_a_runtime_error() {
+    let out = unicon()
+        .args(["reach", "--ftwc", "1", "--time-bounds", "5", "--resume"])
+        .arg("/nonexistent/unicon_no_such.ck")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error: "), "{err}");
+}
+
+#[test]
 fn ftwc_subcommand_runs() {
     let out = unicon()
         .args(["ftwc", "--n", "1", "--time", "10"])
