@@ -71,4 +71,14 @@ speedup=$(awk "BEGIN { printf \"%.4f\", ($ms1) / ($ms4) }")
 echo >> BENCH_reach.json
 echo "BENCH_reach.json written (iterate speedup threads4/threads1: $speedup)"
 
+echo "==> construction benchmark (worklist vs reference refiner, bitwise gate)"
+# bench-build rebuilds the compositional FTWC with both refiner backends,
+# panics if their quotients differ bitwise, and records both minimization
+# timings so the speedup claim stays honest.
+./target/release/unicon bench-build --n-list 1,2 --out BENCH_build.json 2>/dev/null
+wl=$(sed -n 's/.*"minimize_worklist_ms":\([0-9.e+-]*\),"minimize_reference_ms":\([0-9.e+-]*\).*/\1/p' BENCH_build.json | tail -1)
+ref=$(sed -n 's/.*"minimize_worklist_ms":\([0-9.e+-]*\),"minimize_reference_ms":\([0-9.e+-]*\).*/\2/p' BENCH_build.json | tail -1)
+ratio=$(awk "BEGIN { printf \"%.4f\", ($ref) / ($wl) }")
+echo "BENCH_build.json written (N=2 minimize speedup reference/worklist: $ratio)"
+
 echo "CI OK"

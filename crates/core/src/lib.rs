@@ -58,6 +58,8 @@ use unicon_ctmdp::par::ReachBatch;
 use unicon_ctmdp::reachability::{self, Objective, ReachError, ReachOptions, ReachResult};
 use unicon_ctmdp::Ctmdp;
 use unicon_imc::{bisim, elapse, Imc, Uniformity, View};
+
+pub use unicon_imc::bisim::Refiner;
 use unicon_lts::Lts;
 use unicon_transform::{transform, TransformError, TransformStats};
 
@@ -273,7 +275,24 @@ impl UniformImc {
     ///
     /// Panics if `labels.len()` does not match the state count.
     pub fn minimize_labeled(&self, labels: &[u32]) -> (UniformImc, Vec<u32>) {
-        let (imc, new_labels) = bisim::minimize_labeled(&self.imc, View::Open, labels);
+        self.minimize_labeled_with(labels, Refiner::default())
+    }
+
+    /// Like [`UniformImc::minimize_labeled`], with an explicit refiner
+    /// backend. Both backends produce bitwise-identical quotients; the
+    /// reference backend exists so `bench-build` can time the seed
+    /// algorithm on the same pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the state count.
+    pub fn minimize_labeled_with(
+        &self,
+        labels: &[u32],
+        refiner: Refiner,
+    ) -> (UniformImc, Vec<u32>) {
+        let (imc, new_labels) =
+            bisim::minimize_labeled_with(&self.imc, View::Open, labels, refiner);
         let out = Self {
             imc,
             rate: self.rate,

@@ -19,12 +19,53 @@
 //!
 //! [`generator`]: crate::generator
 
-use unicon_core::UniformImc;
+use std::time::{Duration, Instant};
+
+use unicon_core::{Refiner, UniformImc};
 use unicon_ctmc::PhaseType;
 use unicon_lts::LtsBuilder;
 
 use crate::params::{Component, FtwcParams};
 use crate::premium::{premium, Config};
+
+/// Wall-clock decomposition of one compositional construction, mirroring
+/// the paper's Table-1 phases. The phases are disjoint: *generate* covers
+/// leaf component and timer construction (including their internal
+/// fixed-size elapse products and relabelling), *compose* covers the
+/// cluster-level parallel products and hiding, and *minimize* covers every
+/// label-respecting quotient — wherever in the pipeline it happens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// Leaf component and timer construction.
+    pub generate: Duration,
+    /// Parallel products and hiding.
+    pub compose: Duration,
+    /// Bisimulation minimization (all `minimize_labeled` calls).
+    pub minimize: Duration,
+}
+
+/// Build context: which refiner backend minimizations use, plus the
+/// accumulated per-phase timings.
+struct BuildCtx {
+    refiner: Refiner,
+    t: BuildTimings,
+}
+
+impl BuildCtx {
+    fn new(refiner: Refiner) -> Self {
+        Self {
+            refiner,
+            t: BuildTimings::default(),
+        }
+    }
+
+    fn generate<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.t.generate += start.elapsed();
+        out
+    }
+}
 
 /// A model whose states carry a tracked label.
 #[derive(Debug, Clone)]
@@ -35,26 +76,39 @@ struct Labeled {
 
 impl Labeled {
     /// Parallel composition combining labels with `f`.
-    fn parallel(&self, other: &Labeled, sync: &[&str], f: impl Fn(u32, u32) -> u32) -> Labeled {
+    fn parallel(
+        &self,
+        other: &Labeled,
+        sync: &[&str],
+        f: impl Fn(u32, u32) -> u32,
+        ctx: &mut BuildCtx,
+    ) -> Labeled {
+        let start = Instant::now();
         let (model, map) = self.model.parallel_with_map(&other.model, sync);
         let labels = map
             .iter()
             .map(|&(a, b)| f(self.labels[a as usize], other.labels[b as usize]))
             .collect();
+        ctx.t.compose += start.elapsed();
         Labeled { model, labels }
     }
 
-    /// Label-respecting minimization.
-    fn minimize(&self) -> Labeled {
-        let (model, labels) = self.model.minimize_labeled(&self.labels);
+    /// Label-respecting minimization with the context's refiner backend.
+    fn minimize(&self, ctx: &mut BuildCtx) -> Labeled {
+        let start = Instant::now();
+        let (model, labels) = self.model.minimize_labeled_with(&self.labels, ctx.refiner);
+        ctx.t.minimize += start.elapsed();
         Labeled { model, labels }
     }
 
-    fn hide(&self, actions: &[&str]) -> Labeled {
-        Labeled {
+    fn hide(&self, actions: &[&str], ctx: &mut BuildCtx) -> Labeled {
+        let start = Instant::now();
+        let out = Labeled {
             model: self.model.hide(actions),
             labels: self.labels.clone(),
-        }
+        };
+        ctx.t.compose += start.elapsed();
+        out
     }
 }
 
@@ -88,44 +142,46 @@ fn unpack(label: u32) -> Config {
 /// One repairable component: the Figure-2 LTS with its two elapse time
 /// constraints, actions relabelled to `g_<suffix>` / `r_<suffix>`, `fail`
 /// and `repair` hidden, minimized. The label is 1 while operational.
-fn timed_component(fail_rate: f64, repair_rate: f64, suffix: &str) -> Labeled {
-    let mut b = LtsBuilder::new(4, 0);
-    b.add("fail", 0, 1);
-    b.add("g", 1, 2);
-    b.add("repair", 2, 3);
-    b.add("r", 3, 0);
-    let lts = UniformImc::from_lts(&b.build());
+fn timed_component(fail_rate: f64, repair_rate: f64, suffix: &str, ctx: &mut BuildCtx) -> Labeled {
+    let raw = ctx.generate(|| {
+        let mut b = LtsBuilder::new(4, 0);
+        b.add("fail", 0, 1);
+        b.add("g", 1, 2);
+        b.add("repair", 2, 3);
+        b.add("r", 3, 0);
+        let lts = UniformImc::from_lts(&b.build());
 
-    let tc_fail = UniformImc::from_elapse(
-        &PhaseType::exponential(fail_rate).uniformize_at_max(),
-        "fail",
-        "r",
-    );
-    let tc_repair = UniformImc::from_elapse(
-        &PhaseType::exponential(repair_rate).uniformize_at_max(),
-        "repair",
-        "g",
-    );
-    let constraints = tc_fail.parallel(&tc_repair, &[]);
-    let (timed, map) = constraints.parallel_with_map(&lts, &["fail", "g", "repair", "r"]);
-    let labels: Vec<u32> = map.iter().map(|&(_, ls)| u32::from(ls == 0)).collect();
-    let renamed = timed
-        .hide(&["fail", "repair"])
-        .relabel(&[("g", &format!("g_{suffix}")), ("r", &format!("r_{suffix}"))]);
-    Labeled {
-        model: renamed,
-        labels,
-    }
-    .minimize()
+        let tc_fail = UniformImc::from_elapse(
+            &PhaseType::exponential(fail_rate).uniformize_at_max(),
+            "fail",
+            "r",
+        );
+        let tc_repair = UniformImc::from_elapse(
+            &PhaseType::exponential(repair_rate).uniformize_at_max(),
+            "repair",
+            "g",
+        );
+        let constraints = tc_fail.parallel(&tc_repair, &[]);
+        let (timed, map) = constraints.parallel_with_map(&lts, &["fail", "g", "repair", "r"]);
+        let labels: Vec<u32> = map.iter().map(|&(_, ls)| u32::from(ls == 0)).collect();
+        let renamed = timed
+            .hide(&["fail", "repair"])
+            .relabel(&[("g", &format!("g_{suffix}")), ("r", &format!("r_{suffix}"))]);
+        Labeled {
+            model: renamed,
+            labels,
+        }
+    });
+    raw.minimize(ctx)
 }
 
 /// A group of `n` interleaved identical components; the label is the number
 /// of operational members. Minimized after every composition step — the
 /// symmetry collapse is what makes the compositional route feasible at all.
-fn component_group(n: usize, unit: &Labeled) -> Labeled {
+fn component_group(n: usize, unit: &Labeled, ctx: &mut BuildCtx) -> Labeled {
     let mut acc = unit.clone();
     for _ in 1..n {
-        acc = acc.parallel(unit, &[], |a, b| a + b).minimize();
+        acc = acc.parallel(unit, &[], |a, b| a + b, ctx).minimize(ctx);
     }
     acc
 }
@@ -148,29 +204,35 @@ fn repair_unit() -> UniformImc {
 /// Panics if `params.n > 255` (the label packing limit; the compositional
 /// route is infeasible far below that anyway).
 pub fn build(params: &FtwcParams) -> CompositionalModel {
+    build_with(params, Refiner::default()).0
+}
+
+/// [`build`] with an explicit refiner backend, returning per-phase timings.
+pub fn build_with(params: &FtwcParams, refiner: Refiner) -> (CompositionalModel, BuildTimings) {
     assert!(params.n <= 255, "compositional route supports n <= 255");
     let n = params.n;
+    let ctx = &mut BuildCtx::new(refiner);
 
-    let ws_left = timed_component(params.ws_fail, params.ws_repair, "wsL");
-    let ws_right = timed_component(params.ws_fail, params.ws_repair, "wsR");
-    let sw_left = timed_component(params.sw_fail, params.sw_repair, "swL");
-    let sw_right = timed_component(params.sw_fail, params.sw_repair, "swR");
-    let backbone = timed_component(params.bb_fail, params.bb_repair, "bb");
+    let ws_left = timed_component(params.ws_fail, params.ws_repair, "wsL", ctx);
+    let ws_right = timed_component(params.ws_fail, params.ws_repair, "wsR", ctx);
+    let sw_left = timed_component(params.sw_fail, params.sw_repair, "swL", ctx);
+    let sw_right = timed_component(params.sw_fail, params.sw_repair, "swR", ctx);
+    let backbone = timed_component(params.bb_fail, params.bb_repair, "bb", ctx);
 
-    let left_group = component_group(n, &ws_left);
-    let right_group = component_group(n, &ws_right);
+    let left_group = component_group(n, &ws_left, ctx);
+    let right_group = component_group(n, &ws_right, ctx);
 
     // Assemble the label layout while interleaving everything.
-    let sides = left_group.parallel(&right_group, &[], |l, r| l | (r << RIGHT_SHIFT));
+    let sides = left_group.parallel(&right_group, &[], |l, r| l | (r << RIGHT_SHIFT), ctx);
     let sides = sides
-        .parallel(&sw_left, &[], |acc, s| acc | (s * SL_BIT))
-        .minimize();
+        .parallel(&sw_left, &[], |acc, s| acc | (s * SL_BIT), ctx)
+        .minimize(ctx);
     let sides = sides
-        .parallel(&sw_right, &[], |acc, s| acc | (s * SR_BIT))
-        .minimize();
+        .parallel(&sw_right, &[], |acc, s| acc | (s * SR_BIT), ctx)
+        .minimize(ctx);
     let plant = sides
-        .parallel(&backbone, &[], |acc, s| acc | (s * BB_BIT))
-        .minimize();
+        .parallel(&backbone, &[], |acc, s| acc | (s * BB_BIT), ctx)
+        .minimize(ctx);
 
     // Synchronize with the single repair unit on all grab/release actions.
     let mut sync: Vec<String> = Vec::new();
@@ -179,24 +241,28 @@ pub fn build(params: &FtwcParams) -> CompositionalModel {
         sync.push(format!("r_{}", c.suffix()));
     }
     let sync_refs: Vec<&str> = sync.iter().map(String::as_str).collect();
-    let ru = Labeled {
+    let ru = ctx.generate(|| Labeled {
         labels: vec![0; repair_unit().imc().num_states()],
         model: repair_unit(),
-    };
-    let full = plant.parallel(&ru, &sync_refs, |acc, _| acc);
+    });
+    let full = plant.parallel(&ru, &sync_refs, |acc, _| acc, ctx);
 
     // Hide the now-internal repair protocol and minimize with the premium
     // bit as the label (the final quotient may merge configurations that
     // agree on premium).
     let hide_refs: Vec<&str> = sync.iter().map(String::as_str).collect();
-    let hidden = full.hide(&hide_refs);
+    let hidden = full.hide(&hide_refs, ctx);
     let premium_labels: Vec<u32> = hidden
         .labels
         .iter()
         .map(|&l| u32::from(!premium(&unpack(l), n)))
         .collect();
     let configs_before: Vec<Config> = hidden.labels.iter().map(|&l| unpack(l)).collect();
-    let (minimized, down_labels) = hidden.model.minimize_labeled(&premium_labels);
+    let final_start = Instant::now();
+    let (minimized, down_labels) = hidden
+        .model
+        .minimize_labeled_with(&premium_labels, ctx.refiner);
+    ctx.t.minimize += final_start.elapsed();
 
     // Configs of the quotient are only meaningful up to the premium bit;
     // recover a representative config per quotient state for diagnostics.
@@ -218,11 +284,12 @@ pub fn build(params: &FtwcParams) -> CompositionalModel {
             }
         })
         .collect();
-    CompositionalModel {
+    let model = CompositionalModel {
         uniform: minimized,
         premium_down: down_labels.iter().map(|&d| d == 1).collect(),
         configs,
-    }
+    };
+    (model, ctx.t)
 }
 
 /// One repairable component for the *shared-timer* construction: the
@@ -232,25 +299,27 @@ pub fn build(params: &FtwcParams) -> CompositionalModel {
 /// synchronization.
 ///
 /// [`shared_elapse`]: unicon_imc::elapse::shared_elapse
-fn fail_only_component(fail_rate: f64, suffix: &str) -> Labeled {
-    let mut b = LtsBuilder::new(4, 0);
-    b.add("fail", 0, 1);
-    b.add(&format!("g_{suffix}"), 1, 2);
-    b.add(&format!("repair_{suffix}"), 2, 3);
-    b.add(&format!("r_{suffix}"), 3, 0);
-    let lts = UniformImc::from_lts(&b.build());
-    let tc_fail = UniformImc::from_elapse(
-        &PhaseType::exponential(fail_rate).uniformize_at_max(),
-        "fail",
-        &format!("r_{suffix}"),
-    );
-    let (timed, map) = tc_fail.parallel_with_map(&lts, &["fail", &format!("r_{suffix}")]);
-    let labels: Vec<u32> = map.iter().map(|&(_, ls)| u32::from(ls == 0)).collect();
-    Labeled {
-        model: timed.hide(&["fail"]),
-        labels,
-    }
-    .minimize()
+fn fail_only_component(fail_rate: f64, suffix: &str, ctx: &mut BuildCtx) -> Labeled {
+    let raw = ctx.generate(|| {
+        let mut b = LtsBuilder::new(4, 0);
+        b.add("fail", 0, 1);
+        b.add(&format!("g_{suffix}"), 1, 2);
+        b.add(&format!("repair_{suffix}"), 2, 3);
+        b.add(&format!("r_{suffix}"), 3, 0);
+        let lts = UniformImc::from_lts(&b.build());
+        let tc_fail = UniformImc::from_elapse(
+            &PhaseType::exponential(fail_rate).uniformize_at_max(),
+            "fail",
+            &format!("r_{suffix}"),
+        );
+        let (timed, map) = tc_fail.parallel_with_map(&lts, &["fail", &format!("r_{suffix}")]);
+        let labels: Vec<u32> = map.iter().map(|&(_, ls)| u32::from(ls == 0)).collect();
+        Labeled {
+            model: timed.hide(&["fail"]),
+            labels,
+        }
+    });
+    raw.minimize(ctx)
 }
 
 /// Builds the FTWC compositionally with **one shared repair timer** — the
@@ -266,51 +335,63 @@ fn fail_only_component(fail_rate: f64, suffix: &str) -> Labeled {
 ///
 /// Panics if `params.n > 255`.
 pub fn build_shared_timer(params: &FtwcParams) -> CompositionalModel {
+    build_shared_timer_with(params, Refiner::default()).0
+}
+
+/// [`build_shared_timer`] with an explicit refiner backend, returning
+/// per-phase timings.
+pub fn build_shared_timer_with(
+    params: &FtwcParams,
+    refiner: Refiner,
+) -> (CompositionalModel, BuildTimings) {
     assert!(params.n <= 255, "compositional route supports n <= 255");
     let n = params.n;
     let e_rep = params.repair_timer_rate();
+    let ctx = &mut BuildCtx::new(refiner);
 
-    let ws_left = fail_only_component(params.ws_fail, "wsL");
-    let ws_right = fail_only_component(params.ws_fail, "wsR");
-    let sw_left = fail_only_component(params.sw_fail, "swL");
-    let sw_right = fail_only_component(params.sw_fail, "swR");
-    let backbone = fail_only_component(params.bb_fail, "bb");
+    let ws_left = fail_only_component(params.ws_fail, "wsL", ctx);
+    let ws_right = fail_only_component(params.ws_fail, "wsR", ctx);
+    let sw_left = fail_only_component(params.sw_fail, "swL", ctx);
+    let sw_right = fail_only_component(params.sw_fail, "swR", ctx);
+    let backbone = fail_only_component(params.bb_fail, "bb", ctx);
 
-    let left_group = component_group(n, &ws_left);
-    let right_group = component_group(n, &ws_right);
+    let left_group = component_group(n, &ws_left, ctx);
+    let right_group = component_group(n, &ws_right, ctx);
 
-    let sides = left_group.parallel(&right_group, &[], |l, r| l | (r << RIGHT_SHIFT));
+    let sides = left_group.parallel(&right_group, &[], |l, r| l | (r << RIGHT_SHIFT), ctx);
     let sides = sides
-        .parallel(&sw_left, &[], |acc, s| acc | (s * SL_BIT))
-        .minimize();
+        .parallel(&sw_left, &[], |acc, s| acc | (s * SL_BIT), ctx)
+        .minimize(ctx);
     let sides = sides
-        .parallel(&sw_right, &[], |acc, s| acc | (s * SR_BIT))
-        .minimize();
+        .parallel(&sw_right, &[], |acc, s| acc | (s * SR_BIT), ctx)
+        .minimize(ctx);
     let plant = sides
-        .parallel(&backbone, &[], |acc, s| acc | (s * BB_BIT))
-        .minimize();
+        .parallel(&backbone, &[], |acc, s| acc | (s * BB_BIT), ctx)
+        .minimize(ctx);
 
     // The shared repair timer, one Erlang branch per component type.
-    let branch_phases: Vec<(String, String, unicon_ctmc::phase_type::UniformPhaseType)> =
-        Component::ALL
+    let timer = ctx.generate(|| {
+        let branch_phases: Vec<(String, String, unicon_ctmc::phase_type::UniformPhaseType)> =
+            Component::ALL
+                .iter()
+                .map(|&c| {
+                    (
+                        format!("repair_{}", c.suffix()),
+                        format!("g_{}", c.suffix()),
+                        PhaseType::erlang(params.repair_phases, params.repair_phase_rate(c))
+                            .uniformize(e_rep),
+                    )
+                })
+                .collect();
+        let branches: Vec<(&str, &str, &unicon_ctmc::phase_type::UniformPhaseType)> = branch_phases
             .iter()
-            .map(|&c| {
-                (
-                    format!("repair_{}", c.suffix()),
-                    format!("g_{}", c.suffix()),
-                    PhaseType::erlang(params.repair_phases, params.repair_phase_rate(c))
-                        .uniformize(e_rep),
-                )
-            })
+            .map(|(f, r, ph)| (f.as_str(), r.as_str(), ph))
             .collect();
-    let branches: Vec<(&str, &str, &unicon_ctmc::phase_type::UniformPhaseType)> = branch_phases
-        .iter()
-        .map(|(f, r, ph)| (f.as_str(), r.as_str(), ph))
-        .collect();
-    let timer = Labeled {
-        labels: vec![0; UniformImc::from_shared_elapse(&branches).imc().num_states()],
-        model: UniformImc::from_shared_elapse(&branches),
-    };
+        Labeled {
+            labels: vec![0; UniformImc::from_shared_elapse(&branches).imc().num_states()],
+            model: UniformImc::from_shared_elapse(&branches),
+        }
+    });
 
     let mut sync: Vec<String> = Vec::new();
     for c in Component::ALL {
@@ -318,7 +399,7 @@ pub fn build_shared_timer(params: &FtwcParams) -> CompositionalModel {
         sync.push(format!("repair_{}", c.suffix()));
     }
     let sync_refs: Vec<&str> = sync.iter().map(String::as_str).collect();
-    let full = plant.parallel(&timer, &sync_refs, |acc, _| acc);
+    let full = plant.parallel(&timer, &sync_refs, |acc, _| acc, ctx);
 
     // Hide the whole repair protocol (including the releases) and minimize
     // with the premium bit.
@@ -327,13 +408,17 @@ pub fn build_shared_timer(params: &FtwcParams) -> CompositionalModel {
         hide.push(format!("r_{}", c.suffix()));
     }
     let hide_refs: Vec<&str> = hide.iter().map(String::as_str).collect();
-    let hidden = full.hide(&hide_refs);
+    let hidden = full.hide(&hide_refs, ctx);
     let premium_labels: Vec<u32> = hidden
         .labels
         .iter()
         .map(|&l| u32::from(!premium(&unpack(l), n)))
         .collect();
-    let (minimized, down_labels) = hidden.model.minimize_labeled(&premium_labels);
+    let final_start = Instant::now();
+    let (minimized, down_labels) = hidden
+        .model
+        .minimize_labeled_with(&premium_labels, ctx.refiner);
+    ctx.t.minimize += final_start.elapsed();
     let configs: Vec<Config> = down_labels
         .iter()
         .map(|&d| {
@@ -350,11 +435,12 @@ pub fn build_shared_timer(params: &FtwcParams) -> CompositionalModel {
             }
         })
         .collect();
-    CompositionalModel {
+    let model = CompositionalModel {
         uniform: minimized,
         premium_down: down_labels.iter().map(|&d| d == 1).collect(),
         configs,
-    }
+    };
+    (model, ctx.t)
 }
 
 #[cfg(test)]
@@ -363,9 +449,13 @@ mod tests {
     use unicon_imc::View;
     use unicon_numeric::assert_close;
 
+    fn ctx() -> BuildCtx {
+        BuildCtx::new(Refiner::default())
+    }
+
     #[test]
     fn timed_component_is_uniform_with_summed_rate() {
-        let c = timed_component(0.002, 2.0, "wsL");
+        let c = timed_component(0.002, 2.0, "wsL", &mut ctx());
         assert_close!(c.model.rate(), 2.002, 1e-12);
         assert!(c.model.imc().is_uniform(View::Open));
         // both label classes present: up and down states
@@ -374,8 +464,9 @@ mod tests {
 
     #[test]
     fn group_counts_operational_members() {
-        let unit = timed_component(0.01, 1.0, "wsL");
-        let g = component_group(3, &unit);
+        let mut ctx = ctx();
+        let unit = timed_component(0.01, 1.0, "wsL", &mut ctx);
+        let g = component_group(3, &unit, &mut ctx);
         let max = *g.labels.iter().max().unwrap();
         assert_eq!(max, 3);
         assert!(g.labels.contains(&0));
@@ -386,9 +477,10 @@ mod tests {
     fn group_minimization_collapses_symmetry() {
         // 3 interchangeable components: the minimized group must be far
         // smaller than the full 3-fold product.
-        let unit = timed_component(0.01, 1.0, "x");
+        let mut ctx = ctx();
+        let unit = timed_component(0.01, 1.0, "x", &mut ctx);
         let raw_states = unit.model.imc().num_states().pow(3);
-        let g = component_group(3, &unit);
+        let g = component_group(3, &unit, &mut ctx);
         assert!(
             g.model.imc().num_states() * 2 < raw_states,
             "{} vs {raw_states}",

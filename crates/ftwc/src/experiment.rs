@@ -2,12 +2,13 @@
 
 use std::time::Duration;
 
-use unicon_core::PreparedModel;
+use unicon_core::{PreparedModel, Refiner};
 use unicon_ctmc::transient::{self, TransientOptions};
 use unicon_ctmdp::export;
 use unicon_ctmdp::par::BatchResult;
 use unicon_ctmdp::reachability::ReachResult;
 
+use crate::compositional::{self, BuildTimings};
 use crate::generator;
 use crate::params::FtwcParams;
 
@@ -163,6 +164,141 @@ pub fn reach_bench(
         build_time,
         batch,
     }
+}
+
+/// One row of the construction benchmark: per-phase timings of the
+/// compositional FTWC build (shared-timer route) plus the downstream
+/// transformation and batch-engine precompute — the payload behind
+/// `unicon bench-build` and `BENCH_build.json`.
+///
+/// The pipeline is built twice, once per refiner backend, so the JSON
+/// records both minimization timings side by side (honest numbers from the
+/// same process, same inputs). The two builds are also checked for bitwise
+/// agreement — the benchmark doubles as a differential gate.
+#[derive(Debug, Clone)]
+pub struct BuildBenchRow {
+    /// Cluster size `N`.
+    pub n: usize,
+    /// States of the final minimized uniform IMC.
+    pub states: usize,
+    /// Interactive transitions of the final model.
+    pub interactive_transitions: usize,
+    /// Markov transitions of the final model.
+    pub markov_transitions: usize,
+    /// Generate/compose/minimize timings of the worklist-refiner build.
+    pub timings: BuildTimings,
+    /// Total minimization time of the reference-refiner build (its
+    /// generate/compose timings are discarded — they repeat the worklist
+    /// build's).
+    pub minimize_reference: Duration,
+    /// Wall-clock time of the IMC→CTMDP transformation.
+    pub transform: Duration,
+    /// Batch-engine precompute: shared CSR traversal structures plus the
+    /// Fox–Glynn weights of one representative query (`t = 10`).
+    pub precompute: Duration,
+}
+
+impl BuildBenchRow {
+    /// Renders this row as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"states\":{},\"interactive_transitions\":{},\
+             \"markov_transitions\":{},\"generate_ms\":{},\"compose_ms\":{},\
+             \"minimize_worklist_ms\":{},\"minimize_reference_ms\":{},\
+             \"transform_ms\":{},\"precompute_ms\":{}}}",
+            self.n,
+            self.states,
+            self.interactive_transitions,
+            self.markov_transitions,
+            self.timings.generate.as_secs_f64() * 1e3,
+            self.timings.compose.as_secs_f64() * 1e3,
+            self.timings.minimize.as_secs_f64() * 1e3,
+            self.minimize_reference.as_secs_f64() * 1e3,
+            self.transform.as_secs_f64() * 1e3,
+            self.precompute.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Runs the construction benchmark for every `N` in `n_list`.
+///
+/// # Panics
+///
+/// Panics if the two refiner backends disagree on the final model (they
+/// are proven to agree; a panic here is a refiner bug), or if the model
+/// fails to transform.
+pub fn build_bench(n_list: &[usize], epsilon: f64) -> Vec<BuildBenchRow> {
+    n_list
+        .iter()
+        .map(|&n| {
+            let params = FtwcParams::new(n);
+            let (model, timings) =
+                compositional::build_shared_timer_with(&params, Refiner::Worklist);
+            let (oracle, oracle_timings) =
+                compositional::build_shared_timer_with(&params, Refiner::Reference);
+
+            // Differential gate: the worklist refiner must reproduce the
+            // reference quotient bitwise, end to end through the pipeline.
+            let (a, b) = (model.uniform.imc(), oracle.uniform.imc());
+            assert_eq!(a.num_states(), b.num_states(), "refiner mismatch at N={n}");
+            assert_eq!(
+                a.interactive(),
+                b.interactive(),
+                "refiner mismatch at N={n}"
+            );
+            assert_eq!(
+                a.markov().len(),
+                b.markov().len(),
+                "refiner mismatch at N={n}"
+            );
+            for (x, y) in a.markov().iter().zip(b.markov()) {
+                assert_eq!(x.source, y.source, "refiner mismatch at N={n}");
+                assert_eq!(x.target, y.target, "refiner mismatch at N={n}");
+                assert_eq!(
+                    x.rate.to_bits(),
+                    y.rate.to_bits(),
+                    "refiner rate mismatch at N={n}"
+                );
+            }
+            assert_eq!(
+                model.premium_down, oracle.premium_down,
+                "refiner label mismatch at N={n}"
+            );
+
+            let start = std::time::Instant::now();
+            let prepared = PreparedModel::new(&model.uniform.close(), &model.premium_down)
+                .expect("compositional FTWC transforms cleanly");
+            let transform = start.elapsed();
+            let batch = prepared
+                .reach_batch()
+                .with_epsilon(epsilon)
+                .with_threads(1)
+                .query(10.0)
+                .run()
+                .expect("compositional FTWC CTMDP is uniform");
+            BuildBenchRow {
+                n,
+                states: a.num_states(),
+                interactive_transitions: a.num_interactive(),
+                markov_transitions: a.num_markov(),
+                timings,
+                minimize_reference: oracle_timings.minimize,
+                transform,
+                precompute: batch.stats.precompute_time + batch.stats.weights_time,
+            }
+        })
+        .collect()
+}
+
+/// Renders a [`build_bench`] run as one JSON object (the
+/// `BENCH_build.json` format).
+pub fn build_bench_to_json(rows: &[BuildBenchRow], epsilon: f64) -> String {
+    let body: Vec<String> = rows.iter().map(BuildBenchRow::to_json).collect();
+    format!(
+        "{{\"case_study\":\"ftwc-build\",\"epsilon\":{:e},\"rows\":[{}]}}",
+        epsilon,
+        body.join(",")
+    )
 }
 
 /// One point of Figure 4: worst-case CTMDP probability vs. the Γ-resolved
@@ -355,5 +491,50 @@ mod tests {
     fn compositional_and_generator_agree_n1() {
         let (comp, gen) = cross_validate(&FtwcParams::new(1), 50.0, 1e-8);
         assert_close!(comp, gen, 1e-5);
+    }
+
+    /// Golden sizes of the minimized shared-timer FTWC quotient. A change
+    /// here means the refiner (or the construction) changed semantics —
+    /// `build_bench` additionally checks the two refiner backends agree
+    /// bitwise on the full model, so this test is a differential gate too.
+    #[test]
+    fn build_bench_golden_n1() {
+        let rows = build_bench(&[1], 1e-6);
+        let r = &rows[0];
+        assert_eq!(
+            (r.states, r.interactive_transitions, r.markov_transitions),
+            (92, 79, 168)
+        );
+        assert!(r.timings.minimize > Duration::ZERO);
+        assert!(r.minimize_reference > Duration::ZERO);
+        let json = build_bench_to_json(&rows, 1e-6);
+        assert!(json.contains("\"case_study\":\"ftwc-build\""));
+        assert!(json.contains("\"minimize_worklist_ms\""));
+        assert!(json.contains("\"minimize_reference_ms\""));
+        assert!(json.contains("\"states\":92"));
+    }
+
+    /// Larger golden instances, release-only: the debug-build uniformity
+    /// audits make N = 2, 3 too slow for the default test profile.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn build_bench_golden_n2_n3() {
+        let rows = build_bench(&[2, 3], 1e-6);
+        assert_eq!(
+            (
+                rows[0].states,
+                rows[0].interactive_transitions,
+                rows[0].markov_transitions
+            ),
+            (204, 176, 468)
+        );
+        assert_eq!(
+            (
+                rows[1].states,
+                rows[1].interactive_transitions,
+                rows[1].markov_transitions
+            ),
+            (357, 308, 916)
+        );
     }
 }

@@ -18,14 +18,35 @@
 //! before analysis) it is the coarsest one in all our test cases. Lemma 3 /
 //! Corollary 1 (quotienting preserves uniformity, in both directions) is
 //! exercised by the property tests.
+//!
+//! # Two refiners, one partition
+//!
+//! Two interchangeable refiner backends compute the fixpoint:
+//!
+//! * [`worklist`](Refiner::Worklist) (the default) — a dirty-block worklist
+//!   refiner that re-computes a state's signature only when the block of one
+//!   of its dependency states changed in the previous round. Signatures are
+//!   interned into flat `Vec` scratch buffers hashed with FNV-1a instead of
+//!   per-state `BTreeSet`s, and closures reuse stamp-based visited buffers.
+//! * [`reference`] — the original full-resweep refiner, kept verbatim as a
+//!   correctness oracle and as the honest baseline timed by `bench-build`.
+//!
+//! Both run the *same synchronous refinement rounds* (the worklist variant
+//! merely skips blocks whose members' signatures provably did not change),
+//! and the final partition is canonicalized by first-occurrence state order
+//! — so the resulting [`Partition`], and therefore the quotient IMC, is
+//! **bitwise identical** between the two. Differential tests on random IMCs
+//! and the FTWC case study pin this down.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
-use unicon_ctmc::lumping::quantize;
 use unicon_lts::Transition;
 use unicon_numeric::NeumaierSum;
 
 use crate::model::{Imc, MarkovTransition, View};
+
+pub mod reference;
+mod worklist;
 
 /// A partition of IMC states into dense blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,9 +83,20 @@ impl Partition {
     }
 }
 
-/// A state signature: visible/non-inert moves plus the set of stable rate
-/// profiles reachable through inert internal steps.
-type Signature = (BTreeSet<(u32, u32)>, BTreeSet<Vec<(u32, u64)>>);
+/// Selects the partition-refinement backend.
+///
+/// Both backends produce bitwise-identical partitions; they differ only in
+/// how much work they redo per refinement round. [`Refiner::Worklist`] is
+/// the default everywhere; [`Refiner::Reference`] exists so benchmarks can
+/// time the seed algorithm and tests can cross-check the quotients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Refiner {
+    /// Dirty-block worklist refinement with interned FNV-hashed signatures.
+    #[default]
+    Worklist,
+    /// The original full-resweep refiner (see [`reference`]).
+    Reference,
+}
 
 /// Computes a stochastic branching bisimulation partition of `imc`.
 ///
@@ -72,7 +104,12 @@ type Signature = (BTreeSet<(u32, u32)>, BTreeSet<Vec<(u32, u64)>>);
 /// [`View::Open`]; every interactive transition under [`View::Closed`]) and
 /// which transitions can be inert (always τ).
 pub fn stochastic_branching_bisimulation(imc: &Imc, view: View) -> Partition {
-    stochastic_branching_bisimulation_from(imc, view, Partition::universal(imc.num_states()))
+    worklist::refine(
+        imc,
+        view,
+        Partition::universal(imc.num_states()),
+        worklist::Mode::Branching,
+    )
 }
 
 /// Like [`stochastic_branching_bisimulation`] but refining an initial
@@ -93,49 +130,22 @@ pub fn stochastic_branching_bisimulation_labeled(
         imc.num_states(),
         "label vector length mismatch"
     );
-    stochastic_branching_bisimulation_from(imc, view, Partition::from_labels(labels))
-}
-
-fn stochastic_branching_bisimulation_from(imc: &Imc, view: View, init: Partition) -> Partition {
-    // Rates of unstable states are semantically irrelevant: cut them first.
-    let m = imc.apply_pre_emption(view);
-    let n = m.num_states();
-    let mut part = init;
-    loop {
-        let sigs: Vec<Signature> = (0..n as u32)
-            .map(|s| signature(&m, view, &part, s))
-            .collect();
-        let (next, changed) = refine(&part, &sigs);
-        part = next;
-        if !changed {
-            return part;
-        }
-    }
+    worklist::refine(
+        imc,
+        view,
+        Partition::from_labels(labels),
+        worklist::Mode::Branching,
+    )
 }
 
 /// Computes a strong stochastic bisimulation partition (no τ abstraction).
 pub fn strong_stochastic_bisimulation(imc: &Imc, view: View) -> Partition {
-    let m = imc.apply_pre_emption(view);
-    let n = m.num_states();
-    let mut part = Partition::universal(n);
-    loop {
-        let sigs: Vec<Signature> = (0..n as u32)
-            .map(|s| {
-                let mut moves = BTreeSet::new();
-                for t in m.interactive_from(s) {
-                    moves.insert((t.action.0, part.block[t.target as usize]));
-                }
-                let mut profiles = BTreeSet::new();
-                profiles.insert(rate_profile(&m, &part, s));
-                (moves, profiles)
-            })
-            .collect();
-        let (next, changed) = refine(&part, &sigs);
-        part = next;
-        if !changed {
-            return part;
-        }
-    }
+    worklist::refine(
+        imc,
+        view,
+        Partition::universal(imc.num_states()),
+        worklist::Mode::Strong,
+    )
 }
 
 /// Computes a stochastic **weak** bisimulation partition.
@@ -151,7 +161,12 @@ pub fn strong_stochastic_bisimulation(imc: &Imc, view: View) -> Partition {
 /// every merged pair is weakly bisimilar — intended for divergence-free
 /// (non-Zeno) models.
 pub fn stochastic_weak_bisimulation(imc: &Imc, view: View) -> Partition {
-    stochastic_weak_bisimulation_from(imc, view, Partition::universal(imc.num_states()))
+    worklist::refine(
+        imc,
+        view,
+        Partition::universal(imc.num_states()),
+        worklist::Mode::Weak,
+    )
 }
 
 /// Label-respecting variant of [`stochastic_weak_bisimulation`].
@@ -165,49 +180,12 @@ pub fn stochastic_weak_bisimulation_labeled(imc: &Imc, view: View, labels: &[u32
         imc.num_states(),
         "label vector length mismatch"
     );
-    stochastic_weak_bisimulation_from(imc, view, Partition::from_labels(labels))
-}
-
-fn stochastic_weak_bisimulation_from(imc: &Imc, view: View, init: Partition) -> Partition {
-    let m = imc.apply_pre_emption(view);
-    let n = m.num_states();
-    // Full τ*-closure, independent of the partition: compute once.
-    let closure: Vec<Vec<u32>> = (0..n as u32).map(|s| tau_closure(&m, s)).collect();
-    let mut part = init;
-    loop {
-        let sigs: Vec<Signature> = (0..n)
-            .map(|s| {
-                let my_block = part.block[s];
-                let mut moves = BTreeSet::new();
-                let mut profiles = BTreeSet::new();
-                for &s1 in &closure[s] {
-                    // τ moves that change block (weak: s ⇒τ* t).
-                    let b1 = part.block[s1 as usize];
-                    if b1 != my_block {
-                        moves.insert((unicon_lts::ActionId::TAU.0, b1));
-                    }
-                    // visible moves with τ*-closure on the target side.
-                    for t in m.interactive_from(s1) {
-                        if t.action.is_tau() {
-                            continue;
-                        }
-                        for &t2 in &closure[t.target as usize] {
-                            moves.insert((t.action.0, part.block[t2 as usize]));
-                        }
-                    }
-                    if m.is_stable(s1, view) {
-                        profiles.insert(rate_profile(&m, &part, s1));
-                    }
-                }
-                (moves, profiles)
-            })
-            .collect();
-        let (next, changed) = refine(&part, &sigs);
-        part = next;
-        if !changed {
-            return part;
-        }
-    }
+    worklist::refine(
+        imc,
+        view,
+        Partition::from_labels(labels),
+        worklist::Mode::Weak,
+    )
 }
 
 /// Minimizes modulo stochastic weak bisimilarity.
@@ -216,95 +194,6 @@ pub fn minimize_weak(imc: &Imc, view: View) -> Imc {
     let out = quotient(imc, &part, view).restrict_to_reachable();
     crate::audit::preserves_uniformity("minimize_weak (Lemma 3)", view, &[imc], &out);
     out
-}
-
-/// Reflexive-transitive closure over τ transitions (all of them, not just
-/// inert ones), including `s` itself.
-fn tau_closure(m: &Imc, s: u32) -> Vec<u32> {
-    let mut seen = vec![s];
-    let mut stack = vec![s];
-    while let Some(x) = stack.pop() {
-        for t in m.interactive_from(x) {
-            if t.action.is_tau() && !seen.contains(&t.target) {
-                seen.push(t.target);
-                stack.push(t.target);
-            }
-        }
-    }
-    seen
-}
-
-/// Splits every block by signature; returns the new partition and whether
-/// the block count grew.
-fn refine(part: &Partition, sigs: &[Signature]) -> (Partition, bool) {
-    let mut keys: HashMap<(u32, &Signature), u32> = HashMap::new();
-    let mut block = Vec::with_capacity(sigs.len());
-    for (s, sig) in sigs.iter().enumerate() {
-        let fresh = keys.len() as u32;
-        block.push(*keys.entry((part.block[s], sig)).or_insert(fresh));
-    }
-    let num_blocks = keys.len();
-    let changed = num_blocks != part.num_blocks;
-    (Partition { block, num_blocks }, changed)
-}
-
-/// Branching signature of `s` under the current partition: all non-inert
-/// moves reachable via inert τ steps, plus the rate profiles of the stable
-/// states reachable via inert τ steps.
-fn signature(m: &Imc, view: View, part: &Partition, s: u32) -> Signature {
-    let closure = inert_closure(m, part, s);
-    let my_block = part.block[s as usize];
-    let mut moves = BTreeSet::new();
-    let mut profiles = BTreeSet::new();
-    for &s2 in &closure {
-        for t in m.interactive_from(s2) {
-            let tgt_block = part.block[t.target as usize];
-            if !(t.action.is_tau() && tgt_block == my_block) {
-                moves.insert((t.action.0, tgt_block));
-            }
-        }
-        if m.is_stable(s2, view) {
-            profiles.insert(rate_profile(m, part, s2));
-        }
-    }
-    (moves, profiles)
-}
-
-/// The τ-closure of `s` within its own block (inert steps only), including
-/// `s` itself.
-fn inert_closure(m: &Imc, part: &Partition, s: u32) -> Vec<u32> {
-    let my_block = part.block[s as usize];
-    let mut seen = vec![s];
-    let mut stack = vec![s];
-    while let Some(x) = stack.pop() {
-        for t in m.interactive_from(x) {
-            if t.action.is_tau()
-                && part.block[t.target as usize] == my_block
-                && !seen.contains(&t.target)
-            {
-                seen.push(t.target);
-                stack.push(t.target);
-            }
-        }
-    }
-    seen
-}
-
-/// Per-block cumulative rate vector of one state, quantized for hashing.
-fn rate_profile(m: &Imc, part: &Partition, s: u32) -> Vec<(u32, u64)> {
-    let mut per_block: HashMap<u32, NeumaierSum> = HashMap::new();
-    for t in m.markov_from(s) {
-        per_block
-            .entry(part.block[t.target as usize])
-            .or_default()
-            .add(t.rate);
-    }
-    let mut v: Vec<(u32, u64)> = per_block
-        .into_iter()
-        .map(|(b, r)| (b, quantize(r.value())))
-        .collect();
-    v.sort_unstable();
-    v
 }
 
 /// Builds the quotient IMC of `imc` under `partition`.
@@ -421,7 +310,29 @@ pub fn minimize_strong(imc: &Imc, view: View) -> Imc {
 ///
 /// Panics if `labels.len()` does not match the number of states.
 pub fn minimize_labeled(imc: &Imc, view: View, labels: &[u32]) -> (Imc, Vec<u32>) {
-    let part = stochastic_branching_bisimulation_labeled(imc, view, labels);
+    minimize_labeled_with(imc, view, labels, Refiner::Worklist)
+}
+
+/// Like [`minimize_labeled`], with an explicit refiner backend.
+///
+/// Both backends yield bitwise-identical results; `bench-build` uses this
+/// entry point to time them against each other on the same models.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the number of states.
+pub fn minimize_labeled_with(
+    imc: &Imc,
+    view: View,
+    labels: &[u32],
+    refiner: Refiner,
+) -> (Imc, Vec<u32>) {
+    let part = match refiner {
+        Refiner::Worklist => stochastic_branching_bisimulation_labeled(imc, view, labels),
+        Refiner::Reference => {
+            reference::stochastic_branching_bisimulation_labeled(imc, view, labels)
+        }
+    };
     let q = quotient(imc, &part, view);
     let mut block_labels = vec![0u32; part.num_blocks];
     for (s, &b) in part.block.iter().enumerate() {
@@ -652,5 +563,161 @@ mod tests {
         // duplicate a-transitions collapse into one
         assert_eq!(min.num_states(), 2);
         assert_eq!(min.num_interactive(), 1);
+    }
+
+    /// Deterministically grows a pseudo-random IMC: a small action alphabet
+    /// (τ included), rates drawn from a quantization-friendly set, plus a
+    /// sprinkle of τ chains so inert closures are non-trivial. With
+    /// `tau_acyclic`, τ transitions only ever go from lower to higher state
+    /// ids: quotients of divergent (Zeno) models may deadlock a τ-cycle
+    /// block, which the uniformity audit rightly rejects, so quotient-level
+    /// differential tests stick to divergence-free inputs.
+    fn random_imc(seed: u64, n: usize, tau_acyclic: bool) -> Imc {
+        use unicon_numeric::rng::{Rng, XorShift64};
+        let mut rng = XorShift64::seed_from_u64(seed);
+        let actions = ["a", "b", "c", "tau"];
+        let rates = [0.5, 1.0, 1.0, 2.0, 3.0];
+        let mut b = ImcBuilder::new(n, 0);
+        let n_int = n + rng.next_u64() as usize % (2 * n);
+        for _ in 0..n_int {
+            let src = (rng.next_u64() % n as u64) as u32;
+            let tgt = (rng.next_u64() % n as u64) as u32;
+            let act = actions[rng.next_u64() as usize % actions.len()];
+            if act == "tau" {
+                if tau_acyclic {
+                    if src != tgt {
+                        b.tau(src.min(tgt), src.max(tgt));
+                    }
+                } else {
+                    b.tau(src, tgt);
+                }
+            } else {
+                b.interactive(act, src, tgt);
+            }
+        }
+        let n_mkv = n + rng.next_u64() as usize % (2 * n);
+        for _ in 0..n_mkv {
+            let src = (rng.next_u64() % n as u64) as u32;
+            let tgt = (rng.next_u64() % n as u64) as u32;
+            let rate = rates[rng.next_u64() as usize % rates.len()];
+            b.markov(src, rate, tgt);
+        }
+        b.build()
+    }
+
+    fn random_labels(seed: u64, n: usize, kinds: u32) -> Vec<u32> {
+        use unicon_numeric::rng::{Rng, XorShift64};
+        let mut rng = XorShift64::seed_from_u64(seed ^ 0x9e37_79b9);
+        (0..n)
+            .map(|_| (rng.next_u64() % kinds as u64) as u32)
+            .collect()
+    }
+
+    /// The worklist refiner must agree **bitwise** with the reference
+    /// oracle — same block vector, same block count — on random IMCs, for
+    /// every relation and view, labeled or not.
+    #[test]
+    fn worklist_matches_reference_on_random_imcs() {
+        for seed in 0..40u64 {
+            let n = 2 + (seed as usize * 7) % 29;
+            let m = random_imc(seed, n, false);
+            for view in [View::Open, View::Closed] {
+                assert_eq!(
+                    stochastic_branching_bisimulation(&m, view),
+                    reference::stochastic_branching_bisimulation(&m, view),
+                    "branching mismatch, seed {seed}, {view:?}"
+                );
+                assert_eq!(
+                    stochastic_weak_bisimulation(&m, view),
+                    reference::stochastic_weak_bisimulation(&m, view),
+                    "weak mismatch, seed {seed}, {view:?}"
+                );
+                assert_eq!(
+                    strong_stochastic_bisimulation(&m, view),
+                    reference::strong_stochastic_bisimulation(&m, view),
+                    "strong mismatch, seed {seed}, {view:?}"
+                );
+                let labels = random_labels(seed, n, 3);
+                assert_eq!(
+                    stochastic_branching_bisimulation_labeled(&m, view, &labels),
+                    reference::stochastic_branching_bisimulation_labeled(&m, view, &labels),
+                    "labeled branching mismatch, seed {seed}, {view:?}"
+                );
+                assert_eq!(
+                    stochastic_weak_bisimulation_labeled(&m, view, &labels),
+                    reference::stochastic_weak_bisimulation_labeled(&m, view, &labels),
+                    "labeled weak mismatch, seed {seed}, {view:?}"
+                );
+            }
+        }
+    }
+
+    /// Same check at the quotient level: the minimized IMCs (and labels)
+    /// must be identical transition-for-transition.
+    #[test]
+    fn refiner_backends_yield_identical_quotients() {
+        for seed in 40..60u64 {
+            let n = 3 + (seed as usize * 5) % 23;
+            let m = random_imc(seed, n, true);
+            let labels = random_labels(seed, n, 4);
+            let (qw, lw) = minimize_labeled_with(&m, View::Closed, &labels, Refiner::Worklist);
+            let (qr, lr) = minimize_labeled_with(&m, View::Closed, &labels, Refiner::Reference);
+            assert_eq!(lw, lr, "label mismatch, seed {seed}");
+            assert_eq!(
+                qw.num_states(),
+                qr.num_states(),
+                "state mismatch, seed {seed}"
+            );
+            assert_eq!(
+                qw.interactive(),
+                qr.interactive(),
+                "interactive mismatch, seed {seed}"
+            );
+            assert_eq!(
+                qw.markov().len(),
+                qr.markov().len(),
+                "markov count mismatch, seed {seed}"
+            );
+            for (a, b) in qw.markov().iter().zip(qr.markov()) {
+                assert_eq!(a.source, b.source, "seed {seed}");
+                assert_eq!(a.target, b.target, "seed {seed}");
+                assert_eq!(a.rate.to_bits(), b.rate.to_bits(), "rate bits, seed {seed}");
+            }
+        }
+    }
+
+    /// τ-cycles (Zeno structure) must not hang or diverge the worklist
+    /// refiner, and the two backends must still agree on them.
+    #[test]
+    fn worklist_handles_tau_cycles() {
+        let mut b = ImcBuilder::new(6, 0);
+        for s in 0..5u32 {
+            b.tau(s, s + 1);
+        }
+        b.tau(5, 0); // τ-cycle through all six states
+        b.markov(2, 1.0, 3);
+        b.interactive("x", 4, 0);
+        let m = b.build();
+        for view in [View::Open, View::Closed] {
+            assert_eq!(
+                stochastic_branching_bisimulation(&m, view),
+                reference::stochastic_branching_bisimulation(&m, view)
+            );
+            assert_eq!(
+                stochastic_weak_bisimulation(&m, view),
+                reference::stochastic_weak_bisimulation(&m, view)
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_model() {
+        let single = ImcBuilder::new(1, 0).build();
+        let p = stochastic_branching_bisimulation(&single, View::Open);
+        assert_eq!(p.num_blocks, 1);
+        assert_eq!(
+            p,
+            reference::stochastic_branching_bisimulation(&single, View::Open)
+        );
     }
 }

@@ -145,7 +145,20 @@ impl Imc {
             .map(|(_, n)| actions.intern(n))
             .collect();
         let sync_ids: Vec<ActionId> = sync.iter().map(|a| actions.intern(a)).collect();
-        let is_sync = |a: ActionId| sync_ids.contains(&a);
+        // Per-action lookup table over the union alphabet: O(1) sync tests
+        // instead of a linear scan per transition.
+        let mut is_sync = vec![false; actions.len()];
+        for &a in &sync_ids {
+            is_sync[a.index()] = true;
+        }
+        // Union action id -> right-local action id, so synchronized matches
+        // can binary-search the sorted per-state slice of `other` instead of
+        // filtering it transition by transition. Interning is injective, so
+        // at most one right-local id maps to each union id.
+        let mut right_of_union: Vec<Option<ActionId>> = vec![None; actions.len()];
+        for (local, &union) in right_tr.iter().enumerate() {
+            right_of_union[union.index()] = Some(ActionId(local as u32));
+        }
 
         let mut index: HashMap<(u32, u32), u32> = HashMap::new();
         let mut states: Vec<(u32, u32)> = Vec::new();
@@ -173,10 +186,13 @@ impl Imc {
 
         while let Some((ls, rs)) = frontier.pop() {
             let src = index[&(ls, rs)];
+            // Per-state adjacency slices, hoisted once per product state.
+            let left_int = self.interactive_from(ls);
+            let right_int = other.interactive_from(rs);
             // Interleaved interactive moves.
-            for t in self.interactive_from(ls) {
+            for t in left_int {
                 let a = left_tr[t.action.index()];
-                if !is_sync(a) {
+                if !is_sync[a.index()] {
                     let id = alloc(&mut index, &mut states, &mut frontier, (t.target, rs));
                     interactive.push(Transition {
                         source: src,
@@ -185,9 +201,9 @@ impl Imc {
                     });
                 }
             }
-            for t in other.interactive_from(rs) {
+            for t in right_int {
                 let a = right_tr[t.action.index()];
-                if !is_sync(a) {
+                if !is_sync[a.index()] {
                     let id = alloc(&mut index, &mut states, &mut frontier, (ls, t.target));
                     interactive.push(Transition {
                         source: src,
@@ -196,24 +212,30 @@ impl Imc {
                     });
                 }
             }
-            // Synchronized interactive moves.
-            for lt in self.interactive_from(ls) {
+            // Synchronized interactive moves. Right matches for one action
+            // form a contiguous run of the (action, target)-sorted slice,
+            // found by binary search — same transitions, same order, so the
+            // product state numbering is untouched.
+            for lt in left_int {
                 let a = left_tr[lt.action.index()];
-                if is_sync(a) {
-                    for rt in other.interactive_from(rs) {
-                        if right_tr[rt.action.index()] == a {
-                            let id = alloc(
-                                &mut index,
-                                &mut states,
-                                &mut frontier,
-                                (lt.target, rt.target),
-                            );
-                            interactive.push(Transition {
-                                source: src,
-                                action: a,
-                                target: id,
-                            });
-                        }
+                if is_sync[a.index()] {
+                    let Some(ra) = right_of_union[a.index()] else {
+                        continue;
+                    };
+                    let lo = right_int.partition_point(|t| t.action < ra);
+                    let hi = lo + right_int[lo..].partition_point(|t| t.action == ra);
+                    for rt in &right_int[lo..hi] {
+                        let id = alloc(
+                            &mut index,
+                            &mut states,
+                            &mut frontier,
+                            (lt.target, rt.target),
+                        );
+                        interactive.push(Transition {
+                            source: src,
+                            action: a,
+                            target: id,
+                        });
                     }
                 }
             }

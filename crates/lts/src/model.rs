@@ -109,9 +109,20 @@ impl Lts {
     ///
     /// Panics if `state` is out of bounds.
     pub fn successors(&self, state: u32) -> impl Iterator<Item = &Transition> {
+        self.successors_slice(state).iter()
+    }
+
+    /// Transitions emanating from `state`, as an O(1) slice view into the
+    /// (source, action, target)-sorted transition array — the CSR row of
+    /// `state`. Sortedness lets callers binary-search by action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn successors_slice(&self, state: u32) -> &[Transition] {
         let s = state as usize;
         assert!(s < self.num_states, "state {state} out of bounds");
-        self.transitions[self.offsets[s]..self.offsets[s + 1]].iter()
+        &self.transitions[self.offsets[s]..self.offsets[s + 1]]
     }
 
     /// Whether `state` has an outgoing τ-transition (i.e. is *unstable*

@@ -157,7 +157,19 @@ impl Lts {
             .map(|(_, n)| actions.intern(n))
             .collect();
         let sync_ids: Vec<ActionId> = sync.iter().map(|a| actions.intern(a)).collect();
-        let is_sync = |a: ActionId| sync_ids.contains(&a);
+        // Per-action lookup table over the union alphabet: O(1) sync tests
+        // instead of a linear scan per transition.
+        let mut is_sync = vec![false; actions.len()];
+        for &a in &sync_ids {
+            is_sync[a.index()] = true;
+        }
+        // Union action id -> right-local action id (interning is injective),
+        // so synchronized matches can binary-search `other`'s sorted
+        // per-state slice instead of filtering it transition by transition.
+        let mut right_of_union: Vec<Option<ActionId>> = vec![None; actions.len()];
+        for (local, &union) in right_tr.iter().enumerate() {
+            right_of_union[union.index()] = Some(ActionId(local as u32));
+        }
 
         // On-the-fly reachable product construction.
         let mut index: HashMap<(u32, u32), u32> = HashMap::new();
@@ -185,31 +197,40 @@ impl Lts {
                     target: id,
                 });
             };
-            for t in self.successors(ls) {
+            let left_succ = self.successors_slice(ls);
+            let right_succ = other.successors_slice(rs);
+            for t in left_succ {
                 let a = left_tr[t.action.index()];
-                if !is_sync(a) {
+                if !is_sync[a.index()] {
                     push(&mut index, &mut states, &mut frontier, a, (t.target, rs));
                 }
             }
-            for t in other.successors(rs) {
+            for t in right_succ {
                 let a = right_tr[t.action.index()];
-                if !is_sync(a) {
+                if !is_sync[a.index()] {
                     push(&mut index, &mut states, &mut frontier, a, (ls, t.target));
                 }
             }
-            for lt in self.successors(ls) {
+            // Synchronized moves: the right matches for one action form a
+            // contiguous run of the (action, target)-sorted slice, found by
+            // binary search — same transitions in the same order, so the
+            // product state numbering is untouched.
+            for lt in left_succ {
                 let a = left_tr[lt.action.index()];
-                if is_sync(a) {
-                    for rt in other.successors(rs) {
-                        if right_tr[rt.action.index()] == a {
-                            push(
-                                &mut index,
-                                &mut states,
-                                &mut frontier,
-                                a,
-                                (lt.target, rt.target),
-                            );
-                        }
+                if is_sync[a.index()] {
+                    let Some(ra) = right_of_union[a.index()] else {
+                        continue;
+                    };
+                    let lo = right_succ.partition_point(|t| t.action < ra);
+                    let hi = lo + right_succ[lo..].partition_point(|t| t.action == ra);
+                    for rt in &right_succ[lo..hi] {
+                        push(
+                            &mut index,
+                            &mut states,
+                            &mut frontier,
+                            a,
+                            (lt.target, rt.target),
+                        );
                     }
                 }
             }

@@ -58,11 +58,16 @@ pub enum Code {
     /// default epsilon: branch probabilities below the weights'
     /// floating-point floor silently contribute nothing.
     U009,
+    /// A large τ-strongly-connected component: every state of the SCC
+    /// reaches every other via internal steps, so per-state τ-closures
+    /// (weak/branching signatures, maximal-progress analyses) each walk
+    /// the whole component — quadratic blow-up in the SCC size.
+    U010,
 }
 
 impl Code {
     /// All codes, in order.
-    pub const ALL: [Code; 9] = [
+    pub const ALL: [Code; 10] = [
         Code::U001,
         Code::U002,
         Code::U003,
@@ -72,6 +77,7 @@ impl Code {
         Code::U007,
         Code::U008,
         Code::U009,
+        Code::U010,
     ];
 
     /// The code as printed, e.g. `"U001"`.
@@ -86,6 +92,7 @@ impl Code {
             Code::U007 => "U007",
             Code::U008 => "U008",
             Code::U009 => "U009",
+            Code::U010 => "U010",
         }
     }
 
@@ -101,6 +108,7 @@ impl Code {
             Code::U007 => "unreachable states",
             Code::U008 => "interactive cycle (Zeno) or pre-empted Markov rates",
             Code::U009 => "rate spread exceeds Fox–Glynn resolution at default epsilon",
+            Code::U010 => "large τ-SCC makes per-state τ-closures quadratic",
         }
     }
 }

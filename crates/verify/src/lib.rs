@@ -19,6 +19,7 @@
 //! | U007 | warning | unreachable states |
 //! | U008 | error/info | interactive cycle (Zeno) / pre-empted Markov rates |
 //! | U009 | warning | rate spread exceeds Fox–Glynn resolution at default epsilon |
+//! | U010 | warning | large τ-SCC makes per-state τ-closures quadratic |
 //!
 //! A model "lints clean" when no errors **and** no warnings fire
 //! ([`Report::is_clean`]); informational findings are always allowed.

@@ -11,6 +11,12 @@ use crate::diag::{Code, Diagnostic, Report, Severity};
 /// How many individual loci a lint names before aggregating.
 const MAX_LISTED: usize = 8;
 
+/// τ-strongly-connected components larger than this trip U010: every
+/// member's τ-closure contains the whole component, so closure-based
+/// analyses (weak/branching signatures, maximal progress) do Ω(K²) work
+/// on it.
+const TAU_SCC_LIMIT: usize = 16;
+
 /// Smallest branch probability `v / E` the Fox–Glynn weights still
 /// resolve at the engine's default `ε = 1e-6`: the weights are computed
 /// in double precision and normalised to total ≈ 1, so per-jump
@@ -90,9 +96,77 @@ fn reachable_interactive_cycle(imc: &Imc, reachable: &[bool], tau_only: bool) ->
     None
 }
 
+/// The reachable τ-strongly-connected components with more than
+/// [`TAU_SCC_LIMIT`] states, each sorted ascending (Kosaraju's two-pass
+/// algorithm, iterative).
+fn large_tau_sccs(imc: &Imc, reachable: &[bool]) -> Vec<Vec<u32>> {
+    let n = imc.num_states();
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..n as u32 {
+        if !reachable[s as usize] {
+            continue;
+        }
+        for t in imc.interactive_from(s) {
+            if t.action.is_tau() && reachable[t.target as usize] {
+                fwd[s as usize].push(t.target);
+                rev[t.target as usize].push(s);
+            }
+        }
+    }
+    // Pass 1: forward DFS finish order.
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for root in 0..n {
+        if seen[root] || !reachable[root] {
+            continue;
+        }
+        seen[root] = true;
+        let mut stack: Vec<(u32, usize)> = vec![(root as u32, 0)];
+        while let Some(&mut (s, ref mut idx)) = stack.last_mut() {
+            if *idx < fwd[s as usize].len() {
+                let t = fwd[s as usize][*idx];
+                *idx += 1;
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push((t, 0));
+                }
+            } else {
+                order.push(s);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse DFS in reverse finish order; each tree is one SCC.
+    let mut assigned = vec![false; n];
+    let mut out = Vec::new();
+    for &root in order.iter().rev() {
+        if assigned[root as usize] {
+            continue;
+        }
+        assigned[root as usize] = true;
+        let mut scc = vec![root];
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            for &t in &rev[s as usize] {
+                if !assigned[t as usize] {
+                    assigned[t as usize] = true;
+                    scc.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        if scc.len() > TAU_SCC_LIMIT {
+            scc.sort_unstable();
+            out.push(scc);
+        }
+    }
+    out
+}
+
 /// Lints an IMC: uniformity (U001), rate well-formedness (U003),
-/// closedness (U004), deadlocks (U006), unreachable states (U007) and
-/// Zeno/pre-emption findings (U008).
+/// closedness (U004), deadlocks (U006), unreachable states (U007),
+/// Zeno/pre-emption findings (U008) and large τ-SCCs (U010).
 ///
 /// # Examples
 ///
@@ -277,6 +351,32 @@ pub fn lint_imc(imc: &Imc, opts: &LintOptions) -> Report {
                 ),
             )
             .with_hint("harmless — the transformation cuts these transitions (step 1)"),
+        );
+    }
+
+    // U010: large τ-SCCs. Every member's τ-closure covers the whole
+    // component, so weak/branching signature refinement and
+    // maximal-progress analyses redo Ω(|SCC|²) work per round — a
+    // construction-performance smell on top of the semantic τ-cycle
+    // finding (U008).
+    for scc in large_tau_sccs(imc, &reachable) {
+        r.push(
+            Diagnostic::new(
+                Code::U010,
+                Severity::Warning,
+                format!(
+                    "τ-strongly-connected component spans {} states (> {TAU_SCC_LIMIT}): \
+                     each member's τ-closure walks the whole component, making \
+                     closure-based analyses quadratic in its size: {}",
+                    scc.len(),
+                    fmt_states(&scc)
+                ),
+            )
+            .with_state(scc[0])
+            .with_hint(
+                "minimize the components before composing — weak bisimulation collapses \
+                 a τ-SCC to a single state",
+            ),
         );
     }
 
@@ -951,6 +1051,68 @@ mod tests {
         b.transition(1, "b", &[(0, 1e3 + 1e-3)]);
         let r = lint_ctmdp(&b.build());
         assert!(!codes(&r).contains(&Code::U009), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn large_tau_scc_fires_u010() {
+        // τ-ring of 20 states: one SCC above the limit. (It also fires
+        // U008 — Zeno — but U010 is the performance finding.)
+        let n = 20u32;
+        let mut b = ImcBuilder::new(n as usize, 0);
+        for s in 0..n {
+            b.tau(s, (s + 1) % n);
+        }
+        let r = lint_imc(&b.build(), &LintOptions::default());
+        let u10: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::U010)
+            .collect();
+        assert_eq!(u10.len(), 1, "diagnostics: {:?}", r.diagnostics());
+        assert_eq!(u10[0].severity, Severity::Warning);
+        assert!(u10[0].message.contains("20 states"), "{}", u10[0].message);
+        assert!(
+            u10[0].hint.as_deref().unwrap_or("").contains("minimize"),
+            "hint must recommend minimizing before composing"
+        );
+    }
+
+    #[test]
+    fn small_tau_cycle_does_not_fire_u010() {
+        let mut b = ImcBuilder::new(2, 0);
+        b.tau(0, 1);
+        b.tau(1, 0);
+        let r = lint_imc(&b.build(), &LintOptions::default());
+        assert!(!codes(&r).contains(&Code::U010), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn unreachable_tau_scc_does_not_fire_u010() {
+        // A big τ-ring in a dead component: the lint only inspects the
+        // reachable subgraph (matching U008's behaviour).
+        let n = 24u32;
+        let mut b = ImcBuilder::new(n as usize, 0);
+        b.markov(0, 1.0, 0);
+        for s in 1..n {
+            let next = if s + 1 == n { 1 } else { s + 1 };
+            b.tau(s, next);
+        }
+        let r = lint_imc(&b.build(), &LintOptions::default());
+        assert!(!codes(&r).contains(&Code::U010), "{:?}", r.diagnostics());
+        assert!(codes(&r).contains(&Code::U007));
+    }
+
+    #[test]
+    fn tau_chain_without_cycle_does_not_fire_u010() {
+        // 30 τ-steps in a line: no SCC bigger than a singleton.
+        let n = 31u32;
+        let mut b = ImcBuilder::new(n as usize, 0);
+        for s in 0..n - 1 {
+            b.tau(s, s + 1);
+        }
+        b.markov(n - 1, 1.0, 0);
+        let r = lint_imc(&b.build(), &LintOptions::default());
+        assert!(!codes(&r).contains(&Code::U010), "{:?}", r.diagnostics());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! unicon analyze <model.aut> --goal 1,2,3 --time 10 [options]
 //! unicon reach --ftwc 4 --time-bounds 10,100 --threads 2   batched engine
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
+//! unicon bench-build --n-list 1,2 [--json]       construction benchmark
 //! ```
 //!
 //! Models are read in the extended Aldebaran format of `unicon-imc::io`
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("reach") => cmd_reach(&args[1..]),
         Some("ftwc") => cmd_ftwc(&args[1..]),
+        Some("bench-build") => cmd_bench_build(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -91,7 +93,14 @@ fn print_usage() {
          [--min] [--exact-goal] [--json <out.json>] [--values-out <dump>]\n          \
          [--max-iters <n>] [--timeout <secs>] [--checkpoint <file>]\n          \
          [--checkpoint-every <k>] [--resume <file>] [--on-degrade fail|sequential]\n  \
-         unicon ftwc --n <N> --time <t> [--epsilon <e>]\n\n\
+         unicon ftwc --n <N> --time <t> [--epsilon <e>]\n  \
+         unicon bench-build [--n-list <N1,N2,…>] [--epsilon <e>]\n          \
+         [--out <file>] [--json]\n\n\
+         `bench-build` times the compositional FTWC construction per phase\n\
+         (generate/compose/minimize/transform/precompute) with both the\n\
+         worklist and the reference refiner, checks that the two quotients\n\
+         agree bitwise, and writes BENCH_build.json (override with --out;\n\
+         --json also prints the payload to stdout).\n\n\
          `reach` answers all time bounds in one batched pass (shared\n\
          precomputation, cached Fox–Glynn weights, optional worker threads;\n\
          results are bitwise independent of --threads) and prints phase\n\
@@ -719,6 +728,55 @@ fn emit_results(
         eprintln!("wrote {dump_path}");
     }
     Ok(())
+}
+
+fn cmd_bench_build(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--n-list", "--epsilon", "--out"], &["--json"])?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "bench-build: unexpected argument '{extra}'"
+        )));
+    }
+    let n_list: Vec<usize> = cli
+        .value("--n-list")
+        .unwrap_or("1,2")
+        .split(',')
+        .map(|p| parse_usize("--n-list", p.trim()))
+        .collect::<Result<_, _>>()?;
+    if n_list.is_empty() {
+        return Err(CliError::Usage("bench-build needs at least one N".into()));
+    }
+    if let Some(bad) = n_list.iter().find(|&&n| n == 0) {
+        return Err(CliError::Usage(format!(
+            "--n-list: N must be at least 1, got {bad}"
+        )));
+    }
+    let epsilon = epsilon_or_default(&cli)?;
+    let rows = experiment::build_bench(&n_list, epsilon);
+    let json = experiment::build_bench_to_json(&rows, epsilon);
+    let out = cli.value("--out").unwrap_or("BENCH_build.json");
+    std::fs::write(out, format!("{json}\n"))
+        .map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
+    eprintln!("wrote {out}");
+    if cli.has("--json") {
+        println!("{json}");
+    }
+    for r in &rows {
+        eprintln!(
+            "N={}: {} states; generate {:.1} ms, compose {:.1} ms, \
+             minimize {:.1} ms (reference refiner {:.1} ms), \
+             transform {:.1} ms, precompute {:.1} ms",
+            r.n,
+            r.states,
+            r.timings.generate.as_secs_f64() * 1e3,
+            r.timings.compose.as_secs_f64() * 1e3,
+            r.timings.minimize.as_secs_f64() * 1e3,
+            r.minimize_reference.as_secs_f64() * 1e3,
+            r.transform.as_secs_f64() * 1e3,
+            r.precompute.as_secs_f64() * 1e3,
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_ftwc(args: &[String]) -> Result<ExitCode, CliError> {
