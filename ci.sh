@@ -31,6 +31,39 @@ if ! cmp -s "$CI_DIR/reach_t1.hex" "$CI_DIR/reach_t4.hex"; then
 fi
 echo "reach values bitwise identical across thread counts"
 
+echo "==> observability bit-invisibility gate (trace on vs off, 1 and 4 threads)"
+# Full-fat telemetry (JSONL trace + debug console + residual CSV) must
+# leave every result bit unchanged — the obs layer's hard contract.
+for T in 1 4; do
+    ./target/release/unicon reach --ftwc 32 --time-bounds "$BOUNDS" --threads "$T" \
+        --trace-out "$CI_DIR/trace_t$T.jsonl" --log-level debug \
+        --residuals-out "$CI_DIR/residuals_t$T.csv" \
+        --values-out "$CI_DIR/reach_traced_t$T.hex" >/dev/null 2>&1
+    if ! cmp -s "$CI_DIR/reach_t$T.hex" "$CI_DIR/reach_traced_t$T.hex"; then
+        echo "FAIL: tracing changed the reach values (threads $T)"
+        exit 1
+    fi
+done
+echo "values byte-identical with tracing on and off at 1 and 4 threads"
+
+echo "==> metrics exposition smoke check"
+./target/release/unicon metrics --ftwc 1 --time-bounds 10 2>/dev/null > "$CI_DIR/metrics.txt"
+# every line is a comment header or a 'name value' / 'name{labels} value' sample
+if ! awk '
+    /^# (HELP|TYPE) / { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*$/ { next }
+    { print "bad exposition line: " $0; bad = 1 }
+    END { exit bad }
+' "$CI_DIR/metrics.txt"; then
+    echo "FAIL: metrics exposition is malformed"
+    exit 1
+fi
+if ! grep -q '^unicon_reach_iterations_total ' "$CI_DIR/metrics.txt"; then
+    echo "FAIL: metrics exposition lacks unicon_reach_iterations_total"
+    exit 1
+fi
+echo "metrics exposition well-formed ($(wc -l < "$CI_DIR/metrics.txt") lines)"
+
 echo "==> checkpoint kill/resume gate (interrupted + resumed vs uninterrupted)"
 RBOUNDS="50,200"
 for T in 1 4; do
@@ -74,11 +107,29 @@ echo "BENCH_reach.json written (iterate speedup threads4/threads1: $speedup)"
 echo "==> construction benchmark (worklist vs reference refiner, bitwise gate)"
 # bench-build rebuilds the compositional FTWC with both refiner backends,
 # panics if their quotients differ bitwise, and records both minimization
-# timings so the speedup claim stays honest.
-./target/release/unicon bench-build --n-list 1,2 --out BENCH_build.json 2>/dev/null
+# timings so the speedup claim stays honest. The JSONL trace must show
+# the whole pipeline: nested spans for all five phases plus the reach
+# engine's per-iteration records.
+./target/release/unicon bench-build --n-list 1,2,3 --out BENCH_build.json \
+    --trace-out "$CI_DIR/bench_build.jsonl" 2>/dev/null
 wl=$(sed -n 's/.*"minimize_worklist_ms":\([0-9.e+-]*\),"minimize_reference_ms":\([0-9.e+-]*\).*/\1/p' BENCH_build.json | tail -1)
 ref=$(sed -n 's/.*"minimize_worklist_ms":\([0-9.e+-]*\),"minimize_reference_ms":\([0-9.e+-]*\).*/\2/p' BENCH_build.json | tail -1)
 ratio=$(awk "BEGIN { printf \"%.4f\", ($ref) / ($wl) }")
-echo "BENCH_build.json written (N=2 minimize speedup reference/worklist: $ratio)"
+echo "BENCH_build.json written (N=3 minimize speedup reference/worklist: $ratio)"
+for PHASE in build generate compose minimize transform precompute; do
+    if ! grep -q "\"type\":\"span_close\",\"name\":\"$PHASE\"" "$CI_DIR/bench_build.jsonl"; then
+        echo "FAIL: bench-build trace lacks a closed '$PHASE' span"
+        exit 1
+    fi
+done
+if ! grep -q '"type":"reach_iteration"' "$CI_DIR/bench_build.jsonl"; then
+    echo "FAIL: bench-build trace lacks reach_iteration records"
+    exit 1
+fi
+if ! grep -q '"parent":[0-9]' "$CI_DIR/bench_build.jsonl"; then
+    echo "FAIL: bench-build trace has no nested spans"
+    exit 1
+fi
+echo "bench-build trace covers all five phases with nested spans"
 
 echo "CI OK"

@@ -1088,6 +1088,12 @@ fn write_checkpoint(
     };
     checkpoint_data(batch, pre, results, in_progress).write_atomic(&cfg.path)?;
     events.push(GuardEvent::CheckpointWritten { query, step });
+    unicon_obs::emit(unicon_obs::Class::Guard, || unicon_obs::Event::Guard {
+        kind: "checkpoint",
+        query,
+        step,
+        detail: cfg.path.display().to_string(),
+    });
     #[cfg(feature = "fault-inject")]
     apply_truncate_fault(guard, &cfg.path)?;
     Ok(())
@@ -1129,6 +1135,12 @@ fn run_guarded_inner(
             None => (results.len(), 0),
         };
         events.push(GuardEvent::Resumed { query, step });
+        unicon_obs::emit(unicon_obs::Class::Guard, || unicon_obs::Event::Guard {
+            kind: "resumed",
+            query,
+            step,
+            detail: String::new(),
+        });
     }
     let start_query = results.len();
 
@@ -1156,6 +1168,13 @@ fn run_guarded_inner(
         let cached = FoxGlynn::try_weights(pre.rate * query.t, batch.epsilon)?;
         let (fg, k) = (cached.fg, cached.truncation);
         let maximize = query.objective == Objective::Maximize;
+        unicon_obs::emit(unicon_obs::Class::Iter, || unicon_obs::Event::QueryStart {
+            query: qi,
+            t: query.t,
+            lambda: fg.lambda(),
+            left: fg.left_truncation(batch.epsilon),
+            right: k,
+        });
 
         let mut q_next = vec![0.0f64; n]; // q_{k+1} = 0
         let mut q = vec![0.0f64; n];
@@ -1181,6 +1200,12 @@ fn run_guarded_inner(
 
         for i in (1..=i_start).rev() {
             if let Some(reason) = guard.budget.exceeded(iterations_done) {
+                unicon_obs::emit(unicon_obs::Class::Guard, || unicon_obs::Event::Guard {
+                    kind: "budget-exhausted",
+                    query: qi,
+                    step: i,
+                    detail: reason.as_str().to_string(),
+                });
                 let partial =
                     make_partial(qi, query.t, &fg, k, i, &batch.goal, &q_next, batch.epsilon);
                 write_checkpoint(
@@ -1235,6 +1260,14 @@ fn run_guarded_inner(
                             from_threads: workers,
                             to_threads: 1,
                         });
+                        unicon_obs::emit(unicon_obs::Class::Guard, || unicon_obs::Event::Guard {
+                            kind: "degradation",
+                            query: qi,
+                            step: i,
+                            detail: format!(
+                                "worker {worker} panicked; degrading {workers} -> 1 threads"
+                            ),
+                        });
                         workers = 1;
                         // Replay from the untouched snapshot — same
                         // kernel, same inputs, so the degraded step is
@@ -1264,6 +1297,7 @@ fn run_guarded_inner(
             health_checks += 1;
             check_health(&q, i)?;
             iterations_done += 1;
+            crate::reachability::emit_iteration(qi, i, &fg, k, &q);
             std::mem::swap(&mut q, &mut q_next); // q_next now holds q_i
 
             if guard.checkpoint.is_some() {

@@ -38,8 +38,8 @@ use unicon_sparse::assign_blocks;
 
 use crate::model::Ctmdp;
 use crate::reachability::{
-    finalize_values, indicator_result, iterate_sequential, step_state, validate_epsilon,
-    validate_time, Objective, Precompute, ReachError, ReachOptions, ReachResult,
+    emit_iteration, finalize_values, indicator_result, iterate_sequential, step_state,
+    validate_epsilon, validate_time, Objective, Precompute, ReachError, ReachOptions, ReachResult,
 };
 
 /// Fixed block size of the deterministic checksum reduction — a property
@@ -85,10 +85,13 @@ pub fn timed_reachability_par(
     let start = Instant::now();
     let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
-    Ok(run_query(ctmdp, &pre, goal, &fg, k, opts, threads, start))
+    Ok(run_query(
+        ctmdp, &pre, goal, &fg, k, opts, threads, 0, start,
+    ))
 }
 
-/// Dispatches one query to the sequential or parallel driver.
+/// Dispatches one query to the sequential or parallel driver. `qi` is
+/// the query's index within its batch, used only to tag telemetry.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_query(
     ctmdp: &Ctmdp,
@@ -98,13 +101,14 @@ pub(crate) fn run_query(
     k: usize,
     opts: &ReachOptions,
     threads: usize,
+    qi: usize,
     start: Instant,
 ) -> ReachResult {
     let workers = resolve_threads(threads).min(ctmdp.num_states());
     if workers <= 1 {
-        iterate_sequential(ctmdp, pre, goal, fg, k, opts, start)
+        iterate_sequential(ctmdp, pre, goal, fg, k, opts, qi, start)
     } else {
-        iterate_parallel(ctmdp, pre, goal, fg, k, opts, workers, start)
+        iterate_parallel(ctmdp, pre, goal, fg, k, opts, workers, qi, start)
     }
 }
 
@@ -135,6 +139,7 @@ fn iterate_parallel(
     k: usize,
     opts: &ReachOptions,
     workers: usize,
+    qi: usize,
     start: Instant,
 ) -> ReachResult {
     let n = ctmdp.num_states();
@@ -229,6 +234,9 @@ fn iterate_parallel(
             if record {
                 decisions[i - 1] = step_decisions;
             }
+            // Telemetry runs on the assembler thread only, after every
+            // chunk has landed — workers never emit.
+            emit_iteration(qi, i, fg, k, &spare);
             // Rotate: the assembled q_i becomes the next snapshot; the old
             // snapshot's allocation is reclaimed (every worker has dropped
             // its clone before sending, so the Arc is unique again).
@@ -411,7 +419,9 @@ impl<'a> ReachBatch<'a> {
         let threads = resolve_threads(self.threads);
 
         let pre_start = Instant::now();
+        let pre_span = unicon_obs::open_span("precompute");
         let pre = Precompute::new(self.ctmdp, &self.goal)?;
+        let _ = unicon_obs::close_span(pre_span);
         let precompute_time = pre_start.elapsed();
 
         let opts_base = ReachOptions::default().with_epsilon(self.epsilon);
@@ -422,13 +432,20 @@ impl<'a> ReachBatch<'a> {
         let mut iterate_time = Duration::ZERO;
         let mut total_iterations = 0;
 
-        for q in &self.queries {
+        for (qi, q) in self.queries.iter().enumerate() {
             let result = if q.t == 0.0 || pre.rate == 0.0 {
                 indicator_result(&self.goal, pre.rate)
             } else {
                 let w_start = Instant::now();
                 let cached = cache.get(pre.rate, q.t, self.epsilon).clone();
                 weights_time += w_start.elapsed();
+                unicon_obs::emit(unicon_obs::Class::Iter, || unicon_obs::Event::QueryStart {
+                    query: qi,
+                    t: q.t,
+                    lambda: cached.fg.lambda(),
+                    left: cached.fg.left_truncation(self.epsilon),
+                    right: cached.truncation,
+                });
                 let opts = opts_base.with_objective(q.objective);
                 run_query(
                     self.ctmdp,
@@ -438,6 +455,7 @@ impl<'a> ReachBatch<'a> {
                     cached.truncation,
                     &opts,
                     threads,
+                    qi,
                     Instant::now(),
                 )
             };
@@ -452,6 +470,15 @@ impl<'a> ReachBatch<'a> {
             });
             results.push(result);
         }
+
+        unicon_obs::emit(unicon_obs::Class::Metric, || unicon_obs::Event::Counter {
+            name: "weight_cache_hits",
+            value: cache.hits() as u64,
+        });
+        unicon_obs::emit(unicon_obs::Class::Metric, || unicon_obs::Event::Counter {
+            name: "weight_cache_misses",
+            value: cache.misses() as u64,
+        });
 
         Ok(BatchResult {
             results,

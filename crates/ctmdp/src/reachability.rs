@@ -323,11 +323,15 @@ pub fn timed_reachability(
     let start = Instant::now();
     let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
-    Ok(iterate_sequential(ctmdp, &pre, goal, &fg, k, opts, start))
+    Ok(iterate_sequential(
+        ctmdp, &pre, goal, &fg, k, opts, 0, start,
+    ))
 }
 
 /// The sequential value-iteration driver, shared by the single-query API
-/// and the batch engine's one-thread path.
+/// and the batch engine's one-thread path. `qi` tags telemetry records
+/// with the query's index in its batch (0 for single-query calls).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn iterate_sequential(
     ctmdp: &Ctmdp,
     pre: &Precompute,
@@ -335,6 +339,7 @@ pub(crate) fn iterate_sequential(
     fg: &FoxGlynn,
     k: usize,
     opts: &ReachOptions,
+    qi: usize,
     start: Instant,
 ) -> ReachResult {
     let n = ctmdp.num_states();
@@ -363,6 +368,7 @@ pub(crate) fn iterate_sequential(
         if opts.record_decisions {
             decisions[i - 1] = step_decisions;
         }
+        emit_iteration(qi, i, fg, k, &q);
         std::mem::swap(&mut q, &mut q_next);
     }
     // q_next holds q_1.
@@ -373,6 +379,37 @@ pub(crate) fn iterate_sequential(
         runtime: start.elapsed(),
         decisions,
     }
+}
+
+/// Emits the per-iteration convergence record when iteration telemetry is
+/// live. `new` (the freshly computed `q_i`) is read-only here, so
+/// telemetry can never perturb the numeric state — bit-invisibility by
+/// construction.
+///
+/// The reported residual is the *unprocessed Poisson mass*
+/// `Σ_{n < i} ψ(n) + Σ_{n > k} ψ(n)`: an upper bound on how much the
+/// remaining steps (plus the truncated tail) can still add to any
+/// accumulated goal probability. It is non-increasing along the
+/// backward iteration by construction of the suffix sums, and ends at
+/// the right-truncation remainder `≤ ε` — the paper's a-priori error
+/// bound, observed live. (The raw iterate difference `‖q_i − q_{i+1}‖`
+/// is *not* a convergence certificate here: goal states carry a
+/// constant offset below the Fox–Glynn window, so it plateaus.)
+pub(crate) fn emit_iteration(qi: usize, step: usize, fg: &FoxGlynn, k: usize, new: &[f64]) {
+    if !unicon_obs::live(unicon_obs::Class::Iter) {
+        return;
+    }
+    let residual = (1.0 - fg.tail_from(step)) + fg.tail_from(k + 1);
+    let checksum = unicon_numeric::chunked_stable_sum(new, crate::par::CHECKSUM_BLOCK).to_bits();
+    unicon_obs::emit(unicon_obs::Class::Iter, || {
+        unicon_obs::Event::ReachIteration {
+            query: qi,
+            step,
+            psi: fg.psi(step),
+            residual,
+            checksum,
+        }
+    });
 }
 
 /// Step-bounded reachability: the optimal probability to reach `B` within

@@ -155,6 +155,44 @@ fn worker_panic_degrades_to_sequential_with_bitwise_correct_values() {
 }
 
 #[test]
+fn degradation_emits_exactly_one_structured_guard_record() {
+    let m = random_uniform_ctmdp(N, SEED);
+    let goal = random_goal(N, SEED);
+    let k = steps(&m, &goal);
+    let plan = FaultPlan::worker_panic(2, k, 4);
+    let (planned_step, _) = plan.panic_worker_at.unwrap();
+    let guard = GuardOptions::default()
+        .with_fault_plan(plan)
+        .with_degrade_policy(DegradePolicy::Sequential);
+    let (run, events) = unicon_obs::collect(|| batch(&m, &goal, 4).run_guarded(&guard).unwrap());
+    assert!(run.is_complete());
+    let degradations: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            unicon_obs::Event::Guard {
+                kind: "degradation",
+                query,
+                step,
+                detail,
+            } => Some((*query, *step, detail.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        degradations.len(),
+        1,
+        "exactly one degradation record, got {degradations:?}"
+    );
+    let (query, step, detail) = &degradations[0];
+    assert_eq!(*query, 0);
+    assert_eq!(*step, planned_step);
+    assert!(
+        detail.contains("4 -> 1"),
+        "detail names the thread drop: {detail}"
+    );
+}
+
+#[test]
 fn worker_panic_under_fail_policy_is_a_typed_error() {
     let m = random_uniform_ctmdp(N, SEED);
     let goal = random_goal(N, SEED);

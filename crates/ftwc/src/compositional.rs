@@ -60,6 +60,7 @@ impl BuildCtx {
     }
 
     fn generate<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let _span = unicon_obs::span("generate");
         let start = Instant::now();
         let out = f();
         self.t.generate += start.elapsed();
@@ -83,6 +84,7 @@ impl Labeled {
         f: impl Fn(u32, u32) -> u32,
         ctx: &mut BuildCtx,
     ) -> Labeled {
+        let _span = unicon_obs::span("compose");
         let start = Instant::now();
         let (model, map) = self.model.parallel_with_map(&other.model, sync);
         let labels = map
@@ -95,6 +97,7 @@ impl Labeled {
 
     /// Label-respecting minimization with the context's refiner backend.
     fn minimize(&self, ctx: &mut BuildCtx) -> Labeled {
+        let _span = unicon_obs::span("minimize");
         let start = Instant::now();
         let (model, labels) = self.model.minimize_labeled_with(&self.labels, ctx.refiner);
         ctx.t.minimize += start.elapsed();
@@ -102,6 +105,7 @@ impl Labeled {
     }
 
     fn hide(&self, actions: &[&str], ctx: &mut BuildCtx) -> Labeled {
+        let _span = unicon_obs::span("compose");
         let start = Instant::now();
         let out = Labeled {
             model: self.model.hide(actions),
@@ -258,11 +262,13 @@ pub fn build_with(params: &FtwcParams, refiner: Refiner) -> (CompositionalModel,
         .map(|&l| u32::from(!premium(&unpack(l), n)))
         .collect();
     let configs_before: Vec<Config> = hidden.labels.iter().map(|&l| unpack(l)).collect();
+    let final_span = unicon_obs::span("minimize");
     let final_start = Instant::now();
     let (minimized, down_labels) = hidden
         .model
         .minimize_labeled_with(&premium_labels, ctx.refiner);
     ctx.t.minimize += final_start.elapsed();
+    drop(final_span);
 
     // Configs of the quotient are only meaningful up to the premium bit;
     // recover a representative config per quotient state for diagnostics.
@@ -414,11 +420,13 @@ pub fn build_shared_timer_with(
         .iter()
         .map(|&l| u32::from(!premium(&unpack(l), n)))
         .collect();
+    let final_span = unicon_obs::span("minimize");
     let final_start = Instant::now();
     let (minimized, down_labels) = hidden
         .model
         .minimize_labeled_with(&premium_labels, ctx.refiner);
     ctx.t.minimize += final_start.elapsed();
+    drop(final_span);
     let configs: Vec<Config> = down_labels
         .iter()
         .map(|&d| {

@@ -196,6 +196,10 @@ pub struct BuildBenchRow {
     /// Batch-engine precompute: shared CSR traversal structures plus the
     /// Fox–Glynn weights of one representative query (`t = 10`).
     pub precompute: Duration,
+    /// Worklist-refiner rounds across all minimizations of the build.
+    pub refine_rounds: usize,
+    /// States re-signed across all worklist-refiner rounds of the build.
+    pub refine_dirty_states: usize,
 }
 
 impl BuildBenchRow {
@@ -205,7 +209,8 @@ impl BuildBenchRow {
             "{{\"n\":{},\"states\":{},\"interactive_transitions\":{},\
              \"markov_transitions\":{},\"generate_ms\":{},\"compose_ms\":{},\
              \"minimize_worklist_ms\":{},\"minimize_reference_ms\":{},\
-             \"transform_ms\":{},\"precompute_ms\":{}}}",
+             \"transform_ms\":{},\"precompute_ms\":{},\
+             \"refine_rounds\":{},\"refine_dirty_states\":{}}}",
             self.n,
             self.states,
             self.interactive_transitions,
@@ -216,6 +221,8 @@ impl BuildBenchRow {
             self.minimize_reference.as_secs_f64() * 1e3,
             self.transform.as_secs_f64() * 1e3,
             self.precompute.as_secs_f64() * 1e3,
+            self.refine_rounds,
+            self.refine_dirty_states,
         )
     }
 }
@@ -232,8 +239,20 @@ pub fn build_bench(n_list: &[usize], epsilon: f64) -> Vec<BuildBenchRow> {
         .iter()
         .map(|&n| {
             let params = FtwcParams::new(n);
-            let (model, timings) =
-                compositional::build_shared_timer_with(&params, Refiner::Worklist);
+            // Collect the worklist build's event stream to report the
+            // refiner's round structure alongside the timings.
+            let ((model, timings), build_events) = unicon_obs::collect(|| {
+                let _span = unicon_obs::span("build");
+                compositional::build_shared_timer_with(&params, Refiner::Worklist)
+            });
+            let mut refine_rounds = 0usize;
+            let mut refine_dirty_states = 0usize;
+            for ev in &build_events {
+                if let unicon_obs::Event::RefineRound { dirty_states, .. } = ev {
+                    refine_rounds += 1;
+                    refine_dirty_states += dirty_states;
+                }
+            }
             let (oracle, oracle_timings) =
                 compositional::build_shared_timer_with(&params, Refiner::Reference);
 
@@ -266,8 +285,10 @@ pub fn build_bench(n_list: &[usize], epsilon: f64) -> Vec<BuildBenchRow> {
             );
 
             let start = std::time::Instant::now();
+            let transform_span = unicon_obs::span("transform");
             let prepared = PreparedModel::new(&model.uniform.close(), &model.premium_down)
                 .expect("compositional FTWC transforms cleanly");
+            drop(transform_span);
             let transform = start.elapsed();
             let batch = prepared
                 .reach_batch()
@@ -285,6 +306,8 @@ pub fn build_bench(n_list: &[usize], epsilon: f64) -> Vec<BuildBenchRow> {
                 minimize_reference: oracle_timings.minimize,
                 transform,
                 precompute: batch.stats.precompute_time + batch.stats.weights_time,
+                refine_rounds,
+                refine_dirty_states,
             }
         })
         .collect()
@@ -507,10 +530,15 @@ mod tests {
         );
         assert!(r.timings.minimize > Duration::ZERO);
         assert!(r.minimize_reference > Duration::ZERO);
+        // Every minimization runs at least one refinement round, and each
+        // round re-signs at least one state.
+        assert!(r.refine_rounds > 0);
+        assert!(r.refine_dirty_states >= r.refine_rounds);
         let json = build_bench_to_json(&rows, 1e-6);
         assert!(json.contains("\"case_study\":\"ftwc-build\""));
         assert!(json.contains("\"minimize_worklist_ms\""));
         assert!(json.contains("\"minimize_reference_ms\""));
+        assert!(json.contains("\"refine_rounds\""));
         assert!(json.contains("\"states\":92"));
     }
 

@@ -1,0 +1,74 @@
+//! Golden convergence-telemetry test: the per-iteration residual stream
+//! of an FTWC `N = 1` reach query must decay the way Algorithm 1
+//! promises — the telemetry is only worth shipping if its numbers mean
+//! what the paper says they mean.
+//!
+//! The residual of step `i` is the unprocessed Poisson mass
+//! `Σ_{n < i} ψ(n)` plus the truncated right tail: an upper bound on
+//! the change the remaining backward steps can still make. It starts
+//! near 1, falls monotonically as the iteration walks down through the
+//! Fox–Glynn window, and ends at the truncation remainder `≤ ε` — the
+//! paper's a-priori error bound, observed live in the event stream.
+
+use unicon_ftwc::experiment::prepare;
+use unicon_ftwc::FtwcParams;
+use unicon_obs::{collect, Event};
+
+const EPSILON: f64 = 1e-6;
+
+#[test]
+fn ftwc_n1_residual_stream_converges() {
+    let (prepared, _) = prepare(&FtwcParams::new(1));
+    let ((), events) = collect(|| {
+        prepared
+            .reach_batch()
+            .with_epsilon(EPSILON)
+            .query(10.0)
+            .run()
+            .expect("FTWC CTMDP is uniform");
+    });
+
+    let mut residuals: Vec<f64> = Vec::new();
+    let mut steps: Vec<usize> = Vec::new();
+    for ev in &events {
+        if let Event::ReachIteration { step, residual, .. } = ev {
+            steps.push(*step);
+            residuals.push(*residual);
+        }
+    }
+    assert!(
+        residuals.len() > 20,
+        "expected a full iteration stream, got {} records",
+        residuals.len()
+    );
+    // Algorithm 1 runs i = k..1; every step must be reported, in order.
+    let k = steps[0];
+    assert_eq!(steps, (1..=k).rev().collect::<Vec<_>>());
+    assert!(residuals.iter().all(|r| r.is_finite() && *r >= 0.0));
+
+    // The stream starts with essentially all the Poisson mass ahead of it.
+    assert!(
+        residuals[0] > 0.5,
+        "first residual {:e} should be near 1",
+        residuals[0]
+    );
+
+    // When the iteration stops, only the truncation remainder is left:
+    // the a-priori error bound epsilon has been met, observably.
+    let last = *residuals.last().expect("nonempty");
+    assert!(
+        last <= EPSILON,
+        "final residual {last:e} exceeds epsilon {EPSILON:e}"
+    );
+
+    // Unprocessed mass can only shrink: the whole stream — not just the
+    // tail — is non-increasing by construction of the suffix sums.
+    for (j, w) in residuals.windows(2).enumerate() {
+        assert!(
+            w[1] <= w[0],
+            "residual increased at stream position {j}: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}

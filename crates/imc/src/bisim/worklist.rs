@@ -460,7 +460,10 @@ pub(super) fn refine(imc: &Imc, view: View, init: Partition, mode: Mode) -> Part
     let mut group_of: HashMap<u32, usize> = HashMap::new();
     let mut groups: Vec<Vec<u32>> = Vec::new();
 
+    let mut round = 0usize;
     while !dirty.is_empty() {
+        round += 1;
+        let dirty_states = dirty.len();
         // Re-sign the states whose dependencies moved; everyone else keeps
         // the signature value from the previous round (stable ids make it
         // literally unchanged).
@@ -542,6 +545,16 @@ pub(super) fn refine(imc: &Imc, view: View, init: Partition, mode: Mode) -> Part
             }
             dirty.sort_unstable();
         }
+
+        unicon_obs::emit(unicon_obs::Class::Metric, || {
+            unicon_obs::Event::RefineRound {
+                round,
+                dirty_states,
+                dirty_blocks: dirty_blocks.len(),
+                moved: moved.len(),
+                num_blocks,
+            }
+        });
     }
 
     canonicalize(block, num_blocks)

@@ -1,0 +1,151 @@
+//! Integer-exact histograms with fixed log-scale buckets.
+//!
+//! Bucket bounds are the powers of two `1, 2, 4, …, 2^39` plus `+Inf`.
+//! Observations, counts and sums are all integers (nanoseconds or
+//! counts), so two runs observing the same values render byte-identical
+//! expositions on every platform — no float formatting is involved.
+
+/// Number of buckets: upper bounds `2^0 … 2^39`, then `+Inf`.
+/// `2^39` ns ≈ 9.2 minutes, far above any single span in the pipeline.
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// A fixed log₂-bucket histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    sum: u64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// The index of the bucket `v` falls into: the smallest `i` with
+    /// `v ≤ bound(i)`, or the overflow bucket.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            return 0;
+        }
+        // ceil(log2(v)) for v ≥ 2, exactly, in integers.
+        let idx = (64 - (v - 1).leading_zeros()) as usize;
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i`, or `None` for `+Inf`.
+    #[must_use]
+    pub fn bound(i: usize) -> Option<u64> {
+        if i + 1 < HISTOGRAM_BUCKETS {
+            Some(1u64 << i)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observation (sum saturates instead of wrapping).
+    pub fn observe(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.count += 1;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Cumulative counts in bucket order — the Prometheus `le` series.
+    #[must_use]
+    pub fn cumulative(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0; HISTOGRAM_BUCKETS];
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The boundary contract: a value equal to a bucket bound lands in
+    /// that bucket; one above it spills into the next.
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let bound = Histogram::bound(i).expect("finite bucket");
+            assert_eq!(Histogram::bucket_index(bound), i, "bound {bound} inclusive");
+            assert_eq!(
+                Histogram::bucket_index(bound + 1),
+                i + 1,
+                "bound {bound} + 1 spills over"
+            );
+        }
+        // the overflow bucket catches everything beyond the last bound
+        assert_eq!(Histogram::bound(HISTOGRAM_BUCKETS - 1), None);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_accumulates_exactly() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 2, 3, 1 << 39, (1 << 39) + 1] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 2 + 2 + 3 + (1 << 39) + (1 << 39) + 1);
+        assert_eq!(h.counts()[0], 1); // the 1
+        assert_eq!(h.counts()[1], 2); // both 2s
+        assert_eq!(h.counts()[2], 1); // the 3
+        assert_eq!(h.counts()[39], 1); // exactly 2^39
+        assert_eq!(h.counts()[40], 1); // the overflow
+        let cum = h.cumulative();
+        assert_eq!(cum[HISTOGRAM_BUCKETS - 1], 6, "cumulative ends at count");
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

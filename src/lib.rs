@@ -22,6 +22,8 @@
 //! * [`transform`] — the uIMC → uCTMDP trajectory,
 //! * [`verify`] — static model analysis (`unicon lint`): U001–U009
 //!   diagnostics proving uniformity by construction actually held,
+//! * [`obs`] — zero-dependency structured observability: spans, typed
+//!   events, metrics, JSONL traces — bit-invisible to every result,
 //! * [`core`] — the uniformity-by-construction API ([`UniformImc`],
 //!   [`ClosedModel`], [`PreparedModel`]),
 //! * [`ftwc`] — the fault-tolerant workstation cluster case study.
@@ -68,6 +70,7 @@ pub use unicon_ftwc as ftwc;
 pub use unicon_imc as imc;
 pub use unicon_lts as lts;
 pub use unicon_numeric as numeric;
+pub use unicon_obs as obs;
 pub use unicon_sparse as sparse;
 pub use unicon_transform as transform;
 pub use unicon_verify as verify;

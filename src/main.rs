@@ -9,10 +9,18 @@
 //! unicon reach --ftwc 4 --time-bounds 10,100 --threads 2   batched engine
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
 //! unicon bench-build --n-list 1,2 [--json]       construction benchmark
+//! unicon metrics --ftwc 1 --time-bounds 10       metrics exposition
 //! ```
 //!
 //! Models are read in the extended Aldebaran format of `unicon-imc::io`
 //! (CADP-compatible: Markov transitions labeled `rate <λ>`, τ spelled `i`).
+//!
+//! Two global flags work with every command: `--log-level
+//! {quiet,info,debug}` tunes the stderr console (stdout stays
+//! machine-clean), and `--trace-out <file.jsonl>` streams every
+//! structured event — spans, iterations, guard incidents — as JSON
+//! lines. Tracing is bit-invisible: every numeric result is unchanged
+//! whether a sink is installed or not.
 //!
 //! Exit codes: 0 success, 1 runtime error, 2 usage error (malformed or
 //! semantically invalid flags), 3 partial result (a budgeted `reach` run
@@ -20,7 +28,10 @@
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
+
+use unicon::obs;
 
 use unicon::core::ClosedModel;
 use unicon::ctmdp::export;
@@ -49,8 +60,8 @@ fn runtime(msg: impl std::fmt::Display) -> CliError {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = setup_obs(&mut args).and_then(|()| match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("transform") => cmd_transform(&args[1..]),
@@ -58,6 +69,7 @@ fn main() -> ExitCode {
         Some("reach") => cmd_reach(&args[1..]),
         Some("ftwc") => cmd_ftwc(&args[1..]),
         Some("bench-build") => cmd_bench_build(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -65,18 +77,59 @@ fn main() -> ExitCode {
         Some(other) => Err(CliError::Usage(format!(
             "unknown command '{other}' (try --help)"
         ))),
-    };
-    match result {
+    });
+    let code = match result {
         Ok(code) => code,
         Err(CliError::Runtime(msg)) => {
-            eprintln!("error: {msg}");
+            obs::error(|| msg);
             ExitCode::FAILURE
         }
         Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}");
+            obs::error(|| msg);
             ExitCode::from(2)
         }
+    };
+    obs::flush();
+    code
+}
+
+/// Strips the global observability flags — they apply to every
+/// subcommand, before dispatch — and installs the sinks: the console
+/// (always; it listens to log events only, so it never enables hot-path
+/// telemetry) and the optional `--trace-out` JSONL stream.
+fn setup_obs(args: &mut Vec<String>) -> Result<(), CliError> {
+    let console = Arc::new(obs::ConsoleSink::new(obs::Level::Info));
+    obs::install(console.clone());
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--log-level" => {
+                let level = args
+                    .get(i + 1)
+                    .and_then(|v| obs::Level::parse(v))
+                    .ok_or_else(|| usage("--log-level", "expects quiet, info or debug"))?;
+                console.set_level(level);
+                args.drain(i..i + 2);
+            }
+            "--trace-out" => {
+                let path = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| usage("--trace-out", "expects a path"))?;
+                trace_out = Some(path.clone());
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
     }
+    if let Some(path) = trace_out {
+        let sink = obs::JsonlSink::create(&path)
+            .map_err(|e| runtime(format!("cannot create trace file {path}: {e}")))?;
+        obs::install(Arc::new(sink));
+        obs::debug(|| format!("tracing structured events to {path}"));
+    }
+    Ok(())
 }
 
 fn print_usage() {
@@ -95,7 +148,12 @@ fn print_usage() {
          [--checkpoint-every <k>] [--resume <file>] [--on-degrade fail|sequential]\n  \
          unicon ftwc --n <N> --time <t> [--epsilon <e>]\n  \
          unicon bench-build [--n-list <N1,N2,…>] [--epsilon <e>]\n          \
-         [--out <file>] [--json]\n\n\
+         [--out <file>] [--json]\n  \
+         unicon metrics [--ftwc <N>] [--time-bounds <t1,…>] [--epsilon <e>]\n          \
+         [--threads <n>]\n\n\
+         GLOBAL FLAGS (any command):\n  \
+         --log-level quiet|info|debug   stderr console verbosity (default info)\n  \
+         --trace-out <file.jsonl>       stream structured events as JSON lines\n\n\
          `bench-build` times the compositional FTWC construction per phase\n\
          (generate/compose/minimize/transform/precompute) with both the\n\
          worklist and the reference refiner, checks that the two quotients\n\
@@ -110,6 +168,11 @@ fn print_usage() {
          selects the guarded engine: per-iteration numeric health checks,\n\
          budget stops with partial lower/upper bounds (exit 3), periodic\n\
          checkpoints, and bitwise-identical resume from a checkpoint.\n\n\
+         `reach --residuals-out <csv>` records the per-iteration\n\
+         convergence stream (unprocessed Poisson mass + value checksum);\n\
+         `metrics` runs an FTWC reach workload with the metrics registry\n\
+         installed and prints a Prometheus-style text exposition.\n\
+         Telemetry is bit-invisible: results are unchanged by any sink.\n\n\
          Exit codes: 0 ok, 1 runtime error, 2 usage error, 3 partial result.\n\n\
          Models use the extended Aldebaran format: interactive transitions\n\
          as (from, \"label\", to), Markov transitions as (from, \"rate λ\", to),\n\
@@ -488,6 +551,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
             "--epsilon",
             "--json",
             "--values-out",
+            "--residuals-out",
             "--max-iters",
             "--timeout",
             "--checkpoint",
@@ -519,7 +583,9 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
         match guard {
             None => {
                 // plain batched engine with full phase-timing stats
-                let bench = experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads);
+                let (bench, events) = run_collected(&cli, || {
+                    experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads)
+                });
                 let initial = bench.initial;
                 emit_results(
                     &cli,
@@ -528,6 +594,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
                     initial,
                     &bounds,
                 )?;
+                write_residuals(&cli, &events, &bounds)?;
                 Ok(ExitCode::SUCCESS)
             }
             Some(spec) => {
@@ -582,13 +649,15 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
         let initial = out.ctmdp.initial();
         match guard {
             None => {
-                let res = batch.run().map_err(runtime)?;
+                let (res, events) = run_collected(&cli, || batch.run());
+                let res = res.map_err(runtime)?;
                 let json = format!(
                     "{{\"model\":\"{path}\",\"states\":{},\"epsilon\":{epsilon:e},\"reach\":{}}}",
                     out.ctmdp.num_states(),
                     export::batch_to_json(&res, initial)
                 );
                 emit_results(&cli, &json, &res.results, initial, &bounds)?;
+                write_residuals(&cli, &events, &bounds)?;
                 Ok(ExitCode::SUCCESS)
             }
             Some(spec) => {
@@ -610,14 +679,14 @@ fn run_guarded_reach(
     meta: &str,
     epsilon: f64,
 ) -> Result<ExitCode, CliError> {
-    let run: GuardedRun = match spec.resume {
+    let (run, events) = run_collected(cli, || match spec.resume {
         Some(path) => batch.resume(path, &spec.options),
         None => batch.run_guarded(&spec.options),
-    }
-    .map_err(runtime)?;
+    });
+    let run: GuardedRun = run.map_err(runtime)?;
 
     for ev in &run.events {
-        eprintln!("note: {ev}");
+        obs::info(|| format!("note: {ev}"));
     }
 
     let mut json = format!(
@@ -663,31 +732,75 @@ fn run_guarded_reach(
     }
     json.push('}');
     emit_results(cli, &json, &run.results, initial, bounds)?;
+    write_residuals(cli, &events, bounds)?;
 
     match run.stopped {
         None => Ok(ExitCode::SUCCESS),
         Some((reason, partial)) => {
             if let Some(p) = partial {
-                eprintln!(
-                    "partial: stopped by {} during query {} (t = {}) after {}/{} steps; \
-                     value at initial state is in [{:.6e}, {:.6e}]",
-                    reason.as_str(),
-                    p.query,
-                    p.t,
-                    p.completed_steps,
-                    p.total_steps,
-                    p.lower[initial as usize],
-                    p.upper[initial as usize]
-                );
+                obs::info(|| {
+                    format!(
+                        "partial: stopped by {} during query {} (t = {}) after {}/{} steps; \
+                         value at initial state is in [{:.6e}, {:.6e}]",
+                        reason.as_str(),
+                        p.query,
+                        p.t,
+                        p.completed_steps,
+                        p.total_steps,
+                        p.lower[initial as usize],
+                        p.upper[initial as usize]
+                    )
+                });
             } else {
-                eprintln!("partial: stopped by {}", reason.as_str());
+                obs::info(|| format!("partial: stopped by {}", reason.as_str()));
             }
             if spec.options.checkpoint.is_some() {
-                eprintln!("resume with: unicon reach … --resume <checkpoint>");
+                obs::info(|| "resume with: unicon reach … --resume <checkpoint>".into());
             }
             Ok(ExitCode::from(3))
         }
     }
+}
+
+/// Runs `f` under an event collector when `--residuals-out` asks for the
+/// iteration stream (collection forces telemetry live even with no
+/// trace sink installed); otherwise runs it plain, at zero extra cost.
+fn run_collected<T>(cli: &Cli<'_>, f: impl FnOnce() -> T) -> (T, Vec<obs::Event>) {
+    if cli.value("--residuals-out").is_some() {
+        obs::collect(f)
+    } else {
+        (f(), Vec::new())
+    }
+}
+
+/// Writes the `--residuals-out` CSV: one row per value-iteration step,
+/// with the convergence residual (unprocessed Poisson mass) and the
+/// deterministic value checksum of the step's iterate.
+fn write_residuals(cli: &Cli<'_>, events: &[obs::Event], bounds: &[f64]) -> Result<(), CliError> {
+    let Some(path) = cli.value("--residuals-out") else {
+        return Ok(());
+    };
+    let mut csv = String::from("query,t,step,psi,residual,checksum\n");
+    for ev in events {
+        if let obs::Event::ReachIteration {
+            query,
+            step,
+            psi,
+            residual,
+            checksum,
+        } = ev
+        {
+            let t = bounds.get(*query).copied().unwrap_or(f64::NAN);
+            writeln!(
+                csv,
+                "{query},{t},{step},{psi:e},{residual:e},{checksum:016x}"
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    std::fs::write(path, csv).map_err(|e| runtime(format!("cannot write {path}: {e}")))?;
+    obs::info(|| format!("wrote {path}"));
+    Ok(())
 }
 
 /// Emits the JSON payload (stdout or `--json <file>`), the per-query
@@ -703,17 +816,19 @@ fn emit_results(
     if let Some(out_path) = cli.value("--json") {
         std::fs::write(out_path, format!("{json}\n"))
             .map_err(|e| runtime(format!("cannot write {out_path}: {e}")))?;
-        eprintln!("wrote {out_path}");
+        obs::info(|| format!("wrote {out_path}"));
     } else {
         println!("{json}");
     }
     for (t, r) in bounds.iter().zip(results) {
-        eprintln!(
-            "t = {t}: value {:.10e} ({} iterations, {:?})",
-            r.from_state(initial),
-            r.iterations,
-            r.runtime
-        );
+        obs::info(|| {
+            format!(
+                "t = {t}: value {:.10e} ({} iterations, {:?})",
+                r.from_state(initial),
+                r.iterations,
+                r.runtime
+            )
+        });
     }
     if let Some(dump_path) = cli.value("--values-out") {
         let mut dump = String::new();
@@ -725,7 +840,7 @@ fn emit_results(
         }
         std::fs::write(dump_path, dump)
             .map_err(|e| runtime(format!("cannot write {dump_path}: {e}")))?;
-        eprintln!("wrote {dump_path}");
+        obs::info(|| format!("wrote {dump_path}"));
     }
     Ok(())
 }
@@ -757,25 +872,72 @@ fn cmd_bench_build(args: &[String]) -> Result<ExitCode, CliError> {
     let out = cli.value("--out").unwrap_or("BENCH_build.json");
     std::fs::write(out, format!("{json}\n"))
         .map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
-    eprintln!("wrote {out}");
+    obs::info(|| format!("wrote {out}"));
     if cli.has("--json") {
         println!("{json}");
     }
     for r in &rows {
-        eprintln!(
-            "N={}: {} states; generate {:.1} ms, compose {:.1} ms, \
-             minimize {:.1} ms (reference refiner {:.1} ms), \
-             transform {:.1} ms, precompute {:.1} ms",
-            r.n,
-            r.states,
-            r.timings.generate.as_secs_f64() * 1e3,
-            r.timings.compose.as_secs_f64() * 1e3,
-            r.timings.minimize.as_secs_f64() * 1e3,
-            r.minimize_reference.as_secs_f64() * 1e3,
-            r.transform.as_secs_f64() * 1e3,
-            r.precompute.as_secs_f64() * 1e3,
-        );
+        obs::info(|| {
+            format!(
+                "N={}: {} states; generate {:.1} ms, compose {:.1} ms, \
+                 minimize {:.1} ms (reference refiner {:.1} ms), \
+                 transform {:.1} ms, precompute {:.1} ms; \
+                 {} refiner rounds over {} dirty states",
+                r.n,
+                r.states,
+                r.timings.generate.as_secs_f64() * 1e3,
+                r.timings.compose.as_secs_f64() * 1e3,
+                r.timings.minimize.as_secs_f64() * 1e3,
+                r.minimize_reference.as_secs_f64() * 1e3,
+                r.transform.as_secs_f64() * 1e3,
+                r.precompute.as_secs_f64() * 1e3,
+                r.refine_rounds,
+                r.refine_dirty_states,
+            )
+        });
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `unicon metrics`: run an FTWC reach workload with the metrics
+/// registry installed as a sink and print the aggregated Prometheus-style
+/// text exposition to stdout.
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(
+        args,
+        &["--ftwc", "--time-bounds", "--epsilon", "--threads"],
+        &[],
+    )?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "metrics: unexpected argument '{extra}'"
+        )));
+    }
+    let n = cli
+        .value("--ftwc")
+        .map_or(Ok(1), |s| parse_usize("--ftwc", s))?;
+    let bounds: Vec<f64> = cli
+        .value("--time-bounds")
+        .unwrap_or("10")
+        .split(',')
+        .map(|p| parse_time("--time-bounds", p.trim()))
+        .collect::<Result<_, _>>()?;
+    let epsilon = epsilon_or_default(&cli)?;
+    let threads = cli
+        .value("--threads")
+        .map_or(Ok(1), |s| parse_usize("--threads", s))?;
+
+    let registry = Arc::new(obs::Registry::new());
+    obs::install(registry.clone());
+    let bench = experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads);
+    obs::debug(|| {
+        format!(
+            "metrics workload: FTWC N={n}, {} states, {} queries",
+            bench.states,
+            bounds.len()
+        )
+    });
+    print!("{}", registry.exposition());
     Ok(ExitCode::SUCCESS)
 }
 
