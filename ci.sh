@@ -132,4 +132,44 @@ if ! grep -q '"parent":[0-9]' "$CI_DIR/bench_build.jsonl"; then
 fi
 echo "bench-build trace covers all five phases with nested spans"
 
+echo "==> proof-chain audit gate (certify FTWC N=2, certificate round-trip)"
+# The certified compositional route must produce a gap-free obligation
+# chain that the independent checker replays with zero failures, the
+# JSONL certificate must re-check clean, and the JSON payload must parse.
+./target/release/unicon audit --ftwc 2 --cert-out "$CI_DIR/ftwc2.cert.jsonl" \
+    --json 2>/dev/null > "$CI_DIR/audit.json"
+if ! grep -q '"certified":true' "$CI_DIR/audit.json"; then
+    echo "FAIL: FTWC N=2 proof chain did not certify"
+    exit 1
+fi
+if ! grep -q '"handoff_ok":true' "$CI_DIR/audit.json"; then
+    echo "FAIL: prepared CTMDP is not the one the ledger certifies"
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); \
+assert d["certified"] and all(s["ok"] for s in d["steps"]), "failed obligations"' \
+        "$CI_DIR/audit.json" || { echo "FAIL: audit --json is malformed"; exit 1; }
+fi
+./target/release/unicon audit --cert "$CI_DIR/ftwc2.cert.jsonl" >/dev/null 2>&1 || {
+    echo "FAIL: written certificate does not re-check clean"
+    exit 1
+}
+# A truncated certificate must be rejected (nonzero exit).
+tail -n +2 "$CI_DIR/ftwc2.cert.jsonl" > "$CI_DIR/ftwc2.truncated.jsonl"
+if ./target/release/unicon audit --cert "$CI_DIR/ftwc2.truncated.jsonl" >/dev/null 2>&1; then
+    echo "FAIL: truncated certificate re-checked clean"
+    exit 1
+fi
+echo "FTWC N=2 proof chain certified; certificate round-trips and tampering is caught"
+
+echo "==> determinism source lint gate"
+./target/release/unicon det-lint --deny warnings 2>/dev/null
+./target/release/unicon det-lint --json 2>/dev/null > "$CI_DIR/detlint.json"
+if ! grep -q '"count":0' "$CI_DIR/detlint.json"; then
+    echo "FAIL: determinism hazards in the tree"
+    exit 1
+fi
+echo "det-lint clean under --deny warnings"
+
 echo "CI OK"

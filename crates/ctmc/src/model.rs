@@ -103,6 +103,24 @@ impl Ctmc {
         self.exit_rates[s]
     }
 
+    /// A structural fingerprint: FNV-1a over the state count, the initial
+    /// state and the sorted `(source, rate, target)` triplets (rates by bit
+    /// pattern). Two CTMCs with equal fingerprints are structurally
+    /// identical for certification purposes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = unicon_numeric::fnv::Fnv64::new();
+        h.write(b"ctmc-v1");
+        h.write_u64(self.num_states() as u64);
+        h.write_u32(self.initial);
+        h.write_u64(self.rates.nnz() as u64);
+        for (s, t, r) in self.rates.triplets() {
+            h.write_u32(s as u32);
+            h.write_f64(r);
+            h.write_u32(t as u32);
+        }
+        h.finish()
+    }
+
     /// The maximal exit rate over all states.
     pub fn max_exit_rate(&self) -> f64 {
         self.exit_rates.iter().copied().fold(0.0, f64::max)

@@ -169,6 +169,7 @@ impl RunBudget {
 
     /// Sets a deadline `timeout` from now.
     pub fn with_timeout(self, timeout: Duration) -> Self {
+        // det-lint: allow(clock): deadlines are the budget feature's job.
         self.with_deadline(Instant::now() + timeout)
     }
 
@@ -194,6 +195,7 @@ impl RunBudget {
             }
         }
         if let Some(deadline) = self.wall_deadline {
+            // det-lint: allow(clock): deadlines are the budget feature's job.
             if Instant::now() >= deadline {
                 return Some(StopReason::DeadlineExpired);
             }
@@ -1113,6 +1115,15 @@ fn run_guarded_inner(
     let pre = Precompute::new(batch.ctmdp, &batch.goal)?;
     let n = batch.ctmdp.num_states();
     let mut workers = resolve_threads(batch.threads).min(n).max(1);
+    // A planned worker panic names a specific worker index, so the planned
+    // pool must actually spawn: honor the literal thread request even on
+    // hardware with fewer cores (results are thread-count invariant).
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = &guard.fault_plan {
+        if plan.panic_worker_at.is_some() {
+            workers = batch.threads.min(n).max(1);
+        }
+    }
     let every = guard.checkpoint.as_ref().map_or(1, |c| c.every.max(1));
 
     let mut results: Vec<ReachResult> = Vec::new();
@@ -1155,7 +1166,7 @@ fn run_guarded_inner(
 
     for qi in start_query..batch.queries.len() {
         let query = batch.queries[qi];
-        let query_start = Instant::now();
+        let query_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
         if query.t == 0.0 || pre.rate == 0.0 {
             results.push(indicator_result(&batch.goal, pre.rate));
             write_checkpoint(batch, &pre, guard, &results, None, qi, 0, &mut events)?;

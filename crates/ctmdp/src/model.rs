@@ -219,6 +219,40 @@ impl Ctmdp {
         &self.rate_functions[idx as usize]
     }
 
+    /// A structural fingerprint: FNV-1a over the state count, the initial
+    /// state, the action names, the per-state transition lists and the
+    /// rate-function pool (rates by bit pattern). Used by the certification
+    /// layer (`unicon-verify::certify`) to tie a recorded `transform`
+    /// obligation to the CTMDP actually produced.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = unicon_numeric::fnv::Fnv64::new();
+        h.write(b"ctmdp-v1");
+        h.write_u64(self.num_states as u64);
+        h.write_u32(self.initial);
+        h.write_u64(self.actions.len() as u64);
+        for (_, name) in self.actions.iter() {
+            h.write(name.as_bytes());
+            h.write(&[0xff]);
+        }
+        h.write_u64(self.rate_functions.len() as u64);
+        for rf in &self.rate_functions {
+            h.write_u64(rf.targets().len() as u64);
+            for &(t, r) in rf.targets() {
+                h.write_u32(t);
+                h.write_f64(r);
+            }
+        }
+        for s in 0..self.num_states as u32 {
+            let trs = self.transitions_from(s);
+            h.write_u64(trs.len() as u64);
+            for tr in trs {
+                h.write_u32(tr.action.0);
+                h.write_u32(tr.rate_fn);
+            }
+        }
+        h.finish()
+    }
+
     /// Transitions emanating from `state` (the paper's `R(s)`).
     pub fn transitions_from(&self, state: u32) -> &[TransitionRef] {
         let s = state as usize;

@@ -47,12 +47,16 @@ use crate::reachability::{
 pub const CHECKSUM_BLOCK: usize = 1024;
 
 /// Resolves a `threads` request: `0` means "one worker per available
-/// hardware thread".
+/// hardware thread", and explicit requests are clamped to the hardware —
+/// oversubscribing workers onto fewer cores only adds scheduling noise
+/// (results are thread-count invariant either way, so the clamp is
+/// observable only in [`BatchStats::threads`] and wall time).
 pub fn resolve_threads(threads: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
     if threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
+        avail
     } else {
-        threads
+        threads.min(avail)
     }
 }
 
@@ -82,7 +86,7 @@ pub fn timed_reachability_par(
     if t == 0.0 || pre.rate == 0.0 {
         return Ok(indicator_result(goal, pre.rate));
     }
-    let start = Instant::now();
+    let start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
     let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
     Ok(run_query(
@@ -418,7 +422,7 @@ impl<'a> ReachBatch<'a> {
         }
         let threads = resolve_threads(self.threads);
 
-        let pre_start = Instant::now();
+        let pre_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
         let pre_span = unicon_obs::open_span("precompute");
         let pre = Precompute::new(self.ctmdp, &self.goal)?;
         let _ = unicon_obs::close_span(pre_span);
@@ -436,7 +440,7 @@ impl<'a> ReachBatch<'a> {
             let result = if q.t == 0.0 || pre.rate == 0.0 {
                 indicator_result(&self.goal, pre.rate)
             } else {
-                let w_start = Instant::now();
+                let w_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
                 let cached = cache.get(pre.rate, q.t, self.epsilon).clone();
                 weights_time += w_start.elapsed();
                 unicon_obs::emit(unicon_obs::Class::Iter, || unicon_obs::Event::QueryStart {
@@ -456,7 +460,7 @@ impl<'a> ReachBatch<'a> {
                     &opts,
                     threads,
                     qi,
-                    Instant::now(),
+                    Instant::now(), // det-lint: allow(clock): event timestamp only.
                 )
             };
             iterate_time += result.runtime;
@@ -643,7 +647,7 @@ mod tests {
                 c.stats.queries[i].checksum.to_bits()
             );
         }
-        assert_eq!(b.stats.threads, 2);
+        assert_eq!(b.stats.threads, resolve_threads(2));
     }
 
     #[test]
@@ -672,8 +676,13 @@ mod tests {
     }
 
     #[test]
-    fn resolve_threads_auto_is_positive() {
+    fn resolve_threads_auto_is_positive_and_clamped() {
+        let avail = std::thread::available_parallelism().map_or(1, usize::from);
         assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), avail);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(3), 3.min(avail));
+        // An absurd request never exceeds the hardware.
+        assert_eq!(resolve_threads(usize::MAX), avail);
     }
 }

@@ -320,7 +320,7 @@ pub fn timed_reachability(
         return Ok(indicator_result(goal, pre.rate));
     }
 
-    let start = Instant::now();
+    let start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
     let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
     Ok(iterate_sequential(

@@ -7,6 +7,7 @@ use unicon_ctmc::transient::{self, TransientOptions};
 use unicon_ctmdp::export;
 use unicon_ctmdp::par::BatchResult;
 use unicon_ctmdp::reachability::ReachResult;
+use unicon_imc::audit::{with_recording, Obligation};
 
 use crate::compositional::{self, BuildTimings};
 use crate::generator;
@@ -130,6 +131,28 @@ pub fn prepare(params: &FtwcParams) -> (PreparedModel, Duration) {
     let prepared =
         PreparedModel::new(&model.uniform, &model.premium_down).expect("FTWC transforms cleanly");
     (prepared, start.elapsed())
+}
+
+/// Builds the FTWC through the *certified* compositional route — shared
+/// elapse constraint, parallel composition, hiding, labeled minimization,
+/// transformation — with obligation recording on, and returns the prepared
+/// model together with the complete proof ledger.
+///
+/// Unlike [`prepare`] (which uses the direct generator for speed), every
+/// construction step here is a certified operator, so the returned ledger
+/// forms a gap-free chain that `unicon_verify::certify` can replay — the
+/// driver behind `unicon audit --ftwc`.
+///
+/// # Panics
+///
+/// Panics if the composed model fails to transform (cannot happen for
+/// well-formed parameters).
+pub fn certified_prepare(params: &FtwcParams) -> (PreparedModel, Vec<Obligation>) {
+    with_recording(|| {
+        let model = compositional::build_shared_timer(params);
+        let closed = model.uniform.close();
+        PreparedModel::new(&closed, &model.premium_down).expect("FTWC transforms cleanly")
+    })
 }
 
 /// Builds the FTWC for `params`, transforms it, and answers all

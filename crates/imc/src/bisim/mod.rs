@@ -248,6 +248,8 @@ pub fn quotient(imc: &Imc, partition: &Partition, view: View) -> Imc {
                     .or_default()
                     .add(t.rate);
             }
+            // det-lint: allow(hash-iter): `from_raw` sorts the Markov
+            // relation, so this iteration order never reaches the output.
             for (c, acc) in per_block {
                 let rate = acc.value();
                 if rate > 0.0 {
@@ -291,6 +293,19 @@ pub fn minimize(imc: &Imc, view: View) -> Imc {
     let part = stochastic_branching_bisimulation(imc, view);
     let out = quotient(imc, &part, view).restrict_to_reachable();
     crate::audit::preserves_uniformity("minimize (Lemma 3)", view, &[imc], &out);
+    crate::audit::record(
+        "minimize",
+        crate::audit::lemma::LEMMA3,
+        view,
+        &[imc],
+        &out,
+        crate::audit::Witness::Minimize {
+            view,
+            block: part.block.clone(),
+            num_blocks: part.num_blocks,
+            labels: None,
+        },
+    );
     out
 }
 
@@ -344,6 +359,19 @@ pub fn minimize_labeled_with(
         .map(|&b| block_labels[b as usize])
         .collect();
     crate::audit::preserves_uniformity("minimize_labeled (Lemma 3)", view, &[imc], &reduced);
+    crate::audit::record(
+        "minimize_labeled",
+        crate::audit::lemma::LEMMA3,
+        view,
+        &[imc],
+        &reduced,
+        crate::audit::Witness::Minimize {
+            view,
+            block: part.block.clone(),
+            num_blocks: part.num_blocks,
+            labels: Some(labels.to_vec()),
+        },
+    );
     (reduced, new_labels)
 }
 

@@ -238,7 +238,7 @@ fn rate_profile(m: &Imc, part: &Partition, s: u32) -> Vec<(u32, u64)> {
             .add(t.rate);
     }
     let mut v: Vec<(u32, u64)> = per_block
-        .into_iter()
+        .into_iter() // det-lint: allow(hash-iter): collected and sorted below.
         .map(|(b, r)| (b, quantize(r.value())))
         .collect();
     v.sort_unstable();

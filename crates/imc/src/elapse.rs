@@ -89,6 +89,19 @@ pub fn elapse(ph: &UniformPhaseType, f: &str, r: &str) -> Imc {
             .is_some_and(|r| unicon_numeric::rates_approx_eq(r, ph.rate())),
         "elapse must be uniform at the phase-type's uniformization rate"
     );
+    crate::audit::record(
+        "elapse",
+        crate::audit::lemma::ELAPSE,
+        crate::model::View::Open,
+        &[],
+        &out,
+        crate::audit::Witness::Elapse {
+            rate: ph.rate(),
+            gate: f.to_string(),
+            restart: r.to_string(),
+            phase_fingerprint: chain.fingerprint(),
+        },
+    );
     out
 }
 
@@ -165,6 +178,14 @@ pub fn shared_elapse(branches: &[(&str, &str, &UniformPhaseType)]) -> Imc {
             .rate()
             .is_some_and(|r| unicon_numeric::rates_approx_eq(r, e)),
         "shared_elapse must be uniform at the branches' shared rate"
+    );
+    crate::audit::record(
+        "shared_elapse",
+        crate::audit::lemma::ELAPSE,
+        crate::model::View::Open,
+        &[],
+        &out,
+        crate::audit::Witness::SharedElapse { rate: e },
     );
     out
 }

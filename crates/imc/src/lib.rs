@@ -43,7 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
-mod audit;
+pub mod audit;
 pub mod bisim;
 pub mod elapse;
 pub mod io;

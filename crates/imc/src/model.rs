@@ -168,13 +168,22 @@ impl Imc {
     /// Embeds an LTS as an IMC without Markov transitions — uniform with
     /// rate `E = 0` by definition.
     pub fn from_lts(lts: &Lts) -> Self {
-        Self::from_raw(
+        let out = Self::from_raw(
             lts.actions().clone(),
             lts.num_states(),
             lts.initial(),
             lts.transitions().to_vec(),
             Vec::new(),
-        )
+        );
+        crate::audit::record(
+            "from_lts",
+            crate::audit::lemma::LEAF,
+            View::Open,
+            &[],
+            &out,
+            crate::audit::Witness::Lts,
+        );
+        out
     }
 
     /// Embeds a CTMC as an IMC without interactive transitions.
@@ -188,13 +197,24 @@ impl Imc {
                 target: t as u32,
             })
             .collect();
-        Self::from_raw(
+        let out = Self::from_raw(
             ActionTable::new(),
             ctmc.num_states(),
             ctmc.initial(),
             Vec::new(),
             markov,
-        )
+        );
+        crate::audit::record(
+            "from_ctmc",
+            crate::audit::lemma::LEAF,
+            View::Open,
+            &[],
+            &out,
+            crate::audit::Witness::Ctmc {
+                ctmc_fingerprint: ctmc.fingerprint(),
+            },
+        );
+        out
     }
 
     /// Number of states.
@@ -376,6 +396,39 @@ impl Imc {
     /// Shorthand: is the model uniform (Definition 4) under `view`?
     pub fn is_uniform(&self, view: View) -> bool {
         self.uniformity(view).is_uniform()
+    }
+
+    /// A reproducible 64-bit structural fingerprint (FNV-1a) over the state
+    /// count, initial state, action names and both transition relations in
+    /// their canonical sorted order, with rates hashed bit-exactly.
+    ///
+    /// Two IMCs have equal fingerprints exactly when they are structurally
+    /// identical (up to hash collisions); the certificate chain of
+    /// `unicon-verify::certify` uses fingerprints to link each construction
+    /// step's output to the next step's input.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = unicon_numeric::fnv::Fnv64::new();
+        h.write(b"imc-v1");
+        h.write_u64(self.num_states as u64);
+        h.write_u32(self.initial);
+        h.write_u64(self.actions.len() as u64);
+        for (_, name) in self.actions.iter() {
+            h.write(name.as_bytes());
+            h.write(&[0xff]);
+        }
+        h.write_u64(self.interactive.len() as u64);
+        for t in &self.interactive {
+            h.write_u32(t.source);
+            h.write_u32(t.action.0);
+            h.write_u32(t.target);
+        }
+        h.write_u64(self.markov.len() as u64);
+        for m in &self.markov {
+            h.write_u32(m.source);
+            h.write_f64(m.rate);
+            h.write_u32(m.target);
+        }
+        h.finish()
     }
 }
 

@@ -27,6 +27,16 @@ impl Imc {
             .collect();
         let out = self.map_actions(|id| if hidden.contains(&id) { None } else { Some(id) });
         crate::audit::preserves_uniformity("hide (Lemma 1)", View::Open, &[self], &out);
+        crate::audit::record(
+            "hide",
+            crate::audit::lemma::LEMMA1,
+            View::Open,
+            &[self],
+            &out,
+            crate::audit::Witness::Hide {
+                hidden: actions.iter().map(|a| a.to_string()).collect(),
+            },
+        );
         out
     }
 
@@ -36,6 +46,20 @@ impl Imc {
     pub fn hide_all(&self) -> Imc {
         let out = self.map_actions(|_| None);
         crate::audit::preserves_uniformity("hide_all (Lemma 1)", View::Open, &[self], &out);
+        crate::audit::record(
+            "hide_all",
+            crate::audit::lemma::LEMMA1,
+            View::Open,
+            &[self],
+            &out,
+            crate::audit::Witness::Hide {
+                hidden: self
+                    .actions()
+                    .visible()
+                    .map(|(_, n)| n.to_string())
+                    .collect(),
+            },
+        );
         out
     }
 
@@ -65,13 +89,27 @@ impl Imc {
                 target: t.target,
             })
             .collect();
-        Imc::from_raw(
+        let out = Imc::from_raw(
             new_actions,
             self.num_states(),
             self.initial(),
             interactive,
             self.markov().to_vec(),
-        )
+        );
+        crate::audit::record(
+            "relabel",
+            crate::audit::lemma::RELABEL,
+            View::Open,
+            &[self],
+            &out,
+            crate::audit::Witness::Relabel {
+                map: map
+                    .iter()
+                    .map(|(f, t)| (f.to_string(), t.to_string()))
+                    .collect(),
+            },
+        );
+        out
     }
 
     /// Internal helper: re-map every action id; `None` means "becomes τ".
@@ -260,6 +298,16 @@ impl Imc {
         let n = states.len();
         let out = Imc::from_raw(actions, n, 0, interactive, markov);
         crate::audit::preserves_uniformity("parallel (Lemma 2)", View::Open, &[self, other], &out);
+        crate::audit::record(
+            "parallel",
+            crate::audit::lemma::LEMMA2,
+            View::Open,
+            &[self, other],
+            &out,
+            crate::audit::Witness::Parallel {
+                sync: sync.iter().map(|a| a.to_string()).collect(),
+            },
+        );
         (out, states)
     }
 

@@ -1,0 +1,117 @@
+//! FNV-1a 64-bit hashing: the workspace's structural-fingerprint and
+//! checksum-trailer hash.
+//!
+//! FNV-1a is deliberately simple: a fixed offset basis, one multiply per
+//! byte, no per-process seed. That makes every fingerprint reproducible
+//! across runs, platforms and thread counts — exactly the property the
+//! certificate chain (`unicon-verify::certify`) and the checkpoint trailer
+//! (`unicon-ctmdp::guard`) need, and the opposite of what `std`'s seeded
+//! `DefaultHasher` provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use unicon_numeric::fnv::Fnv64;
+//!
+//! let mut h = Fnv64::new();
+//! h.write(b"hello");
+//! assert_eq!(h.finish(), unicon_numeric::fnv::fnv1a64(b"hello"));
+//! ```
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x100_0000_01b3;
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A streaming FNV-1a 64 hasher.
+///
+/// Multi-byte integers are fed little-endian, so fingerprints are
+/// platform-independent; floats are hashed by their IEEE-754 bit pattern
+/// (bit-exact, distinguishing `0.0` from `-0.0` and every NaN payload).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(OFFSET_BASIS)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn integers_are_little_endian() {
+        let mut a = Fnv64::new();
+        a.write_u32(0x0403_0201);
+        let mut b = Fnv64::new();
+        b.write(&[1, 2, 3, 4]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn floats_hash_bit_exact() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

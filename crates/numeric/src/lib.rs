@@ -10,7 +10,9 @@
 //! * [`approx`] — tolerance-based floating point comparisons used pervasively
 //!   in tests,
 //! * [`special`] — the few special functions needed (`ln_gamma`, Poisson pmf
-//!   and cdf in log space, Erlang cdf).
+//!   and cdf in log space, Erlang cdf),
+//! * [`fnv`] — seedless FNV-1a 64 hashing for reproducible structural
+//!   fingerprints and checksum trailers.
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod fnv;
 pub mod foxglynn;
 pub mod rng;
 pub mod special;

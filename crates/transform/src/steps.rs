@@ -495,6 +495,18 @@ pub fn transform(imc: &Imc) -> Result<TransformOutput, TransformError> {
         })
         .collect();
 
+    unicon_imc::audit::record(
+        "transform",
+        unicon_imc::audit::lemma::THEOREM1,
+        View::Closed,
+        &[imc],
+        &strictly_alternating,
+        unicon_imc::audit::Witness::Transform {
+            ctmdp_fingerprint: ctmdp.fingerprint(),
+            rate: ctmdp.uniform_rate().ok(),
+        },
+    );
+
     let (markov_states, interactive_states, _, _) = strictly_alternating.kind_counts();
     let stats = TransformStats {
         interactive_states,

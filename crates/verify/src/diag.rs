@@ -63,11 +63,28 @@ pub enum Code {
     /// (weak/branching signatures, maximal-progress analyses) each walk
     /// the whole component — quadratic blow-up in the SCC size.
     U010,
+    /// A τ-divergence trap: a reachable τ-SCC no member of which offers a
+    /// visible action or an interactive escape — maximal progress pre-empts
+    /// every Markov rate forever, so the model livelocks in zero time.
+    U011,
+    /// Component states that appear in no reachable product state: the
+    /// synchronization structurally excludes part of a component.
+    U012,
+    /// Spurious nondeterminism in a closed model: a state's τ-branches are
+    /// confluent (they commit to the same stable states), so the
+    /// nondeterminism is an artifact, not a real decision.
+    U013,
+    /// Fox–Glynn truncation risk: the requested epsilon is below what the
+    /// weights can certify at the analysis's `E·t`.
+    U014,
+    /// Certificate gap: a pipeline object with no obligation on file — an
+    /// off-ledger construction step broke the proof chain.
+    U015,
 }
 
 impl Code {
     /// All codes, in order.
-    pub const ALL: [Code; 10] = [
+    pub const ALL: [Code; 15] = [
         Code::U001,
         Code::U002,
         Code::U003,
@@ -78,6 +95,11 @@ impl Code {
         Code::U008,
         Code::U009,
         Code::U010,
+        Code::U011,
+        Code::U012,
+        Code::U013,
+        Code::U014,
+        Code::U015,
     ];
 
     /// The code as printed, e.g. `"U001"`.
@@ -93,6 +115,11 @@ impl Code {
             Code::U008 => "U008",
             Code::U009 => "U009",
             Code::U010 => "U010",
+            Code::U011 => "U011",
+            Code::U012 => "U012",
+            Code::U013 => "U013",
+            Code::U014 => "U014",
+            Code::U015 => "U015",
         }
     }
 
@@ -109,6 +136,11 @@ impl Code {
             Code::U008 => "interactive cycle (Zeno) or pre-empted Markov rates",
             Code::U009 => "rate spread exceeds Fox–Glynn resolution at default epsilon",
             Code::U010 => "large τ-SCC makes per-state τ-closures quadratic",
+            Code::U011 => "τ-divergence trap: maximal progress livelocks the model",
+            Code::U012 => "component states excluded from every product state",
+            Code::U013 => "confluent τ-branches: spurious nondeterminism in a closed model",
+            Code::U014 => "epsilon below the Fox–Glynn certifiable floor at E·t",
+            Code::U015 => "certificate gap: construction step with no obligation on file",
         }
     }
 }

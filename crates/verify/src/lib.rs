@@ -20,6 +20,11 @@
 //! | U008 | error/info | interactive cycle (Zeno) / pre-empted Markov rates |
 //! | U009 | warning | rate spread exceeds Fox–Glynn resolution at default epsilon |
 //! | U010 | warning | large τ-SCC makes per-state τ-closures quadratic |
+//! | U011 | error | τ-divergence trap: maximal progress livelocks the model |
+//! | U012 | warning | component states excluded from every product state |
+//! | U013 | info | confluent τ-branches: spurious nondeterminism in a closed model |
+//! | U014 | warning | epsilon below the Fox–Glynn certifiable floor at `E·t` |
+//! | U015 | error | certificate gap: construction step with no obligation on file |
 //!
 //! A model "lints clean" when no errors **and** no warnings fire
 //! ([`Report::is_clean`]); informational findings are always allowed.
@@ -27,6 +32,14 @@
 //! All rate comparisons use the workspace-wide tolerance policy
 //! [`rates_approx_eq`] (re-exported from `unicon-numeric`), so the lints
 //! can never disagree with the model types' own uniformity checks.
+//!
+//! Beyond the lint passes, [`certify`] replays the obligation ledger that
+//! the certified construction operators record (`unicon_imc::audit`) and
+//! independently re-establishes every claim — the machine-checkable side
+//! of "uniformity by construction". [`srclint`] is the companion *source*
+//! lint: it scans this workspace's own code for determinism hazards
+//! (hash-order iteration, wall-clock reads, naive float reductions on hot
+//! paths) that would silently undermine replayability.
 //!
 //! # Examples
 //!
@@ -47,12 +60,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 mod diag;
 mod lints;
+pub mod srclint;
 
+pub use certify::{certify, AuditOutcome, StepVerdict};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use lints::{
-    lint_alternation, lint_ctmc, lint_ctmdp, lint_imc, lint_transform_output, LintOptions,
+    lint_alternation, lint_ctmc, lint_ctmdp, lint_imc, lint_product, lint_transform_output,
+    lint_truncation, LintOptions,
 };
 // The shared tolerance policy all rate comparisons go through.
 pub use unicon_numeric::{rate_tolerance, rates_approx_eq, RATE_RTOL};

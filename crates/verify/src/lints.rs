@@ -96,10 +96,10 @@ fn reachable_interactive_cycle(imc: &Imc, reachable: &[bool], tau_only: bool) ->
     None
 }
 
-/// The reachable τ-strongly-connected components with more than
-/// [`TAU_SCC_LIMIT`] states, each sorted ascending (Kosaraju's two-pass
-/// algorithm, iterative).
-fn large_tau_sccs(imc: &Imc, reachable: &[bool]) -> Vec<Vec<u32>> {
+/// All reachable τ-strongly-connected components with at least two states,
+/// each sorted ascending (Kosaraju's two-pass algorithm, iterative).
+/// Singleton SCCs with a τ self-loop also count as nontrivial.
+fn nontrivial_tau_sccs(imc: &Imc, reachable: &[bool]) -> Vec<Vec<u32>> {
     let n = imc.num_states();
     let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -156,7 +156,12 @@ fn large_tau_sccs(imc: &Imc, reachable: &[bool]) -> Vec<Vec<u32>> {
                 }
             }
         }
-        if scc.len() > TAU_SCC_LIMIT {
+        let self_loop = scc.len() == 1
+            && imc
+                .interactive_from(scc[0])
+                .iter()
+                .any(|t| t.action.is_tau() && t.target == scc[0]);
+        if scc.len() > 1 || self_loop {
             scc.sort_unstable();
             out.push(scc);
         }
@@ -164,9 +169,45 @@ fn large_tau_sccs(imc: &Imc, reachable: &[bool]) -> Vec<Vec<u32>> {
     out
 }
 
+/// Whether a τ-SCC is a *divergence trap*: no member offers a visible
+/// action and no member has an interactive transition leaving the SCC.
+/// Maximal progress then pre-empts every Markov rate forever.
+fn is_tau_trap(imc: &Imc, scc: &[u32]) -> bool {
+    let inside = |s: u32| scc.binary_search(&s).is_ok();
+    scc.iter().all(|&s| {
+        imc.interactive_from(s)
+            .iter()
+            .all(|t| t.action.is_tau() && inside(t.target))
+    })
+}
+
+/// The stable states (under `view`) reachable from `from` via τ-only
+/// interactive paths, sorted ascending. `from` itself is included if
+/// stable.
+fn tau_stable_closure(imc: &Imc, view: View, from: u32) -> Vec<u32> {
+    let mut seen = vec![false; imc.num_states()];
+    let mut out = Vec::new();
+    let mut stack = vec![from];
+    seen[from as usize] = true;
+    while let Some(s) = stack.pop() {
+        if imc.is_stable(s, view) {
+            out.push(s);
+        }
+        for t in imc.interactive_from(s) {
+            if t.action.is_tau() && !seen[t.target as usize] {
+                seen[t.target as usize] = true;
+                stack.push(t.target);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Lints an IMC: uniformity (U001), rate well-formedness (U003),
 /// closedness (U004), deadlocks (U006), unreachable states (U007),
-/// Zeno/pre-emption findings (U008) and large τ-SCCs (U010).
+/// Zeno/pre-emption findings (U008), large τ-SCCs (U010), τ-divergence
+/// traps (U011) and confluent τ-branches (U013).
 ///
 /// # Examples
 ///
@@ -354,32 +395,185 @@ pub fn lint_imc(imc: &Imc, opts: &LintOptions) -> Report {
         );
     }
 
-    // U010: large τ-SCCs. Every member's τ-closure covers the whole
-    // component, so weak/branching signature refinement and
-    // maximal-progress analyses redo Ω(|SCC|²) work per round — a
-    // construction-performance smell on top of the semantic τ-cycle
-    // finding (U008).
-    for scc in large_tau_sccs(imc, &reachable) {
+    // U010 / U011: τ-SCC findings. U010 is the performance smell (large
+    // components make closure-based analyses quadratic); U011 is the
+    // semantic trap — a component nobody can leave and that offers no
+    // visible action livelocks the model under maximal progress, pre-empting
+    // its Markov rates forever.
+    for scc in nontrivial_tau_sccs(imc, &reachable) {
+        if scc.len() > TAU_SCC_LIMIT {
+            r.push(
+                Diagnostic::new(
+                    Code::U010,
+                    Severity::Warning,
+                    format!(
+                        "τ-strongly-connected component spans {} states (> {TAU_SCC_LIMIT}): \
+                         each member's τ-closure walks the whole component, making \
+                         closure-based analyses quadratic in its size: {}",
+                        scc.len(),
+                        fmt_states(&scc)
+                    ),
+                )
+                .with_state(scc[0])
+                .with_hint(
+                    "minimize the components before composing — weak bisimulation collapses \
+                     a τ-SCC to a single state",
+                ),
+            );
+        }
+        if is_tau_trap(imc, &scc) {
+            r.push(
+                Diagnostic::new(
+                    Code::U011,
+                    Severity::Error,
+                    format!(
+                        "τ-divergence trap: the {} states {} form a τ-SCC with no visible \
+                         action and no interactive escape, so maximal progress pre-empts \
+                         every Markov rate forever (livelock in zero time)",
+                        scc.len(),
+                        fmt_states(&scc)
+                    ),
+                )
+                .with_state(scc[0])
+                .with_hint(
+                    "break the internal cycle with a Markov delay, or leave one of the \
+                     cycle's actions visible so the environment can interrupt it",
+                ),
+            );
+        }
+    }
+
+    // U013: confluent τ-branches. A state whose τ-alternatives all commit
+    // to the same stable states is not a real decision point — IOSA-style
+    // confluence says the nondeterminism is an artifact of interleaving.
+    // Informational: harmless for worst-case analyses (every resolution
+    // yields the same measure) but worth collapsing before scaling up.
+    let mut confluent: Vec<u32> = Vec::new();
+    for s in 0..imc.num_states() as u32 {
+        if !reachable[s as usize] {
+            continue;
+        }
+        let mut tau_targets: Vec<u32> = imc
+            .interactive_from(s)
+            .iter()
+            .filter(|t| t.action.is_tau() && t.target != s)
+            .map(|t| t.target)
+            .collect();
+        tau_targets.sort_unstable();
+        tau_targets.dedup();
+        if tau_targets.len() < 2 {
+            continue;
+        }
+        let first = tau_stable_closure(imc, opts.view, tau_targets[0]);
+        if !first.is_empty()
+            && tau_targets[1..]
+                .iter()
+                .all(|&t| tau_stable_closure(imc, opts.view, t) == first)
+        {
+            confluent.push(s);
+        }
+    }
+    if !confluent.is_empty() {
         r.push(
             Diagnostic::new(
-                Code::U010,
-                Severity::Warning,
+                Code::U013,
+                Severity::Info,
                 format!(
-                    "τ-strongly-connected component spans {} states (> {TAU_SCC_LIMIT}): \
-                     each member's τ-closure walks the whole component, making \
-                     closure-based analyses quadratic in its size: {}",
-                    scc.len(),
-                    fmt_states(&scc)
+                    "{} states have confluent τ-branches (all alternatives commit to the \
+                     same stable states): {} — the nondeterminism is spurious",
+                    confluent.len(),
+                    fmt_states(&confluent)
                 ),
             )
-            .with_state(scc[0])
+            .with_state(confluent[0])
             .with_hint(
-                "minimize the components before composing — weak bisimulation collapses \
-                 a τ-SCC to a single state",
+                "branching-bisimulation minimization merges confluent branches; run \
+                 minimize() before the transformation",
             ),
         );
     }
 
+    r
+}
+
+/// Lints a parallel composition's product map (U012): component states that
+/// appear in **no** product state. The synchronization set then structurally
+/// excludes part of a component — usually a misspelled action name or a
+/// constraint wired to the wrong restart action.
+///
+/// `map[p] = (l, r)` gives the component states of product state `p`, as
+/// returned by `Imc::parallel_with_map`; `left`/`right` are the component
+/// state counts.
+pub fn lint_product(left: usize, right: usize, map: &[(u32, u32)]) -> Report {
+    let mut r = Report::new();
+    let mut seen_l = vec![false; left];
+    let mut seen_r = vec![false; right];
+    for &(l, rr) in map {
+        if let Some(slot) = seen_l.get_mut(l as usize) {
+            *slot = true;
+        }
+        if let Some(slot) = seen_r.get_mut(rr as usize) {
+            *slot = true;
+        }
+    }
+    for (side, seen, n) in [("left", &seen_l, left), ("right", &seen_r, right)] {
+        let missing: Vec<u32> = (0..n as u32).filter(|&s| !seen[s as usize]).collect();
+        if !missing.is_empty() {
+            r.push(
+                Diagnostic::new(
+                    Code::U012,
+                    Severity::Warning,
+                    format!(
+                        "{} of {n} {side}-component states appear in no product state: {}",
+                        missing.len(),
+                        fmt_states(&missing)
+                    ),
+                )
+                .with_state(missing[0])
+                .with_hint(
+                    "the synchronization set excludes these states structurally — check \
+                     the synchronized action names and the components' initial states",
+                ),
+            );
+        }
+    }
+    r
+}
+
+/// Lints a transient analysis request against the Fox–Glynn certifiable
+/// floor (U014): at uniformization rate `E` and horizon `t`, the weights
+/// can only certify truncation error down to
+/// `FoxGlynn::min_certifiable_epsilon(E·t)`; a tighter `epsilon` silently
+/// degrades to the floor (or fails), so the reported precision is a lie.
+pub fn lint_truncation(ctmdp: &Ctmdp, t: f64, epsilon: f64) -> Report {
+    let mut r = Report::new();
+    let Ok(rate) = ctmdp.uniform_rate() else {
+        // Non-uniform models are U001 territory (lint_ctmdp); without a
+        // single E there is no λ = E·t to condition on.
+        return r;
+    };
+    let lambda = rate * t;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return r;
+    }
+    let floor = unicon_numeric::foxglynn::FoxGlynn::min_certifiable_epsilon(lambda);
+    if epsilon < floor {
+        r.push(
+            Diagnostic::new(
+                Code::U014,
+                Severity::Warning,
+                format!(
+                    "requested epsilon {epsilon:e} is below the Fox–Glynn certifiable \
+                     floor {floor:.3e} at λ = E·t = {lambda} (E = {rate}, t = {t}): the \
+                     truncation window cannot guarantee that precision"
+                ),
+            )
+            .with_hint(
+                "raise epsilon to at least the floor, or shorten the horizon / lower the \
+                 uniform rate (e.g. via a coarser shared_elapse timer)",
+            ),
+        );
+    }
     r
 }
 

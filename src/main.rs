@@ -10,6 +10,9 @@
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
 //! unicon bench-build --n-list 1,2 [--json]       construction benchmark
 //! unicon metrics --ftwc 1 --time-bounds 10       metrics exposition
+//! unicon audit --ftwc 2 [--cert-out c.jsonl]     certify the proof chain
+//! unicon audit --cert c.jsonl                    re-check a certificate
+//! unicon det-lint [--deny warnings]              determinism source lint
 //! ```
 //!
 //! Models are read in the extended Aldebaran format of `unicon-imc::io`
@@ -39,9 +42,10 @@ use unicon::ctmdp::guard::{CheckpointConfig, DegradePolicy, GuardOptions, Guarde
 use unicon::ctmdp::par::ReachBatch;
 use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions, ReachResult};
 use unicon::ftwc::{experiment, FtwcParams};
+use unicon::imc::audit::Witness;
 use unicon::imc::{analysis, io, Imc, View};
 use unicon::transform::transform;
-use unicon::verify::{lint_imc, LintOptions};
+use unicon::verify::{certify, lint_imc, lint_truncation, srclint, LintOptions};
 
 /// A classified CLI failure: usage errors (exit 2) are the caller's
 /// fault — malformed or semantically invalid arguments — while runtime
@@ -70,6 +74,8 @@ fn main() -> ExitCode {
         Some("ftwc") => cmd_ftwc(&args[1..]),
         Some("bench-build") => cmd_bench_build(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("det-lint") => cmd_det_lint(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -150,7 +156,10 @@ fn print_usage() {
          unicon bench-build [--n-list <N1,N2,…>] [--epsilon <e>]\n          \
          [--out <file>] [--json]\n  \
          unicon metrics [--ftwc <N>] [--time-bounds <t1,…>] [--epsilon <e>]\n          \
-         [--threads <n>]\n\n\
+         [--threads <n>]\n  \
+         unicon audit (--ftwc <N> | --cert <file.jsonl>)\n          \
+         [--cert-out <file.jsonl>] [--time <t>] [--epsilon <e>] [--json]\n  \
+         unicon det-lint [--root <dir>] [--deny warnings] [--json]\n\n\
          GLOBAL FLAGS (any command):\n  \
          --log-level quiet|info|debug   stderr console verbosity (default info)\n  \
          --trace-out <file.jsonl>       stream structured events as JSON lines\n\n\
@@ -173,6 +182,23 @@ fn print_usage() {
          `metrics` runs an FTWC reach workload with the metrics registry\n\
          installed and prints a Prometheus-style text exposition.\n\
          Telemetry is bit-invisible: results are unchanged by any sink.\n\n\
+         `audit --ftwc N` rebuilds the FTWC through the certified\n\
+         compositional route with obligation recording on, then replays\n\
+         every recorded step with the independent checker: fingerprints,\n\
+         rate arithmetic, quotient maps (re-derived with the reference\n\
+         refiner), the CTMDP extraction, and chain completeness (U015).\n\
+         --cert-out writes the certificate as JSON lines; `audit --cert`\n\
+         re-checks such a file at the record level. Nonzero exit when any\n\
+         obligation fails. --time/--epsilon add the U014 Fox–Glynn\n\
+         truncation-risk check for the query you intend to run.\n\n\
+         `det-lint` scans the workspace sources (crates/*/src and src/)\n\
+         for determinism hazards: hash-order iteration, wall-clock reads\n\
+         and un-compensated float sums on hot paths, entropy-seeded RNG\n\
+         anywhere. Waive a finding with a\n\
+         `// det-lint: allow(<rule>): <reason>` comment.\n\n\
+         --threads 0 (the default) uses one worker per hardware thread;\n\
+         explicit requests are clamped to the hardware. Results are\n\
+         bitwise identical for every thread count.\n\n\
          Exit codes: 0 ok, 1 runtime error, 2 usage error, 3 partial result.\n\n\
          Models use the extended Aldebaran format: interactive transitions\n\
          as (from, \"label\", to), Markov transitions as (from, \"rate λ\", to),\n\
@@ -575,7 +601,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
     let epsilon = epsilon_or_default(&cli)?;
     let threads = cli
         .value("--threads")
-        .map_or(Ok(1), |s| parse_usize("--threads", s))?;
+        .map_or(Ok(0), |s| parse_usize("--threads", s))?;
     let guard = guard_spec(&cli)?;
 
     if let Some(nspec) = cli.value("--ftwc") {
@@ -925,7 +951,7 @@ fn cmd_metrics(args: &[String]) -> Result<ExitCode, CliError> {
     let epsilon = epsilon_or_default(&cli)?;
     let threads = cli
         .value("--threads")
-        .map_or(Ok(1), |s| parse_usize("--threads", s))?;
+        .map_or(Ok(0), |s| parse_usize("--threads", s))?;
 
     let registry = Arc::new(obs::Registry::new());
     obs::install(registry.clone());
@@ -958,4 +984,213 @@ fn cmd_ftwc(args: &[String]) -> Result<ExitCode, CliError> {
         "worst-case P(premium lost within {t} h) = {p:.10e} ({iters} iterations, {runtime:?})"
     );
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// audit: certify the construction proof chain
+// ---------------------------------------------------------------------------
+
+/// `unicon audit`: either rebuild the FTWC through the certified
+/// compositional route and replay every recorded obligation with the
+/// independent checker (`--ftwc N`), or re-check a certificate file at
+/// the record level (`--cert file.jsonl`). Nonzero exit when the chain
+/// does not certify.
+fn cmd_audit(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(
+        args,
+        &["--ftwc", "--cert", "--cert-out", "--time", "--epsilon"],
+        &["--json"],
+    )?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "audit: unexpected argument '{extra}'"
+        )));
+    }
+    match (cli.value("--ftwc"), cli.value("--cert")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "audit takes either --ftwc or --cert, not both".into(),
+        )),
+        (None, None) => Err(CliError::Usage(
+            "audit needs --ftwc <N> or --cert <file.jsonl>".into(),
+        )),
+        (Some(nspec), None) => {
+            let n = parse_usize("--ftwc", nspec)?;
+            if n == 0 {
+                return Err(usage("--ftwc", "N must be at least 1"));
+            }
+            audit_ftwc(&cli, n)
+        }
+        (None, Some(path)) => audit_cert_file(&cli, path),
+    }
+}
+
+fn audit_ftwc(cli: &Cli<'_>, n: usize) -> Result<ExitCode, CliError> {
+    let (prepared, obligations) = experiment::certified_prepare(&FtwcParams::new(n));
+    obs::info(|| {
+        format!(
+            "FTWC N={n}: {} construction obligations on file, CTMDP {} states",
+            obligations.len(),
+            prepared.ctmdp.num_states()
+        )
+    });
+    let mut outcome = certify(&obligations);
+
+    // The model the analysis engines will consume must be the one the
+    // ledger proves: the final transform witness pins its fingerprint.
+    let witness_fp = obligations.iter().rev().find_map(|ob| match &ob.witness {
+        Witness::Transform {
+            ctmdp_fingerprint, ..
+        } => Some(*ctmdp_fingerprint),
+        _ => None,
+    });
+    let prepared_fp = prepared.ctmdp.fingerprint();
+    let handoff_ok = witness_fp == Some(prepared_fp);
+    if !handoff_ok {
+        obs::error(|| {
+            format!(
+                "prepared CTMDP fingerprint {prepared_fp:016x} is not the one the \
+                 ledger certifies ({witness_fp:?})"
+            )
+        });
+    }
+
+    // Optional conditioning for the query the user intends to run: is the
+    // requested truncation error certifiable at E·t?
+    if let Some(tspec) = cli.value("--time") {
+        let t = parse_time("--time", tspec)?;
+        let epsilon = epsilon_or_default(cli)?;
+        outcome
+            .report
+            .merge(lint_truncation(&prepared.ctmdp, t, epsilon));
+    }
+
+    if let Some(out_path) = cli.value("--cert-out") {
+        let recs = unicon::verify::certify::records(&obligations);
+        std::fs::write(out_path, unicon::verify::certify::to_jsonl(&recs))
+            .map_err(|e| runtime(format!("cannot write {out_path}: {e}")))?;
+        obs::info(|| format!("wrote {} certificate records to {out_path}", recs.len()));
+    }
+
+    let certified = outcome.is_certified() && handoff_ok;
+    if cli.has("--json") {
+        // Splice the handoff verdict into the outcome's own JSON.
+        let json = outcome.to_json();
+        let rest = json
+            .strip_prefix("{\"certified\":")
+            .and_then(|r| r.split_once(','))
+            .map(|(_, rest)| rest.to_owned())
+            .unwrap_or_default();
+        println!(
+            "{{\"certified\":{certified},\"handoff_ok\":{handoff_ok},\
+             \"ctmdp_fingerprint\":\"{prepared_fp:016x}\",{rest}"
+        );
+    } else {
+        for s in &outcome.steps {
+            if s.ok {
+                println!("  ok   #{:<3} {:<14} {}", s.id, s.op, s.lemma);
+            } else {
+                println!("  FAIL #{:<3} {:<14} {}", s.id, s.op, s.lemma);
+                for f in &s.failures {
+                    println!("         - {f}");
+                }
+            }
+        }
+        for d in outcome.report.diagnostics() {
+            println!("{d}");
+        }
+        println!(
+            "{} of {} obligations verified; CTMDP fingerprint {prepared_fp:016x}",
+            outcome.steps.iter().filter(|s| s.ok).count(),
+            outcome.steps.len()
+        );
+    }
+    if certified {
+        obs::info(|| format!("FTWC N={n}: proof chain certified"));
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err(runtime(format!(
+            "audit failed: {} obligation(s) failed, {} chain error(s)",
+            outcome.failed().len(),
+            outcome.report.num_errors()
+        )))
+    }
+}
+
+fn audit_cert_file(cli: &Cli<'_>, path: &str) -> Result<ExitCode, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("cannot read {path}: {e}")))?;
+    let recs =
+        unicon::verify::certify::parse_jsonl(&text).map_err(|e| runtime(format!("{path}: {e}")))?;
+    let report = unicon::verify::certify::check_records(&recs);
+    if cli.has("--json") {
+        println!(
+            "{{\"certified\":{},\"records\":{},\"report\":{}}}",
+            !report.has_errors(),
+            recs.len(),
+            report.to_json()
+        );
+    } else {
+        for d in report.diagnostics() {
+            println!("{d}");
+        }
+        println!(
+            "{path}: {} records, {} error(s), {} warning(s)",
+            recs.len(),
+            report.num_errors(),
+            report.num_warnings()
+        );
+    }
+    if report.has_errors() {
+        Err(runtime(format!(
+            "certificate re-check failed with {} error(s)",
+            report.num_errors()
+        )))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `unicon det-lint`: scan the workspace's own sources for determinism
+/// hazards. Findings are warnings; `--deny warnings` turns any finding
+/// into a nonzero exit (the CI gate).
+fn cmd_det_lint(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--root", "--deny"], &["--json"])?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "det-lint: unexpected argument '{extra}'"
+        )));
+    }
+    let deny_warnings = match cli.value("--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(usage("--deny", format!("'{other}' is not 'warnings'"))),
+    };
+    let root = std::path::Path::new(cli.value("--root").unwrap_or("."));
+    if !root.join("crates").is_dir() && !root.join("src").is_dir() {
+        return Err(usage(
+            "--root",
+            format!("{} does not look like the workspace root", root.display()),
+        ));
+    }
+    let findings = srclint::scan_workspace(root);
+    if cli.has("--json") {
+        println!("{}", srclint::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("det-lint clean");
+        } else {
+            println!("{} determinism hazard(s)", findings.len());
+        }
+    }
+    if deny_warnings && !findings.is_empty() {
+        Err(runtime(format!(
+            "det-lint failed with {} finding(s) (--deny warnings)",
+            findings.len()
+        )))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
