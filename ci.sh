@@ -163,6 +163,42 @@ if ./target/release/unicon audit --cert "$CI_DIR/ftwc2.truncated.jsonl" >/dev/nu
 fi
 echo "FTWC N=2 proof chain certified; certificate round-trips and tampering is caught"
 
+echo "==> serve protocol gate (golden JSONL session, FTWC N=4)"
+# The release-only acceptance test (100 queries against FTWC N=32,
+# serial + concurrent, exactly one build) rides along here.
+cargo test --release -q --test serve
+./target/release/unicon serve < tests/data/serve_session.jsonl 2>/dev/null \
+    > "$CI_DIR/serve_responses.jsonl"
+# Wall-clock fields and the effective thread count (clamped to the
+# machine's parallelism) are the only environment-dependent response
+# fields; normalize them, split off the metrics scrape, and require the
+# rest to match the checked-in golden byte for byte.
+sed -E 's/"(build|wall)_ms":[0-9.e-]+/"\1_ms":null/g;
+        s/"threads_effective":[0-9]+/"threads_effective":null/g' \
+    "$CI_DIR/serve_responses.jsonl" \
+    | grep -v '"ok":"metrics"' > "$CI_DIR/serve_normalized.jsonl"
+cmp tests/data/serve_golden.jsonl "$CI_DIR/serve_normalized.jsonl" || {
+    echo "FAIL: serve responses diverge from the golden session"
+    diff tests/data/serve_golden.jsonl "$CI_DIR/serve_normalized.jsonl" | head -20
+    exit 1
+}
+grep '"ok":"metrics"' "$CI_DIR/serve_responses.jsonl" > "$CI_DIR/serve_metrics.json"
+# Exposition newlines are JSON-escaped, so a literal '\n' in the needle
+# pins the exact counter value.
+for needle in \
+    'unicon_serve_registry_misses_total 1\n' \
+    'unicon_serve_registry_hits_total 1\n' \
+    'unicon_serve_requests_total 12\n' \
+    'unicon_serve_errors_total 3\n' \
+    'unicon_serve_partials_total 1\n' \
+    '# TYPE unicon_serve_active_sessions gauge'; do
+    grep -qF "$needle" "$CI_DIR/serve_metrics.json" || {
+        echo "FAIL: serve metrics exposition lacks '$needle'"
+        exit 1
+    }
+done
+echo "serve golden session matches; metrics exposition scraped clean"
+
 echo "==> determinism source lint gate"
 ./target/release/unicon det-lint --deny warnings 2>/dev/null
 ./target/release/unicon det-lint --json 2>/dev/null > "$CI_DIR/detlint.json"

@@ -178,8 +178,10 @@ pub fn scheduler_from_text(text: &str) -> Result<StepDependent, SchedulerParseEr
     Ok(StepDependent::new(decisions))
 }
 
-/// Renders a batch run's measurements as one JSON object: thread count,
-/// machine parallelism, per-phase timings in milliseconds, weight-cache
+/// Renders a batch run's measurements as one JSON object: requested and
+/// effective thread counts (the request before and after the
+/// `available_parallelism` clamp), machine parallelism, per-phase
+/// timings in milliseconds, weight-cache
 /// counters, and one entry per query carrying its iteration count, wall
 /// time, the value from state `initial` and the deterministic chunked
 /// checksum (hex-encoded bits, bitwise reproducible across thread counts).
@@ -207,10 +209,12 @@ pub fn batch_to_json(batch: &BatchResult, initial: u32) -> String {
         })
         .collect();
     format!(
-        "{{\"threads\":{},\"available_parallelism\":{},\"precompute_ms\":{},\
+        "{{\"threads_requested\":{},\"threads_effective\":{},\
+         \"available_parallelism\":{},\"precompute_ms\":{},\
          \"weights_ms\":{},\"iterate_ms\":{},\"cache_hits\":{},\"cache_misses\":{},\
          \"total_iterations\":{},\"queries\":[{}]}}",
-        s.threads,
+        s.threads_requested,
+        s.threads_effective,
         std::thread::available_parallelism().map_or(1, usize::from),
         ms(s.precompute_time),
         ms(s.weights_time),
@@ -334,7 +338,8 @@ mod tests {
             .unwrap();
         let json = batch_to_json(&out, m.initial());
         for needle in [
-            "\"threads\":1",
+            "\"threads_requested\":1",
+            "\"threads_effective\":1",
             "\"available_parallelism\":",
             "\"precompute_ms\":",
             "\"weights_ms\":",
@@ -347,5 +352,35 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    /// Regression: an over-subscribed request used to be silently
+    /// clamped and serialized as the clamped value, so the bench file
+    /// recorded `"threads":1` for a 4-thread request. Both numbers are
+    /// now reported separately.
+    #[test]
+    fn batch_json_keeps_requested_threads_distinct_from_effective() {
+        use crate::par::{resolve_threads, ReachBatch};
+
+        let m = sample();
+        let goal = [false, true, false];
+        let requested = 9999;
+        let out = ReachBatch::new(&m, &goal)
+            .with_threads(requested)
+            .query(1.0)
+            .run()
+            .unwrap();
+        let json = batch_to_json(&out, m.initial());
+        assert!(
+            json.contains(&format!("\"threads_requested\":{requested}")),
+            "raw request missing in {json}"
+        );
+        assert!(
+            json.contains(&format!(
+                "\"threads_effective\":{}",
+                resolve_threads(requested)
+            )),
+            "clamped effective count missing in {json}"
+        );
     }
 }

@@ -1101,18 +1101,28 @@ fn write_checkpoint(
     Ok(())
 }
 
-/// The shared driver behind [`ReachBatch::run_guarded`] and
-/// [`ReachBatch::resume`].
+/// The shared driver behind [`ReachBatch::run_guarded`],
+/// [`ReachBatch::run_guarded_with_engine`] and [`ReachBatch::resume`].
+/// `shared_pre` reuses a long-lived precomputation (the serve path);
+/// `None` builds a fresh one — the choice affects no result bit.
 fn run_guarded_inner(
     batch: &ReachBatch<'_>,
     guard: &GuardOptions,
     resume: Option<CheckpointData>,
+    shared_pre: Option<&Precompute>,
 ) -> Result<GuardedRun, GuardError> {
     validate_epsilon(batch.epsilon)?;
     for q in &batch.queries {
         validate_time(q.t)?;
     }
-    let pre = Precompute::new(batch.ctmdp, &batch.goal)?;
+    let built;
+    let pre: &Precompute = match shared_pre {
+        Some(p) => p,
+        None => {
+            built = Precompute::new(batch.ctmdp, &batch.goal)?;
+            &built
+        }
+    };
     let n = batch.ctmdp.num_states();
     let mut workers = resolve_threads(batch.threads).min(n).max(1);
     // A planned worker panic names a specific worker index, so the planned
@@ -1130,7 +1140,7 @@ fn run_guarded_inner(
     let mut events: Vec<GuardEvent> = Vec::new();
     let mut in_progress: Option<InProgress> = None;
     if let Some(ck) = resume {
-        ck.validate_against(batch, &pre)?;
+        ck.validate_against(batch, pre)?;
         for done in ck.completed {
             results.push(ReachResult {
                 values: done.values,
@@ -1169,7 +1179,7 @@ fn run_guarded_inner(
         let query_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
         if query.t == 0.0 || pre.rate == 0.0 {
             results.push(indicator_result(&batch.goal, pre.rate));
-            write_checkpoint(batch, &pre, guard, &results, None, qi, 0, &mut events)?;
+            write_checkpoint(batch, pre, guard, &results, None, qi, 0, &mut events)?;
             continue;
         }
 
@@ -1221,7 +1231,7 @@ fn run_guarded_inner(
                     make_partial(qi, query.t, &fg, k, i, &batch.goal, &q_next, batch.epsilon);
                 write_checkpoint(
                     batch,
-                    &pre,
+                    pre,
                     guard,
                     &results,
                     Some(InProgress {
@@ -1245,7 +1255,7 @@ fn run_guarded_inner(
             let psi = fg.psi(i);
             if let Err(worker) = guarded_step(
                 batch.ctmdp,
-                &pre,
+                pre,
                 &batch.goal,
                 psi,
                 &q_next,
@@ -1285,7 +1295,7 @@ fn run_guarded_inner(
                         // bitwise the step the workers should have done.
                         sequential_step(
                             batch.ctmdp,
-                            &pre,
+                            pre,
                             &batch.goal,
                             psi,
                             &q_next,
@@ -1317,7 +1327,7 @@ fn run_guarded_inner(
                     steps_since_ck = 0;
                     write_checkpoint(
                         batch,
-                        &pre,
+                        pre,
                         guard,
                         &results,
                         Some(InProgress {
@@ -1342,7 +1352,7 @@ fn run_guarded_inner(
             decisions: Vec::new(),
         });
         steps_since_ck = 0;
-        write_checkpoint(batch, &pre, guard, &results, None, qi, 0, &mut events)?;
+        write_checkpoint(batch, pre, guard, &results, None, qi, 0, &mut events)?;
     }
 
     Ok(GuardedRun {
@@ -1391,7 +1401,29 @@ impl ReachBatch<'_> {
     /// assert!(!partial.is_complete());
     /// ```
     pub fn run_guarded(&self, guard: &GuardOptions) -> Result<GuardedRun, GuardError> {
-        run_guarded_inner(self, guard, None)
+        run_guarded_inner(self, guard, None, None)
+    }
+
+    /// Runs the batch under guard options while reusing the shared
+    /// precomputation held by a long-lived [`ReachEngine`] — the serve
+    /// path, where one engine answers many budgeted requests without
+    /// rebuilding the uniformised matrix per request.
+    ///
+    /// The result is bitwise identical to [`ReachBatch::run_guarded`];
+    /// sharing the precomputation affects no result bit.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError::Reach`] when the engine was built for a different
+    /// model or goal set than this batch, plus every error
+    /// [`ReachBatch::run_guarded`] can return.
+    pub fn run_guarded_with_engine(
+        &self,
+        guard: &GuardOptions,
+        engine: &crate::par::ReachEngine,
+    ) -> Result<GuardedRun, GuardError> {
+        engine.check_compatible(self.ctmdp, &self.goal)?;
+        run_guarded_inner(self, guard, None, Some(&engine.pre))
     }
 
     /// Resumes a guarded run from a checkpoint written by an earlier
@@ -1414,7 +1446,7 @@ impl ReachBatch<'_> {
         guard: &GuardOptions,
     ) -> Result<GuardedRun, GuardError> {
         let data = CheckpointData::read(path.as_ref())?;
-        run_guarded_inner(self, guard, Some(data))
+        run_guarded_inner(self, guard, Some(data), None)
     }
 }
 
@@ -1463,6 +1495,47 @@ mod tests {
             let steps: usize = plain.results.iter().map(|r| r.iterations).sum();
             assert_eq!(guarded.health_checks, steps);
         }
+    }
+
+    #[test]
+    fn guarded_run_with_engine_matches_run_guarded_bitwise() {
+        use crate::par::ReachEngine;
+
+        let m = chain();
+        let goal = [false, false, true];
+        let engine = ReachEngine::new(&m, &goal).unwrap();
+        let batch = ReachBatch::new(&m, &goal)
+            .with_epsilon(1e-9)
+            .query(0.5)
+            .query(2.5)
+            .query_with(2.5, Objective::Minimize);
+        let fresh = batch.run_guarded(&GuardOptions::default()).unwrap();
+        let shared = batch
+            .run_guarded_with_engine(&GuardOptions::default(), &engine)
+            .unwrap();
+        assert!(shared.is_complete());
+        assert_eq!(shared.results.len(), fresh.results.len());
+        for (s, f) in shared.results.iter().zip(&fresh.results) {
+            assert_eq!(bits(&s.values), bits(&f.values));
+            assert_eq!(s.iterations, f.iterations);
+        }
+
+        // Budget exhaustion over a shared engine still yields the
+        // partial-result shape (the serve admission-control path).
+        let tight =
+            GuardOptions::default().with_budget(RunBudget::default().with_max_iterations(1));
+        let partial = batch.run_guarded_with_engine(&tight, &engine).unwrap();
+        let (reason, pq) = partial.stopped.expect("budget must stop the run");
+        assert_eq!(reason, StopReason::MaxIterations);
+        assert_eq!(pq.unwrap().completed_steps, 1);
+
+        // A mismatched engine is a typed error, not a wrong answer.
+        let other_goal = [true, false, false];
+        let other = ReachEngine::new(&m, &other_goal).unwrap();
+        let err = batch
+            .run_guarded_with_engine(&GuardOptions::default(), &other)
+            .unwrap_err();
+        assert!(matches!(err, GuardError::Reach(_)), "got {err:?}");
     }
 
     #[test]

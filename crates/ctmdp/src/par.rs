@@ -33,7 +33,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use unicon_numeric::{chunked_stable_sum, FoxGlynn, WeightCache};
+use unicon_numeric::{chunked_stable_sum, CachedWeights, FoxGlynn, WeightCache};
 use unicon_sparse::assign_blocks;
 
 use crate::model::Ctmdp;
@@ -288,8 +288,14 @@ pub struct QueryStats {
 /// Aggregate measurements of a batch run, for the BENCH trajectory.
 #[derive(Debug, Clone)]
 pub struct BatchStats {
-    /// Worker threads used per query (after resolving `0` = auto).
-    pub threads: usize,
+    /// Worker threads as requested by the caller (`0` = auto). Reported
+    /// separately from [`BatchStats::threads_effective`] so a clamp on
+    /// small hardware is visible instead of silently rewriting the
+    /// request in benchmark records.
+    pub threads_requested: usize,
+    /// Worker threads actually used per query (after resolving `0` =
+    /// auto and clamping to `available_parallelism`).
+    pub threads_effective: usize,
     /// Time spent building the shared CSR traversal structures.
     pub precompute_time: Duration,
     /// Time spent computing (or fetching) Fox–Glynn weight vectors.
@@ -416,20 +422,56 @@ impl<'a> ReachBatch<'a> {
     ///
     /// See [`crate::reachability::timed_reachability`].
     pub fn run(&self) -> Result<BatchResult, ReachError> {
+        let pre_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
+        let pre_span = unicon_obs::open_span("precompute");
+        let pre = Precompute::new(self.ctmdp, &self.goal)?;
+        let _ = unicon_obs::close_span(pre_span);
+        let precompute_time = pre_start.elapsed();
+        let mut cache = WeightCache::new();
+        self.run_inner(&pre, &mut cache, precompute_time)
+    }
+
+    /// Runs all queries against an externally owned [`ReachEngine`] and
+    /// weight cache: the engine's precomputation is reused (not rebuilt),
+    /// and the cache persists across calls — the amortization path of a
+    /// long-running query service, where one model answers many batches.
+    ///
+    /// Results are bitwise identical to [`ReachBatch::run`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ReachBatch::run`] returns, plus
+    /// [`ReachError::GoalLengthMismatch`] when the engine was built for a
+    /// different state count or goal than this batch's.
+    pub fn run_with_engine(
+        &self,
+        engine: &ReachEngine,
+        cache: &mut WeightCache,
+    ) -> Result<BatchResult, ReachError> {
+        engine.check_compatible(self.ctmdp, &self.goal)?;
+        self.run_inner(&engine.pre, cache, Duration::ZERO)
+    }
+
+    /// The shared driver behind [`ReachBatch::run`] and
+    /// [`ReachBatch::run_with_engine`]: `pre` may be freshly built or a
+    /// long-lived shared precomputation, `cache` a per-run or cross-run
+    /// weight table — neither choice affects any result bit.
+    fn run_inner(
+        &self,
+        pre: &Precompute,
+        cache: &mut WeightCache,
+        precompute_time: Duration,
+    ) -> Result<BatchResult, ReachError> {
         validate_epsilon(self.epsilon)?;
         for q in &self.queries {
             validate_time(q.t)?;
         }
         let threads = resolve_threads(self.threads);
 
-        let pre_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
-        let pre_span = unicon_obs::open_span("precompute");
-        let pre = Precompute::new(self.ctmdp, &self.goal)?;
-        let _ = unicon_obs::close_span(pre_span);
-        let precompute_time = pre_start.elapsed();
-
         let opts_base = ReachOptions::default().with_epsilon(self.epsilon);
-        let mut cache = WeightCache::new();
+        // The cache may be shared across many runs (a serve session);
+        // stats and counter events report this run's contribution only.
+        let (hits0, misses0) = (cache.hits(), cache.misses());
         let mut results = Vec::with_capacity(self.queries.len());
         let mut query_stats = Vec::with_capacity(self.queries.len());
         let mut weights_time = Duration::ZERO;
@@ -453,7 +495,7 @@ impl<'a> ReachBatch<'a> {
                 let opts = opts_base.with_objective(q.objective);
                 run_query(
                     self.ctmdp,
-                    &pre,
+                    pre,
                     &self.goal,
                     &cached.fg,
                     cached.truncation,
@@ -477,26 +519,194 @@ impl<'a> ReachBatch<'a> {
 
         unicon_obs::emit(unicon_obs::Class::Metric, || unicon_obs::Event::Counter {
             name: "weight_cache_hits",
-            value: cache.hits() as u64,
+            value: (cache.hits() - hits0) as u64,
         });
         unicon_obs::emit(unicon_obs::Class::Metric, || unicon_obs::Event::Counter {
             name: "weight_cache_misses",
-            value: cache.misses() as u64,
+            value: (cache.misses() - misses0) as u64,
         });
 
         Ok(BatchResult {
             results,
             stats: BatchStats {
-                threads,
+                threads_requested: self.threads,
+                threads_effective: threads,
                 precompute_time,
                 weights_time,
                 iterate_time,
-                cache_hits: cache.hits(),
-                cache_misses: cache.misses(),
+                cache_hits: cache.hits() - hits0,
+                cache_misses: cache.misses() - misses0,
                 total_iterations,
                 queries: query_stats,
             },
         })
+    }
+}
+
+/// A re-entrant query engine over one `(model, goal)` pair.
+///
+/// [`Precompute`] — the CSR traversal structures and the goal-row
+/// pre-aggregation every value-iteration step reads — is built **once**
+/// at construction and only ever read afterwards, so a `&ReachEngine`
+/// can answer queries from many threads concurrently without locking.
+/// This is the amortization core of a long-running reachability service:
+/// the model is prepared one time, after which every `(t, objective,
+/// epsilon)` query touches only immutable shared state plus its own
+/// iterate buffers.
+///
+/// # Determinism contract
+///
+/// Every query's arithmetic is confined to that query (snapshot reads,
+/// disjoint writes, fixed-block checksums), so the same query returns
+/// bitwise-identical values whether issued serially, interleaved with
+/// other queries, or at any worker-thread count — the same contract
+/// [`timed_reachability_par`] pins.
+///
+/// The engine does not borrow the model; calls pass `&Ctmdp` so the
+/// engine can live next to an owned model inside a registry entry. It is
+/// a contract violation to pass a different model than the one the
+/// engine was built from; the cheap structural guards ([`ReachError`]s)
+/// catch size mismatches, not content swaps.
+#[derive(Debug, Clone)]
+pub struct ReachEngine {
+    goal: Vec<bool>,
+    num_states: usize,
+    num_transitions: usize,
+    pub(crate) pre: Precompute,
+}
+
+impl ReachEngine {
+    /// Builds the shared precomputation for `(ctmdp, goal)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::GoalLengthMismatch`] or [`ReachError::NotUniform`]
+    /// under the conditions of
+    /// [`crate::reachability::timed_reachability`].
+    pub fn new(ctmdp: &Ctmdp, goal: &[bool]) -> Result<Self, ReachError> {
+        let pre = Precompute::new(ctmdp, goal)?;
+        Ok(Self {
+            goal: goal.to_vec(),
+            num_states: ctmdp.num_states(),
+            num_transitions: ctmdp.num_transitions(),
+            pre,
+        })
+    }
+
+    /// The uniform exit rate `E` of the model the engine was built from.
+    #[must_use]
+    pub fn uniform_rate(&self) -> f64 {
+        self.pre.rate
+    }
+
+    /// The goal vector the engine answers queries against.
+    #[must_use]
+    pub fn goal(&self) -> &[bool] {
+        &self.goal
+    }
+
+    /// Structural guard: the model and goal a caller supplies must match
+    /// the ones the engine was built from.
+    pub(crate) fn check_compatible(&self, ctmdp: &Ctmdp, goal: &[bool]) -> Result<(), ReachError> {
+        if ctmdp.num_states() != self.num_states
+            || ctmdp.num_transitions() != self.num_transitions
+            || goal != self.goal
+        {
+            return Err(ReachError::GoalLengthMismatch {
+                goal_len: goal.len(),
+                num_states: self.num_states,
+            });
+        }
+        Ok(())
+    }
+
+    /// Answers one query, computing the Fox–Glynn weights in place (no
+    /// cache). Bitwise identical to [`timed_reachability_par`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::InvalidTimeBound`] / [`ReachError::InvalidEpsilon`]
+    /// on bad parameters, [`ReachError::GoalLengthMismatch`] when
+    /// `ctmdp` is not the model the engine was built from.
+    pub fn query(
+        &self,
+        ctmdp: &Ctmdp,
+        t: f64,
+        objective: Objective,
+        epsilon: f64,
+        threads: usize,
+    ) -> Result<ReachResult, ReachError> {
+        validate_time(t)?;
+        validate_epsilon(epsilon)?;
+        self.check_compatible(ctmdp, &self.goal)?;
+        if t == 0.0 || self.pre.rate == 0.0 {
+            return Ok(indicator_result(&self.goal, self.pre.rate));
+        }
+        let fg = FoxGlynn::new(self.pre.rate * t);
+        let k = fg.right_truncation(epsilon);
+        let weights = CachedWeights { fg, truncation: k };
+        Ok(self.run_weighted(ctmdp, t, objective, epsilon, &weights, threads))
+    }
+
+    /// Answers one query from pre-fetched Fox–Glynn weights — the
+    /// cache-warm fast path of a query service, where `weights` comes
+    /// from a [`WeightCache`] shared across sessions. A cache hit is
+    /// bitwise indistinguishable from recomputation, so this returns the
+    /// exact bits [`ReachEngine::query`] returns.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReachEngine::query`]. The caller must have fetched
+    /// `weights` for `(self.uniform_rate(), t, epsilon)`; the cheap
+    /// guards here cannot detect a wrong-key vector.
+    pub fn query_with_weights(
+        &self,
+        ctmdp: &Ctmdp,
+        t: f64,
+        objective: Objective,
+        epsilon: f64,
+        weights: &CachedWeights,
+        threads: usize,
+    ) -> Result<ReachResult, ReachError> {
+        validate_time(t)?;
+        validate_epsilon(epsilon)?;
+        self.check_compatible(ctmdp, &self.goal)?;
+        if t == 0.0 || self.pre.rate == 0.0 {
+            return Ok(indicator_result(&self.goal, self.pre.rate));
+        }
+        Ok(self.run_weighted(ctmdp, t, objective, epsilon, weights, threads))
+    }
+
+    fn run_weighted(
+        &self,
+        ctmdp: &Ctmdp,
+        t: f64,
+        objective: Objective,
+        epsilon: f64,
+        weights: &CachedWeights,
+        threads: usize,
+    ) -> ReachResult {
+        unicon_obs::emit(unicon_obs::Class::Iter, || unicon_obs::Event::QueryStart {
+            query: 0,
+            t,
+            lambda: weights.fg.lambda(),
+            left: weights.fg.left_truncation(epsilon),
+            right: weights.truncation,
+        });
+        let opts = ReachOptions::default()
+            .with_epsilon(epsilon)
+            .with_objective(objective);
+        run_query(
+            ctmdp,
+            &self.pre,
+            &self.goal,
+            &weights.fg,
+            weights.truncation,
+            &opts,
+            threads,
+            0,
+            Instant::now(), // det-lint: allow(clock): runtime telemetry only.
+        )
     }
 }
 
@@ -647,7 +857,158 @@ mod tests {
                 c.stats.queries[i].checksum.to_bits()
             );
         }
-        assert_eq!(b.stats.threads, resolve_threads(2));
+        assert_eq!(b.stats.threads_effective, resolve_threads(2));
+    }
+
+    /// The PR-6 clamp made `BatchStats` silently record the *effective*
+    /// thread count under the requested one's name (BENCH_reach.json's
+    /// `threads4` block said `"threads":1` on 1-CPU hardware). Both
+    /// numbers are now first-class: the request verbatim, the resolution
+    /// separately.
+    #[test]
+    fn batch_reports_requested_and_effective_threads() {
+        let m = chain();
+        let goal = [false, false, true];
+        let out = ReachBatch::new(&m, &goal)
+            .with_threads(4)
+            .query(1.0)
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.threads_requested, 4);
+        assert_eq!(out.stats.threads_effective, resolve_threads(4));
+        // auto (0) stays visible as the literal request
+        let auto = ReachBatch::new(&m, &goal)
+            .with_threads(0)
+            .query(1.0)
+            .run()
+            .unwrap();
+        assert_eq!(auto.stats.threads_requested, 0);
+        assert_eq!(auto.stats.threads_effective, resolve_threads(0));
+        // an oversubscribed request is never silently rewritten
+        let big = ReachBatch::new(&m, &goal)
+            .with_threads(9999)
+            .query(1.0)
+            .run()
+            .unwrap();
+        assert_eq!(big.stats.threads_requested, 9999);
+        assert!(big.stats.threads_effective <= 9999);
+    }
+
+    #[test]
+    fn engine_queries_match_batch_bitwise() {
+        let m = chain();
+        let goal = [false, false, true];
+        let eps = 1e-9;
+        let engine = ReachEngine::new(&m, &goal).unwrap();
+        let opts = ReachOptions::default().with_epsilon(eps);
+        for t in [0.0, 0.5, 2.0, 7.0] {
+            let single = timed_reachability(&m, &goal, t, &opts).unwrap();
+            for threads in [1, 2, 8] {
+                let r = engine
+                    .query(&m, t, Objective::Maximize, eps, threads)
+                    .unwrap();
+                assert_eq!(bits(&r.values), bits(&single.values), "t {t}");
+                assert_eq!(r.iterations, single.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_weights_path_matches_uncached_path() {
+        let m = chain();
+        let goal = [false, false, true];
+        let eps = 1e-8;
+        let engine = ReachEngine::new(&m, &goal).unwrap();
+        let mut cache = WeightCache::new();
+        for t in [1.0, 3.0, 1.0] {
+            let w = cache.get(engine.uniform_rate(), t, eps).clone();
+            let warm = engine
+                .query_with_weights(&m, t, Objective::Minimize, eps, &w, 2)
+                .unwrap();
+            let cold = engine.query(&m, t, Objective::Minimize, eps, 2).unwrap();
+            assert_eq!(bits(&warm.values), bits(&cold.values), "t {t}");
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    /// `&ReachEngine` is shared across threads: concurrent queries read
+    /// the one precomputation and still return the serial bits.
+    #[test]
+    fn engine_is_reentrant_across_threads() {
+        let m = chain();
+        let goal = [false, false, true];
+        let eps = 1e-9;
+        let engine = ReachEngine::new(&m, &goal).unwrap();
+        let serial: Vec<Vec<u64>> = (1..=6)
+            .map(|i| {
+                let r = engine
+                    .query(&m, f64::from(i) * 0.5, Objective::Maximize, eps, 1)
+                    .unwrap();
+                bits(&r.values)
+            })
+            .collect();
+        let concurrent: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..=6)
+                .map(|i| {
+                    let (engine, m) = (&engine, &m);
+                    scope.spawn(move || {
+                        let r = engine
+                            .query(m, f64::from(i) * 0.5, Objective::Maximize, eps, 2)
+                            .unwrap();
+                        bits(&r.values)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, concurrent);
+    }
+
+    #[test]
+    fn run_with_engine_shares_cache_and_matches_run() {
+        let m = chain();
+        let goal = [false, false, true];
+        let engine = ReachEngine::new(&m, &goal).unwrap();
+        let mut cache = WeightCache::new();
+        let batch = ReachBatch::new(&m, &goal)
+            .with_epsilon(1e-8)
+            .query(1.0)
+            .query(2.0);
+        let plain = batch.run().unwrap();
+        let first = batch.run_with_engine(&engine, &mut cache).unwrap();
+        let second = batch.run_with_engine(&engine, &mut cache).unwrap();
+        for (a, b) in plain.results.iter().zip(&first.results) {
+            assert_eq!(bits(&a.values), bits(&b.values));
+        }
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(bits(&a.values), bits(&b.values));
+        }
+        // the cache persisted: the second run answers both bounds warm,
+        // and per-run stats report deltas, not lifetime totals
+        assert_eq!((first.stats.cache_hits, first.stats.cache_misses), (0, 2));
+        assert_eq!((second.stats.cache_hits, second.stats.cache_misses), (2, 0));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_model_or_goal() {
+        let m = chain();
+        let goal = [false, false, true];
+        let engine = ReachEngine::new(&m, &goal).unwrap();
+        let mut other = CtmdpBuilder::new(2, 0);
+        other.transition(0, "a", &[(1, 1.0)]);
+        other.transition(1, "a", &[(1, 1.0)]);
+        let other = other.build();
+        assert!(matches!(
+            engine.query(&other, 1.0, Objective::Maximize, 1e-6, 1),
+            Err(ReachError::GoalLengthMismatch { .. })
+        ));
+        let batch = ReachBatch::new(&m, &[true, false, true]).query(1.0);
+        let mut cache = WeightCache::new();
+        assert!(matches!(
+            batch.run_with_engine(&engine, &mut cache),
+            Err(ReachError::GoalLengthMismatch { .. })
+        ));
     }
 
     #[test]

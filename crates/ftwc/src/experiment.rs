@@ -133,6 +133,22 @@ pub fn prepare(params: &FtwcParams) -> (PreparedModel, Duration) {
     (prepared, start.elapsed())
 }
 
+/// [`prepare`] plus the FNV-1a content fingerprint of the resulting
+/// CTMDP — the registry key of `unicon serve`, where prepared models are
+/// cached and addressed by fingerprint across sessions. Because the
+/// generator and transformation are deterministic, equal parameters
+/// always map to the same fingerprint; a registry keyed by it performs
+/// each build exactly once.
+///
+/// # Panics
+///
+/// See [`prepare`].
+pub fn prepare_registered(params: &FtwcParams) -> (PreparedModel, Duration, u64) {
+    let (prepared, build_time) = prepare(params);
+    let fingerprint = prepared.ctmdp.fingerprint();
+    (prepared, build_time, fingerprint)
+}
+
 /// Builds the FTWC through the *certified* compositional route — shared
 /// elapse constraint, parallel composition, hiding, labeled minimization,
 /// transformation — with obligation recording on, and returns the prepared
@@ -563,6 +579,24 @@ mod tests {
         assert!(json.contains("\"minimize_reference_ms\""));
         assert!(json.contains("\"refine_rounds\""));
         assert!(json.contains("\"states\":92"));
+    }
+
+    /// Equal parameters must map to equal registry keys (and distinct
+    /// parameters to distinct ones) for serve's fingerprint-addressed
+    /// model registry to perform each build exactly once.
+    #[test]
+    fn prepare_registered_fingerprint_is_deterministic() {
+        let p = FtwcParams::new(1);
+        let (m1, _, fp1) = prepare_registered(&p);
+        let (m2, _, fp2) = prepare_registered(&p);
+        assert_eq!(fp1, fp2);
+        assert_eq!(fp1, m1.ctmdp.fingerprint());
+        assert_eq!(m1.goal, m2.goal);
+
+        let mut q = FtwcParams::new(1);
+        q.repair_phases = 2;
+        let (_, _, fp3) = prepare_registered(&q);
+        assert_ne!(fp1, fp3, "distinct parameters collided");
     }
 
     /// Larger golden instances, release-only: the debug-build uniformity

@@ -613,4 +613,32 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert!(!cache.is_empty());
     }
+
+    /// The serve daemon keeps one cache alive across many client
+    /// sessions; the hit/miss counters are cumulative over the cache's
+    /// lifetime, so callers snapshot them and report per-session deltas.
+    /// This pins both properties: warmth carries across sessions, and
+    /// delta accounting sees exactly the traffic of its own session.
+    #[test]
+    fn cache_counters_support_cross_session_delta_accounting() {
+        let mut cache = WeightCache::new();
+
+        // Session A: two distinct keys, one repeat.
+        let (h0, m0) = (cache.hits(), cache.misses());
+        cache.get(2.0, 10.0, 1e-6);
+        cache.get(2.0, 20.0, 1e-6);
+        cache.get(2.0, 10.0, 1e-6);
+        assert_eq!((cache.hits() - h0, cache.misses() - m0), (1, 2));
+
+        // Session B reuses the warm cache: its repeats of A's keys are
+        // hits, only its novel key misses.
+        let (h1, m1) = (cache.hits(), cache.misses());
+        cache.get(2.0, 10.0, 1e-6);
+        cache.get(2.0, 20.0, 1e-6);
+        cache.get(2.0, 30.0, 1e-6);
+        assert_eq!((cache.hits() - h1, cache.misses() - m1), (2, 1));
+
+        // Lifetime totals are the sums of the per-session deltas.
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (3, 3, 3));
+    }
 }

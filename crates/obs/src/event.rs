@@ -77,6 +77,15 @@ pub enum Event {
         /// Amount to add.
         value: u64,
     },
+    /// A point-in-time level (e.g. active queries, queue depth). Unlike
+    /// [`Event::Counter`] contributions, a gauge *replaces* the previous
+    /// value.
+    Gauge {
+        /// Metric-safe gauge name.
+        name: &'static str,
+        /// The new level.
+        value: f64,
+    },
     /// One backward value-iteration step of the reach engine.
     ReachIteration {
         /// Query index within its batch.
@@ -143,9 +152,10 @@ impl Event {
             Event::SpanOpen { .. } | Event::SpanClose { .. } => Class::Span,
             Event::Log { .. } => Class::Log,
             Event::ReachIteration { .. } => Class::Iter,
-            Event::Counter { .. } | Event::QueryStart { .. } | Event::RefineRound { .. } => {
-                Class::Metric
-            }
+            Event::Counter { .. }
+            | Event::Gauge { .. }
+            | Event::QueryStart { .. }
+            | Event::RefineRound { .. } => Class::Metric,
             Event::Guard { .. } => Class::Guard,
         }
     }
@@ -193,6 +203,13 @@ impl Event {
                 json::write_str(name, &mut s);
                 s.push_str(",\"value\":");
                 s.push_str(&value.to_string());
+                s.push('}');
+            }
+            Event::Gauge { name, value } => {
+                s.push_str("{\"type\":\"gauge\",\"name\":");
+                json::write_str(name, &mut s);
+                s.push_str(",\"value\":");
+                json::write_f64(*value, &mut s);
                 s.push('}');
             }
             Event::ReachIteration {
@@ -316,6 +333,10 @@ mod tests {
                 name: "weight_cache_hits",
                 value: 3,
             },
+            Event::Gauge {
+                name: "serve_active_queries",
+                value: 2.0,
+            },
             Event::ReachIteration {
                 query: 1,
                 step: 42,
@@ -377,6 +398,14 @@ mod tests {
                     assert_eq!(ty, "counter");
                     assert_eq!(v.get("name").and_then(Value::as_str), Some(*name));
                     assert_eq!(v.get("value").and_then(Value::as_f64), Some(*value as f64));
+                }
+                Event::Gauge { name, value } => {
+                    assert_eq!(ty, "gauge");
+                    assert_eq!(v.get("name").and_then(Value::as_str), Some(*name));
+                    assert_eq!(
+                        v.get("value").and_then(Value::as_f64).map(f64::to_bits),
+                        Some(value.to_bits())
+                    );
                 }
                 Event::ReachIteration {
                     psi,

@@ -47,6 +47,20 @@ fn help_text(metric: &str) -> &'static str {
         "unicon_refine_moved_states_total" => "States moved to fresh blocks during refinement.",
         "unicon_refine_blocks" => "Partition blocks after the most recent refinement round.",
         "unicon_guard_events_total" => "Guard-layer incidents, by kind.",
+        "unicon_serve_registry_hits_total" => {
+            "Model registrations answered from the serve registry cache."
+        }
+        "unicon_serve_registry_misses_total" => {
+            "Model registrations that triggered a fresh build in serve."
+        }
+        "unicon_serve_requests_total" => "JSONL request lines handled by serve.",
+        "unicon_serve_errors_total" => "serve requests answered with a typed error record.",
+        "unicon_serve_partials_total" => "serve queries stopped by a per-request budget.",
+        "unicon_serve_active_queries" => "Reach queries currently executing in serve.",
+        "unicon_serve_active_sessions" => "JSONL sessions currently connected to serve.",
+        "unicon_serve_queue_depth" => {
+            "Requests accepted but not yet answered across all serve sessions."
+        }
         _ => "Event-stream counter.",
     }
 }
@@ -185,6 +199,11 @@ impl Sink for Registry {
                         *value,
                     );
                 }
+                Event::Gauge { name, value } => {
+                    inner
+                        .gauges
+                        .insert((format!("unicon_{name}"), String::new()), *value);
+                }
                 Event::ReachIteration { .. } => {
                     count(
                         &mut inner.counters,
@@ -276,6 +295,14 @@ mod tests {
             name: "weight_cache_hits",
             value: 5,
         });
+        reg.record(&Event::Gauge {
+            name: "serve_active_queries",
+            value: 3.0,
+        });
+        reg.record(&Event::Gauge {
+            name: "serve_active_queries",
+            value: 1.0,
+        });
         reg.record(&Event::ReachIteration {
             query: 0,
             step: 2,
@@ -329,6 +356,9 @@ mod tests {
         assert!(text.contains("unicon_span_duration_ns_bucket{span=\"minimize\",le=\"1024\"} 2"));
         assert!(text.contains("unicon_span_duration_ns_bucket{span=\"minimize\",le=\"+Inf\"} 2"));
         assert!(text.contains("unicon_weight_cache_hits_total 5"));
+        // gauges replace, never accumulate
+        assert!(text.contains("# TYPE unicon_serve_active_queries gauge"));
+        assert!(text.contains("unicon_serve_active_queries 1e0"));
         assert!(text.contains("unicon_reach_iterations_total 1"));
         assert!(text.contains("unicon_foxglynn_window_width 5.6e1"));
         assert!(text.contains("unicon_guard_events_total{kind=\"degradation\"} 1"));

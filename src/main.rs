@@ -10,6 +10,7 @@
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
 //! unicon bench-build --n-list 1,2 [--json]       construction benchmark
 //! unicon metrics --ftwc 1 --time-bounds 10       metrics exposition
+//! unicon serve [--socket <path>] [--threads <n>] JSONL query daemon
 //! unicon audit --ftwc 2 [--cert-out c.jsonl]     certify the proof chain
 //! unicon audit --cert c.jsonl                    re-check a certificate
 //! unicon det-lint [--deny warnings]              determinism source lint
@@ -28,6 +29,8 @@
 //! Exit codes: 0 success, 1 runtime error, 2 usage error (malformed or
 //! semantically invalid flags), 3 partial result (a budgeted `reach` run
 //! stopped before completing; resume it with `--resume`).
+
+mod serve;
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -74,6 +77,7 @@ fn main() -> ExitCode {
         Some("ftwc") => cmd_ftwc(&args[1..]),
         Some("bench-build") => cmd_bench_build(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("serve") => serve::run(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("det-lint") => cmd_det_lint(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -157,6 +161,7 @@ fn print_usage() {
          [--out <file>] [--json]\n  \
          unicon metrics [--ftwc <N>] [--time-bounds <t1,…>] [--epsilon <e>]\n          \
          [--threads <n>]\n  \
+         unicon serve [--socket <path>] [--threads <n>]\n  \
          unicon audit (--ftwc <N> | --cert <file.jsonl>)\n          \
          [--cert-out <file.jsonl>] [--time <t>] [--epsilon <e>] [--json]\n  \
          unicon det-lint [--root <dir>] [--deny warnings] [--json]\n\n\
@@ -182,6 +187,14 @@ fn print_usage() {
          `metrics` runs an FTWC reach workload with the metrics registry\n\
          installed and prints a Prometheus-style text exposition.\n\
          Telemetry is bit-invisible: results are unchanged by any sink.\n\n\
+         `serve` runs a long-lived JSONL query daemon over stdin or a Unix\n\
+         socket: {{\"register\":{{\"ftwc\":N}}}} builds a model once and caches\n\
+         it by content fingerprint, {{\"query\":{{\"model\":\"<fp>\",\"t\":…}}}}\n\
+         answers timed reachability from the shared engine (optional\n\
+         \"budget\":{{\"max_iters\":N}} yields a partial record), and\n\
+         {{\"metrics\":{{}}}} returns the Prometheus exposition. Values and\n\
+         checksums are bitwise identical to `unicon reach`, at any thread\n\
+         count, serial or concurrent.\n\n\
          `audit --ftwc N` rebuilds the FTWC through the certified\n\
          compositional route with obligation recording on, then replays\n\
          every recorded step with the independent checker: fingerprints,\n\

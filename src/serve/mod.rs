@@ -1,0 +1,560 @@
+//! `unicon serve` — a long-running timed-reachability service.
+//!
+//! The daemon composes the pieces the batch CLI already has into the
+//! amortization shape the paper argues for: the expensive part
+//! (compose / minimize / transform / precompute) happens **once** per
+//! model, after which every `(t, objective, ε)` query touches only
+//! immutable shared state.
+//!
+//! * Models are built on `register` and cached in a registry keyed by
+//!   their FNV-1a content fingerprint ([`unicon::ctmdp::Ctmdp::fingerprint`]);
+//!   re-registering is a cache hit and never rebuilds.
+//! * Each registered model owns a re-entrant
+//!   [`ReachEngine`] whose shared precomputation answers queries from
+//!   any number of sessions concurrently without locking.
+//! * Fox–Glynn weight vectors live in one process-wide
+//!   [`WeightCache`] shared across sessions; responses carry cache-hit
+//!   provenance (`weights_cached`).
+//! * Per-request budgets (`budget.max_iters`) run through the guarded
+//!   engine and answer with a partial-result record — the service
+//!   analogue of the CLI's exit code 3.
+//! * The [`unicon::obs::Registry`] aggregates per-request counters and
+//!   gauges; `{"metrics": {}}` returns the Prometheus text exposition.
+//!
+//! # Determinism contract
+//!
+//! Query results are **bitwise identical** whether a query is issued
+//! serially, interleaved with other sessions, through a budget, or at
+//! any thread count, and identical to one-shot `unicon reach` on the
+//! same model: every execution path funnels into the same per-state
+//! kernel over the same shared precomputation, and the chunked-Neumaier
+//! checksum rides along to prove it. The only nondeterministic response
+//! fields are the wall-clock `*_ms` measurements.
+//!
+//! Sessions run over stdin/stdout (one session, ends at EOF) or a Unix
+//! socket (`--socket <path>`, one thread per connection). Responses
+//! within a session arrive in request order.
+
+mod proto;
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use unicon::core::PreparedModel;
+use unicon::ctmdp::guard::{GuardOptions, RunBudget};
+use unicon::ctmdp::par::{resolve_threads, ReachEngine, CHECKSUM_BLOCK};
+use unicon::ftwc::{experiment, FtwcParams};
+use unicon::numeric::{chunked_stable_sum, WeightCache};
+use unicon::obs;
+
+use crate::{parse_usize, runtime, CliError};
+use proto::{ProtoError, QueryRequest, Request};
+
+/// One registered model: the prepared CTMDP plus the long-lived query
+/// engine built over it. Immutable after construction, so sessions
+/// share entries by `Arc` and query them concurrently.
+struct ModelEntry {
+    /// Cluster size the entry was built from.
+    n: usize,
+    /// The transformed uniform CTMDP and its goal vector.
+    prepared: PreparedModel,
+    /// Re-entrant engine holding the shared precomputation.
+    engine: ReachEngine,
+    /// Wall-clock build time, echoed on cached registers.
+    build_ms: f64,
+}
+
+/// Shared daemon state: the fingerprint-keyed model registry, the
+/// cross-session weight cache, live gauges and the metrics registry.
+struct ServeState {
+    /// fingerprint → model. `BTreeMap` keeps iteration deterministic.
+    registry: Mutex<BTreeMap<u64, Arc<ModelEntry>>>,
+    /// cluster size → fingerprint. The lock is held across a build, so
+    /// concurrent registers of the same size build exactly once.
+    built: Mutex<BTreeMap<usize, u64>>,
+    /// Fox–Glynn weights shared by every session; locked only for the
+    /// lookup-and-clone, never while iterating.
+    weights: Mutex<WeightCache>,
+    /// Worker threads for queries that do not request their own.
+    default_threads: usize,
+    /// Queries currently executing (gauge source).
+    active_queries: AtomicI64,
+    /// Sessions currently connected (gauge source).
+    active_sessions: AtomicI64,
+    /// Requests read but not yet answered (gauge source).
+    queue_depth: AtomicI64,
+    /// Socket-mode stop flag, raised by a `shutdown` request.
+    stop: AtomicBool,
+    /// Aggregates the event stream for `{"metrics": {}}`.
+    metrics: Arc<obs::Registry>,
+}
+
+impl ServeState {
+    fn new(default_threads: usize, metrics: Arc<obs::Registry>) -> Self {
+        Self {
+            registry: Mutex::new(BTreeMap::new()),
+            built: Mutex::new(BTreeMap::new()),
+            weights: Mutex::new(WeightCache::new()),
+            default_threads,
+            active_queries: AtomicI64::new(0),
+            active_sessions: AtomicI64::new(0),
+            queue_depth: AtomicI64::new(0),
+            stop: AtomicBool::new(false),
+            metrics,
+        }
+    }
+
+    fn count(&self, name: &'static str, value: u64) {
+        obs::emit(obs::Class::Metric, || obs::Event::Counter { name, value });
+    }
+
+    /// Moves an atomic gauge by `delta` and emits the new level.
+    fn gauge(&self, counter: &AtomicI64, name: &'static str, delta: i64) {
+        let now = counter.fetch_add(delta, Ordering::SeqCst) + delta;
+        obs::emit(obs::Class::Metric, || obs::Event::Gauge {
+            name,
+            value: now as f64,
+        });
+    }
+
+    /// Handles `register`: a registry hit answers from the cache, a
+    /// miss builds the model while holding the `built` lock, so every
+    /// distinct cluster size is built exactly once per daemon lifetime.
+    fn register(&self, n: usize) -> Result<String, ProtoError> {
+        let mut built = lock(&self.built);
+        if let Some(&fp) = built.get(&n) {
+            self.count("serve_registry_hits", 1);
+            let entry = lock(&self.registry)
+                .get(&fp)
+                .cloned()
+                .expect("built table implies a registry entry");
+            return Ok(render_register(fp, &entry, true));
+        }
+        let start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
+        let (prepared, _, fp) = experiment::prepare_registered(&FtwcParams::new(n));
+        let engine = ReachEngine::new(&prepared.ctmdp, &prepared.goal)
+            .map_err(|e| ProtoError::runtime(format!("engine construction failed: {e}")))?;
+        let entry = Arc::new(ModelEntry {
+            n,
+            prepared,
+            engine,
+            build_ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+        lock(&self.registry).insert(fp, Arc::clone(&entry));
+        built.insert(n, fp);
+        self.count("serve_registry_misses", 1);
+        Ok(render_register(fp, &entry, false))
+    }
+
+    /// Handles `query`: plain queries share the weight cache and the
+    /// model's engine; budgeted queries run the guarded engine over the
+    /// same shared precomputation (the guard computes its own weights,
+    /// so those bypass the cache — `weights_cached` reports `false`).
+    fn query(&self, q: &QueryRequest) -> Result<String, ProtoError> {
+        let entry = lock(&self.registry)
+            .get(&q.model)
+            .cloned()
+            .ok_or_else(|| ProtoError::unknown_model(q.model))?;
+        let threads_requested = q.threads.unwrap_or(self.default_threads);
+        let threads_effective = resolve_threads(threads_requested);
+        let start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
+        self.gauge(&self.active_queries, "serve_active_queries", 1);
+        let out = self.run_query(q, &entry, threads_requested, threads_effective, start);
+        self.gauge(&self.active_queries, "serve_active_queries", -1);
+        out
+    }
+
+    fn run_query(
+        &self,
+        q: &QueryRequest,
+        entry: &ModelEntry,
+        threads_requested: usize,
+        threads_effective: usize,
+        start: Instant,
+    ) -> Result<String, ProtoError> {
+        let ctmdp = &entry.prepared.ctmdp;
+        let initial = ctmdp.initial() as usize;
+        let ms = |s: Instant| s.elapsed().as_secs_f64() * 1e3;
+
+        if let Some(max_iters) = q.max_iters {
+            let batch = entry
+                .prepared
+                .reach_batch()
+                .with_epsilon(q.epsilon)
+                .with_threads(threads_requested)
+                .query_with(q.t, q.objective);
+            let opts = GuardOptions::default()
+                .with_budget(RunBudget::default().with_max_iterations(max_iters));
+            let run = batch
+                .run_guarded_with_engine(&opts, &entry.engine)
+                .map_err(|e| ProtoError::runtime(e.to_string()))?;
+            return match run.stopped {
+                None => {
+                    let r = &run.results[0];
+                    Ok(proto::render_query(
+                        q,
+                        r.from_state(initial as u32),
+                        chunked_stable_sum(&r.values, CHECKSUM_BLOCK).to_bits(),
+                        r.iterations,
+                        false,
+                        threads_requested,
+                        threads_effective,
+                        ms(start),
+                    ))
+                }
+                Some((reason, partial)) => {
+                    self.count("serve_partials", 1);
+                    let p = partial.ok_or_else(|| {
+                        ProtoError::runtime("budget stop without an in-flight query")
+                    })?;
+                    Ok(proto::render_partial(
+                        q,
+                        reason.as_str(),
+                        p.completed_steps,
+                        p.total_steps,
+                        p.lower[initial],
+                        p.upper[initial],
+                        threads_requested,
+                        threads_effective,
+                        ms(start),
+                    ))
+                }
+            };
+        }
+
+        let rate = entry.engine.uniform_rate();
+        let r;
+        let weights_cached;
+        if q.t == 0.0 || rate == 0.0 {
+            // Indicator regime: no weights exist to cache.
+            weights_cached = false;
+            r = entry
+                .engine
+                .query(ctmdp, q.t, q.objective, q.epsilon, threads_requested)
+                .map_err(|e| ProtoError::runtime(e.to_string()))?;
+        } else {
+            let weights = {
+                let mut cache = lock(&self.weights);
+                let hits_before = cache.hits();
+                let w = cache.get(rate, q.t, q.epsilon).clone();
+                weights_cached = cache.hits() > hits_before;
+                w
+            };
+            self.count(
+                if weights_cached {
+                    "weight_cache_hits"
+                } else {
+                    "weight_cache_misses"
+                },
+                1,
+            );
+            r = entry
+                .engine
+                .query_with_weights(
+                    ctmdp,
+                    q.t,
+                    q.objective,
+                    q.epsilon,
+                    &weights,
+                    threads_requested,
+                )
+                .map_err(|e| ProtoError::runtime(e.to_string()))?;
+        }
+        Ok(proto::render_query(
+            q,
+            r.from_state(initial as u32),
+            chunked_stable_sum(&r.values, CHECKSUM_BLOCK).to_bits(),
+            r.iterations,
+            weights_cached,
+            threads_requested,
+            threads_effective,
+            ms(start),
+        ))
+    }
+}
+
+/// Mutex helper: serve never poisons its state (handlers catch errors as
+/// typed records), but a panicking worker elsewhere must not wedge it.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn render_register(fp: u64, entry: &ModelEntry, cached: bool) -> String {
+    proto::render_register(
+        fp,
+        entry.n,
+        entry.prepared.ctmdp.num_states(),
+        entry.prepared.ctmdp.initial(),
+        entry.engine.uniform_rate(),
+        cached,
+        entry.build_ms,
+    )
+}
+
+/// Answers one request line; the boolean asks the session to end after
+/// writing the response (a `shutdown` acknowledgement).
+fn handle_line(state: &ServeState, line: &str) -> (String, bool) {
+    state.count("serve_requests", 1);
+    let outcome = match proto::parse_request(line) {
+        Err(e) => Err(e),
+        Ok(Request::Shutdown) => return (proto::SHUTDOWN_RESPONSE.to_string(), true),
+        Ok(Request::Metrics) => Ok(proto::render_metrics(&state.metrics.exposition())),
+        Ok(Request::Register { ftwc }) => state.register(ftwc),
+        Ok(Request::Query(q)) => state.query(&q),
+    };
+    match outcome {
+        Ok(response) => (response, false),
+        Err(e) => {
+            state.count("serve_errors", 1);
+            (e.to_json(), false)
+        }
+    }
+}
+
+/// Drives one JSONL session to EOF (or `shutdown`), answering every
+/// request line in order. Returns whether the session asked the daemon
+/// to shut down.
+fn run_session(
+    state: &ServeState,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<bool> {
+    state.gauge(&state.active_sessions, "serve_active_sessions", 1);
+    let mut shutdown = false;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.gauge(&state.queue_depth, "serve_queue_depth", 1);
+        let (response, stop) = handle_line(state, &line);
+        state.gauge(&state.queue_depth, "serve_queue_depth", -1);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            shutdown = true;
+            break;
+        }
+    }
+    state.gauge(&state.active_sessions, "serve_active_sessions", -1);
+    Ok(shutdown)
+}
+
+/// Accepts connections until a session requests shutdown; one thread
+/// per connection, all sharing the state.
+fn serve_socket(state: &Arc<ServeState>, path: &str) -> Result<(), CliError> {
+    // A stale socket file from a previous run would fail the bind.
+    if std::fs::metadata(path).is_ok() {
+        std::fs::remove_file(path)
+            .map_err(|e| runtime(format!("cannot remove stale socket {path}: {e}")))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| runtime(format!("cannot bind {path}: {e}")))?;
+    obs::info(|| format!("serve: listening on {path}"));
+    let mut handles = Vec::new();
+    loop {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| runtime(format!("accept failed: {e}")))?;
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let st = Arc::clone(state);
+        let wake_path = path.to_string();
+        handles.push(std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(s) => BufReader::new(s),
+                Err(e) => {
+                    obs::error(|| format!("serve: cannot clone stream: {e}"));
+                    return;
+                }
+            };
+            match run_session(&st, reader, &stream) {
+                Ok(true) => {
+                    st.stop.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = UnixStream::connect(&wake_path);
+                }
+                Ok(false) => {}
+                Err(e) => obs::error(|| format!("serve: session failed: {e}")),
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(path);
+    obs::info(|| "serve: shut down".into());
+    Ok(())
+}
+
+/// `unicon serve [--socket <path>] [--threads <n>]` — see the module
+/// docs for the protocol.
+pub fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = crate::parse_cli(args, &["--socket", "--threads"], &[])?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "serve: unexpected argument '{extra}'"
+        )));
+    }
+    let default_threads = cli
+        .value("--threads")
+        .map_or(Ok(0), |s| parse_usize("--threads", s))?;
+    let metrics = Arc::new(obs::Registry::new());
+    obs::install(metrics.clone());
+    let state = Arc::new(ServeState::new(default_threads, metrics));
+    match cli.value("--socket") {
+        Some(path) => serve_socket(&state, path)?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            run_session(&state, stdin.lock(), stdout.lock())
+                .map_err(|e| runtime(format!("stdin session failed: {e}")))?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicon::obs::json::Value;
+
+    fn state() -> ServeState {
+        ServeState::new(1, Arc::new(obs::Registry::new()))
+    }
+
+    fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+        v.get(key).unwrap_or_else(|| panic!("missing field {key}"))
+    }
+
+    /// One in-process session: register twice (hit the second time),
+    /// query, and check the cached register echoes the same model.
+    #[test]
+    fn register_twice_builds_once_and_queries_answer() {
+        let st = state();
+        let (r1, _) = handle_line(&st, r#"{"register": {"ftwc": 1}}"#);
+        let v1 = Value::parse(&r1).expect("register response parses");
+        assert_eq!(field(&v1, "cached"), &Value::Bool(false));
+        let fp = field(&v1, "model")
+            .as_str()
+            .expect("fingerprint")
+            .to_string();
+
+        let (r2, _) = handle_line(&st, r#"{"register": {"ftwc": 1}}"#);
+        let v2 = Value::parse(&r2).expect("cached register parses");
+        assert_eq!(field(&v2, "cached"), &Value::Bool(true));
+        assert_eq!(field(&v2, "model").as_str(), Some(fp.as_str()));
+        assert_eq!(lock(&st.registry).len(), 1);
+
+        let (q1, _) = handle_line(
+            &st,
+            &format!(r#"{{"query": {{"model": "{fp}", "t": 10}}}}"#),
+        );
+        let vq = Value::parse(&q1).expect("query response parses");
+        assert_eq!(field(&vq, "ok").as_str(), Some("query"));
+        assert_eq!(field(&vq, "weights_cached"), &Value::Bool(false));
+        let value = field(&vq, "value").as_f64().expect("value");
+        assert!(value > 0.0 && value < 1.0);
+
+        // Same query again: the shared weight cache answers, the value
+        // bits do not move.
+        let (q2, _) = handle_line(
+            &st,
+            &format!(r#"{{"query": {{"model": "{fp}", "t": 10}}}}"#),
+        );
+        let vq2 = Value::parse(&q2).expect("second query parses");
+        assert_eq!(field(&vq2, "weights_cached"), &Value::Bool(true));
+        assert_eq!(
+            field(&vq2, "value").as_f64().map(f64::to_bits),
+            Some(value.to_bits())
+        );
+        assert_eq!(
+            field(&vq2, "checksum").as_str(),
+            field(&vq, "checksum").as_str()
+        );
+    }
+
+    /// Malformed lines and unknown models get typed errors; the session
+    /// survives them all and still answers good requests.
+    #[test]
+    fn errors_are_answered_inline_without_killing_the_session() {
+        let st = state();
+        for bad in [
+            "garbage",
+            r#"{"query": {"model": "0000000000000000", "t": 1}}"#,
+            r#"{"register": {"ftwc": 0}}"#,
+        ] {
+            let (resp, stop) = handle_line(&st, bad);
+            let v = Value::parse(&resp).expect("error record parses");
+            let code = v
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_f64)
+                .expect("nonzero code");
+            assert!(code != 0.0);
+            assert!(!stop);
+        }
+        let (resp, stop) = handle_line(&st, r#"{"shutdown": {}}"#);
+        assert_eq!(resp, proto::SHUTDOWN_RESPONSE);
+        assert!(stop);
+    }
+
+    /// A budget too small to finish yields a partial record bracketing
+    /// the true value; a generous one completes with identical bits to
+    /// the unbudgeted path.
+    #[test]
+    fn budgeted_queries_answer_partial_then_complete() {
+        let st = state();
+        let (r, _) = handle_line(&st, r#"{"register": {"ftwc": 1}}"#);
+        let fp = Value::parse(&r)
+            .ok()
+            .and_then(|v| v.get("model").and_then(Value::as_str).map(String::from))
+            .expect("fingerprint");
+
+        let (p, _) = handle_line(
+            &st,
+            &format!(r#"{{"query": {{"model": "{fp}", "t": 10, "budget": {{"max_iters": 3}}}}}}"#),
+        );
+        let vp = Value::parse(&p).expect("partial parses");
+        assert_eq!(field(&vp, "ok").as_str(), Some("partial"));
+        assert_eq!(field(&vp, "stopped").as_str(), Some("max-iterations"));
+        assert_eq!(field(&vp, "completed_steps").as_f64(), Some(3.0));
+        let lower = field(&vp, "lower").as_f64().expect("lower");
+        let upper = field(&vp, "upper").as_f64().expect("upper");
+
+        let (full, _) = handle_line(
+            &st,
+            &format!(r#"{{"query": {{"model": "{fp}", "t": 10}}}}"#),
+        );
+        let vf = Value::parse(&full).expect("full query parses");
+        let value = field(&vf, "value").as_f64().expect("value");
+        assert!(
+            lower <= value && value <= upper,
+            "[{lower}, {upper}] ∌ {value}"
+        );
+
+        let (g, _) = handle_line(
+            &st,
+            &format!(
+                r#"{{"query": {{"model": "{fp}", "t": 10, "budget": {{"max_iters": 100000}}}}}}"#
+            ),
+        );
+        let vg = Value::parse(&g).expect("generous budget parses");
+        assert_eq!(field(&vg, "ok").as_str(), Some("query"));
+        assert_eq!(
+            field(&vg, "value").as_f64().map(f64::to_bits),
+            Some(value.to_bits())
+        );
+        assert_eq!(
+            field(&vg, "checksum").as_str(),
+            field(&vf, "checksum").as_str()
+        );
+    }
+}
