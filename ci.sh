@@ -188,16 +188,68 @@ grep '"ok":"metrics"' "$CI_DIR/serve_responses.jsonl" > "$CI_DIR/serve_metrics.j
 for needle in \
     'unicon_serve_registry_misses_total 1\n' \
     'unicon_serve_registry_hits_total 1\n' \
-    'unicon_serve_requests_total 12\n' \
+    'unicon_serve_requests_total 14\n' \
     'unicon_serve_errors_total 3\n' \
-    'unicon_serve_partials_total 1\n' \
-    '# TYPE unicon_serve_active_sessions gauge'; do
+    'unicon_serve_partials_total 2\n' \
+    'unicon_serve_sessions_rejected_total 0\n' \
+    'unicon_serve_queries_shed_total 0\n' \
+    'unicon_serve_cache_evictions_total 0\n' \
+    'unicon_serve_build_failures_total 0\n' \
+    'unicon_serve_idle_timeouts_total 0\n' \
+    'unicon_serve_lines_too_long_total 0\n' \
+    '# TYPE unicon_serve_active_sessions gauge' \
+    '# TYPE unicon_serve_cache_resident_bytes gauge' \
+    '# TYPE unicon_serve_drain_seconds gauge'; do
     grep -qF "$needle" "$CI_DIR/serve_metrics.json" || {
         echo "FAIL: serve metrics exposition lacks '$needle'"
         exit 1
     }
 done
 echo "serve golden session matches; metrics exposition scraped clean"
+
+echo "==> serve chaos gate (seeded faults, admission, eviction, drain)"
+# The chaos e2e suite: client disconnects mid-query, shutdown and
+# SIGTERM with work in flight, session shedding, oversized lines, idle
+# timeouts, cache eviction/rebuild, plus the fault-inject-only seeded
+# build panics and eviction stalls.
+cargo test --release -q --test serve --features fault-inject chaos_
+# Drain-mode determinism: a session that ends in a graceful `shutdown`
+# drain must answer with checksums bitwise identical to one-shot
+# `unicon reach`, at --threads 1 and 4.
+SBOUNDS="100,500,1000"
+for T in 1 4; do
+    ./target/release/unicon reach --ftwc 4 --time-bounds "$SBOUNDS" --threads "$T" \
+        --json "$CI_DIR/serve_reach_t$T.json" >/dev/null 2>&1
+    tr ',' '\n' < "$CI_DIR/serve_reach_t$T.json" \
+        | sed -n 's/.*"checksum":"\([0-9a-f]*\)".*/\1/p' > "$CI_DIR/serve_reach_t$T.sums"
+    {
+        printf '{"register": {"ftwc": 4}}\n'
+        for t in 100 500 1000; do
+            printf '{"query": {"model": "41d013b62fd7dcf5", "t": %s, "threads": %s}}\n' \
+                "$t" "$T"
+        done
+        printf '{"shutdown": {}}\n'
+    } > "$CI_DIR/serve_drain_t$T.jsonl"
+    # `set -e` enforces the drain contract: the shutdown verb must end
+    # the session cleanly with exit status 0.
+    ./target/release/unicon serve < "$CI_DIR/serve_drain_t$T.jsonl" 2>/dev/null \
+        > "$CI_DIR/serve_drain_out_t$T.jsonl"
+    sed -n 's/.*"checksum":"\([0-9a-f]*\)".*/\1/p' "$CI_DIR/serve_drain_out_t$T.jsonl" \
+        > "$CI_DIR/serve_drain_t$T.sums"
+    if [ "$(wc -l < "$CI_DIR/serve_drain_t$T.sums")" -ne 3 ]; then
+        echo "FAIL: drained serve session did not answer all 3 queries (threads $T)"
+        exit 1
+    fi
+    if ! cmp -s "$CI_DIR/serve_reach_t$T.sums" "$CI_DIR/serve_drain_t$T.sums"; then
+        echo "FAIL: drained serve checksums diverge from unicon reach (threads $T)"
+        exit 1
+    fi
+done
+if ! cmp -s "$CI_DIR/serve_drain_t1.sums" "$CI_DIR/serve_drain_t4.sums"; then
+    echo "FAIL: drained serve checksums diverge between --threads 1 and 4"
+    exit 1
+fi
+echo "chaos suite green; drained sessions bitwise-match one-shot reach at 1 and 4 threads"
 
 echo "==> determinism source lint gate"
 ./target/release/unicon det-lint --deny warnings 2>/dev/null

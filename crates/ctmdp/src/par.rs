@@ -605,6 +605,14 @@ impl ReachEngine {
         &self.goal
     }
 
+    /// Heap bytes the engine keeps resident between queries: the goal
+    /// vector plus the shared precomputation (CSR probability rows and
+    /// goal-mass vector). Model caches charge this against their budget.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.goal.len() * std::mem::size_of::<bool>() + self.pre.memory_bytes()
+    }
+
     /// Structural guard: the model and goal a caller supplies must match
     /// the ones the engine was built from.
     pub(crate) fn check_compatible(&self, ctmdp: &Ctmdp, goal: &[bool]) -> Result<(), ReachError> {

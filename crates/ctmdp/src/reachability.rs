@@ -229,6 +229,12 @@ impl Precompute {
             prob_goal,
         })
     }
+
+    /// Heap bytes held by the shared traversal structures (CSR rows plus
+    /// the per-rate-function goal mass vector).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.probs.memory_bytes() + self.prob_goal.len() * std::mem::size_of::<f64>()
+    }
 }
 
 /// One backward value-iteration update of a single state — the kernel

@@ -61,6 +61,30 @@ fn help_text(metric: &str) -> &'static str {
         "unicon_serve_queue_depth" => {
             "Requests accepted but not yet answered across all serve sessions."
         }
+        "unicon_serve_sessions_rejected_total" => {
+            "Connections shed at the serve session gate (--max-sessions)."
+        }
+        "unicon_serve_queries_shed_total" => {
+            "Queries shed at the serve admission gate (--max-inflight)."
+        }
+        "unicon_serve_cache_evictions_total" => {
+            "Models evicted from the serve registry under --cache-budget."
+        }
+        "unicon_serve_cache_resident_bytes" => {
+            "Heap bytes held by models resident in the serve registry."
+        }
+        "unicon_serve_drain_seconds" => {
+            "Seconds the most recent serve drain (shutdown/SIGTERM) has run."
+        }
+        "unicon_serve_build_failures_total" => {
+            "serve model builds that panicked and quarantined their size."
+        }
+        "unicon_serve_idle_timeouts_total" => {
+            "serve sessions closed by the socket read/idle timeout."
+        }
+        "unicon_serve_lines_too_long_total" => {
+            "serve request lines rejected for exceeding --max-line-bytes."
+        }
         _ => "Event-stream counter.",
     }
 }

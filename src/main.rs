@@ -161,7 +161,9 @@ fn print_usage() {
          [--out <file>] [--json]\n  \
          unicon metrics [--ftwc <N>] [--time-bounds <t1,…>] [--epsilon <e>]\n          \
          [--threads <n>]\n  \
-         unicon serve [--socket <path>] [--threads <n>]\n  \
+         unicon serve [--socket <path>] [--threads <n>] [--max-sessions <n>]\n          \
+         [--max-inflight <n>] [--default-timeout <secs>] [--idle-timeout <secs>]\n          \
+         [--cache-budget <bytes>] [--max-line-bytes <n>] [--drain-grace <secs>]\n  \
          unicon audit (--ftwc <N> | --cert <file.jsonl>)\n          \
          [--cert-out <file.jsonl>] [--time <t>] [--epsilon <e>] [--json]\n  \
          unicon det-lint [--root <dir>] [--deny warnings] [--json]\n\n\
@@ -191,10 +193,16 @@ fn print_usage() {
          socket: {{\"register\":{{\"ftwc\":N}}}} builds a model once and caches\n\
          it by content fingerprint, {{\"query\":{{\"model\":\"<fp>\",\"t\":…}}}}\n\
          answers timed reachability from the shared engine (optional\n\
-         \"budget\":{{\"max_iters\":N}} yields a partial record), and\n\
-         {{\"metrics\":{{}}}} returns the Prometheus exposition. Values and\n\
-         checksums are bitwise identical to `unicon reach`, at any thread\n\
-         count, serial or concurrent.\n\n\
+         \"budget\":{{\"max_iters\":N,\"timeout_ms\":M}} yields a partial\n\
+         record), and {{\"metrics\":{{}}}} returns the Prometheus exposition.\n\
+         Fault tolerance: --max-sessions/--max-inflight shed excess load\n\
+         with a retriable 'overloaded' error, --cache-budget evicts\n\
+         least-recently-used models (never pinned ones), --idle-timeout\n\
+         releases stalled sessions, --max-line-bytes caps request lines,\n\
+         and shutdown/SIGTERM drain in-flight work before exiting 0\n\
+         (--drain-grace caps the wait). Values and checksums are bitwise\n\
+         identical to `unicon reach`, at any thread count, serial or\n\
+         concurrent, under load shedding, eviction, or drain.\n\n\
          `audit --ftwc N` rebuilds the FTWC through the certified\n\
          compositional route with obligation recording on, then replays\n\
          every recorded step with the independent checker: fingerprints,\n\

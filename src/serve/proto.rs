@@ -7,16 +7,23 @@
 //! ```text
 //! {"register": {"ftwc": 4}}
 //! {"query": {"model": "<fp>", "t": 10, "objective": "max",
-//!            "epsilon": 1e-6, "threads": 2, "budget": {"max_iters": 50}}}
+//!            "epsilon": 1e-6, "threads": 2,
+//!            "budget": {"max_iters": 50, "timeout_ms": 250}}}
 //! {"metrics": {}}
 //! {"shutdown": {}}
 //! ```
 //!
 //! Responses are `{"ok": "<verb>", ...}` objects, or `{"error":
-//! {"code": N, "kind": "...", "detail": "..."}}` with a nonzero `code`
-//! mirroring the CLI exit conventions (1 runtime, 2 malformed or
-//! semantically invalid request). A malformed line never terminates the
-//! session — every line gets exactly one response.
+//! {"code": N, "kind": "...", "detail": "...", "retriable": B}}` with a
+//! nonzero `code` mirroring the CLI exit conventions (1 runtime, 2
+//! malformed or semantically invalid request, 4 admission-control shed).
+//! `retriable: true` marks transient conditions (`overloaded`) a client
+//! should back off and retry; all other errors are deterministic
+//! rejections that will recur verbatim. A malformed line never
+//! terminates the session — every line gets exactly one response. The
+//! two exceptions that do end the session after answering are
+//! `line-too-long` (the remainder of an unbounded line cannot be
+//! skipped in bounded memory) and `overloaded` at session admission.
 //!
 //! All floats travel in Rust's shortest round-trip exponent form and
 //! checksums as 16-digit hex strings, exactly like `unicon reach`'s JSON
@@ -29,12 +36,17 @@ use unicon::obs::json::{self, Value};
 
 /// A typed protocol failure, rendered as one `{"error": ...}` line.
 pub struct ProtoError {
-    /// Nonzero failure class: 1 runtime, 2 malformed/invalid request.
+    /// Nonzero failure class: 1 runtime, 2 malformed/invalid request,
+    /// 4 admission-control shed.
     pub code: u8,
     /// Stable machine-readable discriminator.
     pub kind: &'static str,
     /// Human-readable description.
     pub detail: String,
+    /// Whether a client should back off and retry the same request.
+    /// Only transient admission failures are retriable; every other
+    /// rejection is deterministic and would recur verbatim.
+    pub retriable: bool,
 }
 
 impl ProtoError {
@@ -44,6 +56,7 @@ impl ProtoError {
             code: 2,
             kind: "parse",
             detail: detail.to_string(),
+            retriable: false,
         }
     }
 
@@ -53,6 +66,7 @@ impl ProtoError {
             code: 2,
             kind: "usage",
             detail: detail.to_string(),
+            retriable: false,
         }
     }
 
@@ -62,15 +76,52 @@ impl ProtoError {
             code: 1,
             kind: "runtime",
             detail: detail.to_string(),
+            retriable: false,
         }
     }
 
-    /// The query names a fingerprint no `register` has produced.
+    /// The query names a fingerprint no `register` has produced (or the
+    /// model was evicted under the cache budget and must re-register).
     pub fn unknown_model(fingerprint: u64) -> Self {
         Self {
             code: 1,
             kind: "unknown-model",
-            detail: format!("no registered model has fingerprint {fingerprint:016x}"),
+            detail: format!(
+                "no registered model has fingerprint {fingerprint:016x} \
+                 (evicted models must be re-registered)"
+            ),
+            retriable: false,
+        }
+    }
+
+    /// Admission control shed the request; the condition is transient.
+    pub fn overloaded(detail: impl std::fmt::Display) -> Self {
+        Self {
+            code: 4,
+            kind: "overloaded",
+            detail: detail.to_string(),
+            retriable: true,
+        }
+    }
+
+    /// The request line exceeded the daemon's byte cap.
+    pub fn line_too_long(limit: usize) -> Self {
+        Self {
+            code: 2,
+            kind: "line-too-long",
+            detail: format!("request line exceeds --max-line-bytes ({limit}); session closed"),
+            retriable: false,
+        }
+    }
+
+    /// The model build panicked (or is quarantined from an earlier
+    /// panic); the registry stays usable for every other model.
+    pub fn build_failed(detail: impl std::fmt::Display) -> Self {
+        Self {
+            code: 1,
+            kind: "build-failed",
+            detail: detail.to_string(),
+            retriable: false,
         }
     }
 
@@ -83,6 +134,8 @@ impl ProtoError {
         json::write_str(self.kind, &mut s);
         s.push_str(",\"detail\":");
         json::write_str(&self.detail, &mut s);
+        s.push_str(",\"retriable\":");
+        s.push_str(if self.retriable { "true" } else { "false" });
         s.push_str("}}");
         s
     }
@@ -118,6 +171,10 @@ pub struct QueryRequest {
     /// Per-request admission control: stop after this many
     /// value-iteration steps and answer with a partial result.
     pub max_iters: Option<usize>,
+    /// Per-request wall-clock deadline in milliseconds: the query runs
+    /// through the guarded engine and answers an exit-3-style partial
+    /// record (lower/upper brackets) when the clock expires first.
+    pub timeout_ms: Option<f64>,
 }
 
 fn integer_field(obj: &Value, key: &str, verb: &str) -> Result<Option<usize>, ProtoError> {
@@ -192,13 +249,28 @@ fn parse_query(body: &Value) -> Result<Request, ProtoError> {
         }
     };
     let threads = integer_field(body, "threads", "query")?;
-    let max_iters = match body.get("budget") {
-        None => None,
+    let (max_iters, timeout_ms) = match body.get("budget") {
+        None => (None, None),
         Some(b) => {
             if !matches!(b, Value::Obj(_)) {
                 return Err(ProtoError::usage("query.budget must be an object"));
             }
-            integer_field(b, "max_iters", "query.budget")?
+            let max_iters = integer_field(b, "max_iters", "query.budget")?;
+            let timeout_ms = match b.get("timeout_ms") {
+                None => None,
+                Some(v) => {
+                    let ms = v.as_f64().ok_or_else(|| {
+                        ProtoError::usage("query.budget.timeout_ms must be a number")
+                    })?;
+                    if !(ms.is_finite() && ms > 0.0) {
+                        return Err(ProtoError::usage(format!(
+                            "query.budget.timeout_ms must be finite and positive, got {ms}"
+                        )));
+                    }
+                    Some(ms)
+                }
+            };
+            (max_iters, timeout_ms)
         }
     };
     Ok(Request::Query(QueryRequest {
@@ -208,6 +280,7 @@ fn parse_query(body: &Value) -> Result<Request, ProtoError> {
         epsilon,
         threads,
         max_iters,
+        timeout_ms,
     }))
 }
 
@@ -246,7 +319,11 @@ pub fn objective_str(o: Objective) -> &'static str {
     }
 }
 
-/// Renders a `register` response.
+/// Renders a `register` response. Provenance fields beyond the model
+/// facts: `cached` (registry hit, nothing built), `rebuilt` (the model
+/// was evicted under `--cache-budget` earlier and this register built
+/// it again), `resident_bytes` (what the entry charges against the
+/// cache budget) and `evicted` (fingerprints this register pushed out).
 #[allow(clippy::too_many_arguments)]
 pub fn render_register(
     fingerprint: u64,
@@ -255,12 +332,25 @@ pub fn render_register(
     initial: u32,
     uniform_rate: f64,
     cached: bool,
+    rebuilt: bool,
+    resident_bytes: usize,
+    evicted: &[u64],
     build_ms: f64,
 ) -> String {
+    let mut evicted_json = String::from("[");
+    for (i, fp) in evicted.iter().enumerate() {
+        if i > 0 {
+            evicted_json.push(',');
+        }
+        evicted_json.push_str(&format!("\"{fp:016x}\""));
+    }
+    evicted_json.push(']');
     format!(
         "{{\"ok\":\"register\",\"model\":\"{fingerprint:016x}\",\"n\":{n},\
          \"states\":{states},\"initial\":{initial},\"uniform_rate\":{uniform_rate:e},\
-         \"cached\":{cached},\"build_ms\":{build_ms}}}"
+         \"cached\":{cached},\"rebuilt\":{rebuilt},\
+         \"resident_bytes\":{resident_bytes},\"evicted\":{evicted_json},\
+         \"build_ms\":{build_ms}}}"
     )
 }
 
@@ -349,7 +439,8 @@ mod tests {
         ));
         let q = match parse_request(
             r#"{"query": {"model": "00000000deadbeef", "t": 10, "objective": "min",
-                "epsilon": 1e-9, "threads": 2, "budget": {"max_iters": 7}}}"#,
+                "epsilon": 1e-9, "threads": 2,
+                "budget": {"max_iters": 7, "timeout_ms": 250.5}}}"#,
         ) {
             Ok(Request::Query(q)) => q,
             _ => panic!("query did not parse"),
@@ -360,6 +451,7 @@ mod tests {
         assert_eq!(q.epsilon, 1e-9);
         assert_eq!(q.threads, Some(2));
         assert_eq!(q.max_iters, Some(7));
+        assert_eq!(q.timeout_ms, Some(250.5));
     }
 
     #[test]
@@ -373,6 +465,7 @@ mod tests {
         assert_eq!(q.epsilon, 1e-6);
         assert_eq!(q.threads, None);
         assert_eq!(q.max_iters, None);
+        assert_eq!(q.timeout_ms, None);
     }
 
     /// Every rejection is a typed record with a nonzero code, and the
@@ -399,6 +492,14 @@ mod tests {
                 "usage",
             ),
             (r#"{"query": {"model": "1", "t": 1, "budget": 3}}"#, "usage"),
+            (
+                r#"{"query": {"model": "1", "t": 1, "budget": {"timeout_ms": 0}}}"#,
+                "usage",
+            ),
+            (
+                r#"{"query": {"model": "1", "t": 1, "budget": {"timeout_ms": "soon"}}}"#,
+                "usage",
+            ),
         ];
         for (line, kind) in cases {
             let err = match parse_request(line) {
@@ -418,6 +519,37 @@ mod tests {
         }
         assert_eq!(ProtoError::unknown_model(7).code, 1);
         assert_eq!(ProtoError::runtime("x").code, 1);
+        assert_eq!(ProtoError::build_failed("x").code, 1);
+        assert_eq!(ProtoError::line_too_long(1024).code, 2);
+    }
+
+    /// Only admission-control sheds are retriable; the flag is rendered
+    /// on every error record so clients never have to guess.
+    #[test]
+    fn overloaded_is_the_only_retriable_error() {
+        let shed = ProtoError::overloaded("at capacity");
+        assert_eq!(shed.code, 4);
+        assert!(shed.retriable);
+        let v = Value::parse(&shed.to_json()).expect("overloaded record parses");
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("retriable")),
+            Some(&Value::Bool(true))
+        );
+        for e in [
+            ProtoError::parse("x"),
+            ProtoError::usage("x"),
+            ProtoError::runtime("x"),
+            ProtoError::unknown_model(1),
+            ProtoError::line_too_long(64),
+            ProtoError::build_failed("x"),
+        ] {
+            assert!(!e.retriable, "{} must not be retriable", e.kind);
+            let v = Value::parse(&e.to_json()).expect("record parses");
+            assert_eq!(
+                v.get("error").and_then(|r| r.get("retriable")),
+                Some(&Value::Bool(false))
+            );
+        }
     }
 
     /// Response renderers produce valid JSON with the formats the e2e
@@ -431,6 +563,7 @@ mod tests {
             epsilon: 1e-6,
             threads: None,
             max_iters: None,
+            timeout_ms: None,
         };
         let line = render_query(&q, 0.15625, 0x1234, 58, true, 0, 4, 1.25);
         let v = Value::parse(&line).expect("query response parses");
@@ -452,13 +585,25 @@ mod tests {
             Some(4.0)
         );
 
-        let reg = render_register(0xfeed, 4, 820, 0, 2.5, false, 12.0);
+        let reg = render_register(0xfeed, 4, 820, 0, 2.5, false, true, 123456, &[0xdead], 12.0);
         let v = Value::parse(&reg).expect("register response parses");
         assert_eq!(
             v.get("model").and_then(Value::as_str),
             Some("000000000000feed")
         );
         assert_eq!(v.get("cached"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("rebuilt"), Some(&Value::Bool(true)));
+        assert_eq!(
+            v.get("resident_bytes").and_then(Value::as_f64),
+            Some(123456.0)
+        );
+        match v.get("evicted") {
+            Some(Value::Arr(fps)) => {
+                assert_eq!(fps.len(), 1);
+                assert_eq!(fps[0].as_str(), Some("000000000000dead"));
+            }
+            other => panic!("evicted must be an array, got {other:?}"),
+        }
 
         let part = render_partial(&q, "max-iterations", 5, 58, 0.1, 0.9, 1, 1, 0.5);
         let v = Value::parse(&part).expect("partial response parses");

@@ -227,12 +227,19 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(name: &str) -> Self {
+        Self::spawn_with(name, &[])
+    }
+
+    /// Spawns a daemon with extra serve flags (chaos knobs: tiny cache
+    /// budgets, short idle timeouts, seeded fault plans, …).
+    fn spawn_with(name: &str, extra: &[&str]) -> Self {
         let mut path = std::env::temp_dir();
         path.push(format!("unicon_serve_{name}_{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let child = unicon()
             .args(["serve", "--socket"])
             .arg(&path)
+            .args(extra)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
@@ -447,5 +454,485 @@ fn acceptance_100_queries_against_ftwc_n32_match_one_shot_reach() {
         "FTWC N=32 was built more than once:\n{exposition}"
     );
 
+    daemon.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness: admission control, deadlines, eviction, and drain
+// ---------------------------------------------------------------------------
+
+impl Daemon {
+    /// Polls a one-shot metrics session until the daemon answers. A shed
+    /// (`overloaded`) response is retried, exactly as its `retriable`
+    /// flag advertises.
+    fn metrics_exposition(&self) -> String {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let mut stream = UnixStream::connect(&self.path).expect("connect for metrics");
+            stream
+                .write_all(b"{\"metrics\": {}}\n")
+                .expect("metrics request");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut text = String::new();
+            BufReader::new(stream)
+                .read_to_string(&mut text)
+                .expect("metrics response");
+            let first = text.lines().next().unwrap_or("").trim().to_string();
+            if !first.is_empty() {
+                let v = parse(&first);
+                if let Some(e) = v.get("exposition").and_then(Value::as_str) {
+                    return e.to_string();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "metrics never answered, last response: {text:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Waits for the daemon to exit on its own and asserts a clean
+    /// drain: exit status 0 and the socket file removed by the server.
+    fn wait_success(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                assert!(status.success(), "serve exited dirty: {status:?}");
+                assert!(
+                    !self.path.exists(),
+                    "drained serve left its socket file behind"
+                );
+                return;
+            }
+            assert!(Instant::now() < deadline, "serve never exited after drain");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// A client that fires a query and slams the connection shut without
+/// reading the answer leaks nothing: the worker thread finishes, its
+/// response write fails, and every gauge it held returns to rest.
+#[test]
+fn chaos_client_disconnect_mid_query_releases_session_and_gauges() {
+    let daemon = Daemon::spawn("disconnect");
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp = str_field(&parse(&reg[0]), "model").to_string();
+
+    {
+        let mut stream = UnixStream::connect(&daemon.path).expect("connect");
+        stream
+            .write_all(query_line(&fp, 1000.0, None).as_bytes())
+            .expect("request");
+        stream.write_all(b"\n").expect("newline");
+        // Drop without reading: the peer's response write hits a dead
+        // socket.
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let exposition = daemon.metrics_exposition();
+        // The polling metrics session is the only one left alive.
+        if exposition.contains("unicon_serve_active_queries 0e0")
+            && exposition.contains("unicon_serve_active_sessions 1e0")
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gauges never drained after disconnect:\n{exposition}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The daemon still does real work afterwards, bitwise-identically.
+    let golden = reach_goldens(1, "10", 1);
+    let resp = daemon.session(&[query_line(&fp, 10.0, None)]);
+    assert_eq!(value_and_checksum(&resp[0]), golden[0]);
+    daemon.shutdown();
+}
+
+/// `shutdown` issued while a 10-query batch is in flight: every query
+/// still gets a typed answer (complete, or a deadline partial if the
+/// grace window trips), the session sees EOF, and the daemon exits 0.
+#[test]
+fn chaos_shutdown_with_in_flight_queries_drains_cleanly() {
+    let bounds: Vec<f64> = (1..=10).map(|i| i as f64 * 10.0).collect();
+    let bounds_spec = bounds
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let goldens = reach_goldens(1, &bounds_spec, 1);
+
+    let daemon = Daemon::spawn("drain");
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp = str_field(&parse(&reg[0]), "model").to_string();
+    let batch: Vec<String> = bounds.iter().map(|&t| query_line(&fp, t, None)).collect();
+
+    let responses = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| daemon.session(&batch));
+        // Let the batch enter the pipeline, then pull the plug.
+        std::thread::sleep(Duration::from_millis(50));
+        if let Ok(mut s) = UnixStream::connect(&daemon.path) {
+            let _ = s.write_all(b"{\"shutdown\": {}}\n");
+            let mut ack = String::new();
+            let _ = s.read_to_string(&mut ack);
+        }
+        worker.join().expect("in-flight session")
+    });
+
+    assert_eq!(
+        responses.len(),
+        batch.len(),
+        "a drain must not drop answers"
+    );
+    for (resp, expected) in responses.iter().zip(&goldens) {
+        let v = parse(resp);
+        let ok = str_field(&v, "ok");
+        assert!(
+            ok == "query" || ok == "partial",
+            "drain produced a non-answer: {resp}"
+        );
+        if ok == "query" {
+            assert_eq!(
+                &value_and_checksum(resp),
+                expected,
+                "drain changed an answer's bits"
+            );
+        } else {
+            assert_eq!(str_field(&v, "stopped"), "deadline");
+        }
+    }
+    daemon.wait_success();
+}
+
+/// SIGTERM is a graceful drain, not a kill: in-flight work finishes and
+/// the process exits 0 with its socket file removed.
+#[test]
+fn chaos_sigterm_drains_and_exits_zero() {
+    let golden = reach_goldens(1, "10", 1);
+    let daemon = Daemon::spawn("sigterm");
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp = str_field(&parse(&reg[0]), "model").to_string();
+    let resp = daemon.session(&[query_line(&fp, 10.0, None)]);
+    assert_eq!(value_and_checksum(&resp[0]), golden[0]);
+
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -TERM failed");
+    daemon.wait_success();
+}
+
+/// With `--max-sessions 1` a second connection is shed with exactly one
+/// typed `overloaded` line (retriable), and the slot is reusable the
+/// moment the first session ends.
+#[test]
+fn chaos_session_pool_exhaustion_sheds_with_retriable_overloaded() {
+    let daemon = Daemon::spawn_with("maxsessions", &["--max-sessions", "1"]);
+
+    // Occupy the single slot and prove the session is admitted by
+    // round-tripping a request on it. The readiness probe may still be
+    // draining out of the slot, so retry until admitted.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let reader = loop {
+        let mut hold = UnixStream::connect(&daemon.path).expect("first session");
+        hold.write_all(b"{\"metrics\": {}}\n").expect("request");
+        let mut reader = BufReader::new(hold);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("admitted response");
+        if parse(line.trim()).get("exposition").is_some() {
+            break reader;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "single-session slot never freed: {line:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // The pool is full: the next connection gets one overloaded line
+    // and EOF.
+    let rejected = UnixStream::connect(&daemon.path).expect("second connect");
+    let mut text = String::new();
+    BufReader::new(rejected)
+        .read_to_string(&mut text)
+        .expect("rejection read");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "shed connection got more than one line: {text:?}"
+    );
+    let v = parse(lines[0]);
+    let err = v
+        .get("error")
+        .unwrap_or_else(|| panic!("not an error: {text}"));
+    assert_eq!(str_field(err, "kind"), "overloaded");
+    assert!(num_field(err, "code") != 0.0);
+    assert_eq!(
+        err.get("retriable"),
+        Some(&Value::Bool(true)),
+        "shed sessions must be advertised as retriable"
+    );
+
+    // Release the slot; the daemon admits new sessions again and the
+    // rejection was counted.
+    drop(reader);
+    let exposition = daemon.metrics_exposition();
+    let rejected_count = exposition
+        .lines()
+        .find_map(|l| l.strip_prefix("unicon_serve_sessions_rejected_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("rejection counter not exposed:\n{exposition}"));
+    assert!(rejected_count >= 1, "rejection not counted:\n{exposition}");
+    daemon.shutdown();
+}
+
+/// A request line over `--max-line-bytes` gets a typed `line-too-long`
+/// error, the offending session is closed, and the daemon keeps serving
+/// fresh sessions.
+#[test]
+fn chaos_oversized_line_gets_typed_error_and_daemon_survives() {
+    let daemon = Daemon::spawn_with("maxline", &["--max-line-bytes", "1024"]);
+
+    let mut stream = UnixStream::connect(&daemon.path).expect("connect");
+    let mut big = "x".repeat(4096);
+    big.push('\n');
+    stream.write_all(big.as_bytes()).expect("oversized line");
+    // Anything after the oversized line is never answered: the session
+    // ends. The writes below may race the server's close; that is fine.
+    let _ = stream.write_all(b"{\"metrics\": {}}\n");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut text = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut text)
+        .expect("error line read");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "session must end after the cap trips: {text:?}"
+    );
+    let v = parse(lines[0]);
+    let err = v
+        .get("error")
+        .unwrap_or_else(|| panic!("not an error: {text}"));
+    assert_eq!(str_field(err, "kind"), "line-too-long");
+    assert!(num_field(err, "code") != 0.0);
+
+    // Fresh sessions are unaffected.
+    let golden = reach_goldens(1, "10", 1);
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp = str_field(&parse(&reg[0]), "model").to_string();
+    let resp = daemon.session(&[query_line(&fp, 10.0, None)]);
+    assert_eq!(value_and_checksum(&resp[0]), golden[0]);
+    let exposition = daemon.metrics_exposition();
+    assert!(
+        exposition.contains("unicon_serve_lines_too_long_total 1"),
+        "cap trip not counted:\n{exposition}"
+    );
+    daemon.shutdown();
+}
+
+/// A client that sends an unterminated fragment and stalls is cut loose
+/// by `--idle-timeout` instead of pinning a session thread forever.
+#[test]
+fn chaos_slow_client_is_released_by_idle_timeout() {
+    let daemon = Daemon::spawn_with("idle", &["--idle-timeout", "1"]);
+
+    let mut stream = UnixStream::connect(&daemon.path).expect("connect");
+    stream.write_all(b"{\"metr").expect("fragment written");
+    let start = Instant::now();
+    let mut text = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut text)
+        .expect("server closes the stalled session");
+    assert!(
+        text.is_empty(),
+        "an unterminated fragment must not be answered: {text:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "idle timeout did not fire in time"
+    );
+
+    let exposition = daemon.metrics_exposition();
+    assert!(
+        exposition.contains("unicon_serve_idle_timeouts_total 1"),
+        "idle timeout not counted:\n{exposition}"
+    );
+    daemon.shutdown();
+}
+
+/// Eviction + rebuild under a 1-byte cache budget is invisible to the
+/// numbers: every rebuilt model keeps its fingerprint and answers
+/// bitwise-identically, pinned entries are never evicted mid-query, and
+/// evicted fingerprints answer `unknown-model` until re-registered.
+#[test]
+fn chaos_eviction_and_rebuild_yield_bitwise_identical_checksums() {
+    let goldens = reach_goldens(1, "10,50", 1);
+    let daemon = Daemon::spawn_with("evict", &["--cache-budget", "1"]);
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp1 = str_field(&parse(&reg[0]), "model").to_string();
+    let queries = vec![query_line(&fp1, 10.0, None), query_line(&fp1, 50.0, None)];
+
+    let baseline: Vec<(u64, String)> = daemon
+        .session(&queries)
+        .iter()
+        .map(|r| value_and_checksum(r))
+        .collect();
+    assert_eq!(baseline, goldens, "pre-eviction serve differs from reach");
+
+    for round in 0..3 {
+        // Registering a second model blows the budget: the idle n=1
+        // entry is the LRU victim.
+        let r2 = daemon.session(&[register_line(2).trim().to_string()]);
+        let v2 = parse(&r2[0]);
+        assert_eq!(str_field(&v2, "ok"), "register");
+        match v2.get("evicted") {
+            Some(Value::Arr(items)) => assert!(
+                items.iter().any(|e| e.as_str() == Some(fp1.as_str())),
+                "round {round}: n=1 was not evicted: {items:?}"
+            ),
+            other => panic!("round {round}: register lacks evicted list: {other:?}"),
+        }
+
+        // The evicted fingerprint is typed away, not mis-served.
+        let gone = daemon.session(&[query_line(&fp1, 10.0, None)]);
+        let gv = parse(&gone[0]);
+        let err = gv
+            .get("error")
+            .unwrap_or_else(|| panic!("evicted model still answered: {}", gone[0]));
+        assert_eq!(str_field(err, "kind"), "unknown-model");
+
+        // Rebuild: same fingerprint, provenance marked, and bitwise
+        // identical answers — including from two concurrent sessions.
+        let rereg = daemon.session(&[register_line(1).trim().to_string()]);
+        let vr = parse(&rereg[0]);
+        assert_eq!(str_field(&vr, "ok"), "register");
+        assert_eq!(
+            str_field(&vr, "model"),
+            fp1,
+            "round {round}: rebuild changed the fingerprint"
+        );
+        assert_eq!(vr.get("rebuilt"), Some(&Value::Bool(true)));
+
+        let (left, right) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| daemon.session(&queries));
+            let b = scope.spawn(|| daemon.session(&queries));
+            (a.join().expect("session a"), b.join().expect("session b"))
+        });
+        for responses in [&left, &right] {
+            let got: Vec<(u64, String)> = responses.iter().map(|r| value_and_checksum(r)).collect();
+            assert_eq!(got, baseline, "round {round}: rebuild changed bits");
+        }
+    }
+
+    // Two evictions per round: n=1 out when n=2 arrives, n=2 out when
+    // n=1 is rebuilt.
+    let exposition = daemon.metrics_exposition();
+    assert!(
+        exposition.contains("unicon_serve_cache_evictions_total 6"),
+        "eviction count drifted:\n{exposition}"
+    );
+    daemon.shutdown();
+}
+
+/// Seeded chaos: `--fault-build-panic 2` makes the FTWC n=2 build panic
+/// inside the daemon. The session gets a typed `build-failed` error, the
+/// size is quarantined (no rebuild storm), and every other model keeps
+/// answering bitwise-identically to one-shot reach.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn chaos_build_panic_is_typed_quarantined_and_isolated() {
+    let golden = reach_goldens(1, "10", 1);
+    let daemon = Daemon::spawn_with("buildpanic", &["--fault-build-panic", "2"]);
+
+    let r = daemon.session(&[register_line(2).trim().to_string()]);
+    let v = parse(&r[0]);
+    let err = v
+        .get("error")
+        .unwrap_or_else(|| panic!("seeded build panic was not reported: {}", r[0]));
+    assert_eq!(str_field(err, "kind"), "build-failed");
+    assert!(num_field(err, "code") != 0.0);
+    assert_eq!(err.get("retriable"), Some(&Value::Bool(false)));
+
+    // Quarantined: the failing build is not retried.
+    let r = daemon.session(&[register_line(2).trim().to_string()]);
+    let v = parse(&r[0]);
+    let err = v
+        .get("error")
+        .unwrap_or_else(|| panic!("quarantine did not hold: {}", r[0]));
+    assert_eq!(str_field(err, "kind"), "build-failed");
+
+    // The blast radius is one model size; the rest of the fleet works.
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp = str_field(&parse(&reg[0]), "model").to_string();
+    let resp = daemon.session(&[query_line(&fp, 10.0, None)]);
+    assert_eq!(value_and_checksum(&resp[0]), golden[0]);
+
+    let exposition = daemon.metrics_exposition();
+    assert!(
+        exposition.contains("unicon_serve_build_failures_total 1"),
+        "quarantine must not re-run the failing build:\n{exposition}"
+    );
+    daemon.shutdown();
+}
+
+/// Seeded chaos: `--fault-evict-stall` holds the eviction pass open
+/// while queries race it. No answer is ever wrong: each response is
+/// either the bitwise-golden value or a typed `unknown-model` (the
+/// entry was evicted between requests), and a re-register restores
+/// golden answers.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn chaos_eviction_stall_race_never_corrupts_answers() {
+    let golden = reach_goldens(1, "200", 1);
+    let daemon = Daemon::spawn_with(
+        "evictstall",
+        &["--cache-budget", "1", "--fault-evict-stall", "300"],
+    );
+    let reg = daemon.session(&[register_line(1).trim().to_string()]);
+    let fp1 = str_field(&parse(&reg[0]), "model").to_string();
+    let resp = daemon.session(&[query_line(&fp1, 200.0, None)]);
+    assert_eq!(value_and_checksum(&resp[0]), golden[0]);
+
+    // Query n=1 from one session while a register of n=2 (and its
+    // stalled eviction pass) runs in another.
+    let batch: Vec<String> = (0..5).map(|_| query_line(&fp1, 200.0, None)).collect();
+    let responses = std::thread::scope(|scope| {
+        let q = scope.spawn(|| daemon.session(&batch));
+        let r2 = daemon.session(&[register_line(2).trim().to_string()]);
+        assert_eq!(str_field(&parse(&r2[0]), "ok"), "register");
+        q.join().expect("racing query session")
+    });
+    for resp in &responses {
+        let v = parse(resp);
+        if let Some(err) = v.get("error") {
+            assert_eq!(
+                str_field(err, "kind"),
+                "unknown-model",
+                "race produced a non-eviction error: {resp}"
+            );
+        } else {
+            assert_eq!(
+                &value_and_checksum(resp),
+                &golden[0],
+                "race corrupted an answer"
+            );
+        }
+    }
+
+    // After the dust settles, a re-register restores golden answers.
+    let rereg = daemon.session(&[register_line(1).trim().to_string()]);
+    assert_eq!(str_field(&parse(&rereg[0]), "model"), fp1);
+    let resp = daemon.session(&[query_line(&fp1, 200.0, None)]);
+    assert_eq!(value_and_checksum(&resp[0]), golden[0]);
     daemon.shutdown();
 }
