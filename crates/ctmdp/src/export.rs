@@ -180,11 +180,13 @@ pub fn scheduler_from_text(text: &str) -> Result<StepDependent, SchedulerParseEr
 
 /// Renders a batch run's measurements as one JSON object: requested and
 /// effective thread counts (the request before and after the
-/// `available_parallelism` clamp), machine parallelism, per-phase
-/// timings in milliseconds, weight-cache
-/// counters, and one entry per query carrying its iteration count, wall
-/// time, the value from state `initial` and the deterministic chunked
-/// checksum (hex-encoded bits, bitwise reproducible across thread counts).
+/// `available_parallelism` clamp), machine parallelism, the
+/// value-iteration kernel and its normalized speed
+/// (`kernel_ns_per_state`), per-phase timings in milliseconds,
+/// weight-cache counters, and one entry per query carrying its iteration
+/// count, wall time, the value from state `initial` and the deterministic
+/// chunked checksum (hex-encoded bits, bitwise reproducible across
+/// thread counts).
 pub fn batch_to_json(batch: &BatchResult, initial: u32) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let s = &batch.stats;
@@ -210,12 +212,15 @@ pub fn batch_to_json(batch: &BatchResult, initial: u32) -> String {
         .collect();
     format!(
         "{{\"threads_requested\":{},\"threads_effective\":{},\
-         \"available_parallelism\":{},\"precompute_ms\":{},\
+         \"available_parallelism\":{},\"kernel\":\"{}\",\
+         \"kernel_ns_per_state\":{},\"precompute_ms\":{},\
          \"weights_ms\":{},\"iterate_ms\":{},\"cache_hits\":{},\"cache_misses\":{},\
          \"total_iterations\":{},\"queries\":[{}]}}",
         s.threads_requested,
         s.threads_effective,
         std::thread::available_parallelism().map_or(1, usize::from),
+        s.kernel.as_str(),
+        s.kernel_ns_per_state,
         ms(s.precompute_time),
         ms(s.weights_time),
         ms(s.iterate_time),
@@ -341,6 +346,8 @@ mod tests {
             "\"threads_requested\":1",
             "\"threads_effective\":1",
             "\"available_parallelism\":",
+            "\"kernel\":\"fused\"",
+            "\"kernel_ns_per_state\":",
             "\"precompute_ms\":",
             "\"weights_ms\":",
             "\"iterate_ms\":",

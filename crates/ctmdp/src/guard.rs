@@ -38,10 +38,11 @@
 //! # Determinism
 //!
 //! A guarded run's values are bitwise identical to the plain
-//! [`ReachBatch::run`] for every thread count: the per-state kernel is
-//! the shared [`step_state`], workers read the previous iterate as an
-//! immutable snapshot and write disjoint slots, and degradation replays
-//! the interrupted step from that same snapshot. The guarded parallel
+//! [`ReachBatch::run`] for every thread count: every slot is written by
+//! the shared [`sweep_states`] sweep (which dispatches to the batch's
+//! selected kernel), workers read the previous iterate as an immutable
+//! snapshot and write disjoint slots, and degradation replays the
+//! interrupted step from that same snapshot. The guarded parallel
 //! path trades the plain engine's persistent worker pool for one scope
 //! per step so that each step is a quarantine boundary.
 
@@ -59,8 +60,8 @@ use unicon_numeric::rng::{Rng, XorShift64};
 
 use crate::par::{resolve_threads, ReachBatch, CHECKSUM_BLOCK};
 use crate::reachability::{
-    finalize_values, indicator_result, step_state, validate_epsilon, validate_time, Objective,
-    Precompute, ReachError, ReachResult,
+    finalize_values, indicator_result, sweep_states, validate_epsilon, validate_time, Kernel,
+    Objective, Precompute, ReachError, ReachResult,
 };
 
 /// Tolerance of the out-of-range health check: iterates may drift this
@@ -917,11 +918,12 @@ impl CheckpointData {
 /// panicking worker, leaving `q_out` partially written (the caller
 /// discards or recomputes it).
 ///
-/// Determinism: every slot is written by the shared [`step_state`]
-/// kernel against the immutable `q_next` snapshot, so the result is
-/// bitwise independent of `workers`.
+/// Determinism: every slot is written by the shared [`sweep_states`]
+/// sweep (with the run's selected kernel) against the immutable `q_next`
+/// snapshot, so the result is bitwise independent of `workers`.
 #[allow(clippy::too_many_arguments)]
 fn guarded_step(
+    kernel: Kernel,
     ctmdp: &crate::model::Ctmdp,
     pre: &Precompute,
     goal: &[bool],
@@ -955,9 +957,18 @@ fn guarded_step(
                     if panic_at == Some((step, w)) {
                         panic!("injected worker fault (step {step}, worker {w})");
                     }
-                    for (slot, s) in chunk.iter_mut().zip(range) {
-                        *slot = step_state(ctmdp, pre, goal, s, psi, q_next, maximize).0;
-                    }
+                    sweep_states(
+                        kernel,
+                        ctmdp,
+                        pre,
+                        goal,
+                        range,
+                        psi,
+                        q_next,
+                        maximize,
+                        chunk,
+                        &mut [],
+                    );
                 }))
                 .map_err(|_| w)
             }));
@@ -975,7 +986,9 @@ fn guarded_step(
 }
 
 /// Sequential recomputation of one step — the quarantine fallback.
+#[allow(clippy::too_many_arguments)]
 fn sequential_step(
+    kernel: Kernel,
     ctmdp: &crate::model::Ctmdp,
     pre: &Precompute,
     goal: &[bool],
@@ -984,9 +997,19 @@ fn sequential_step(
     q_out: &mut [f64],
     maximize: bool,
 ) {
-    for (s, slot) in q_out.iter_mut().enumerate() {
-        *slot = step_state(ctmdp, pre, goal, s, psi, q_next, maximize).0;
-    }
+    let n = q_out.len();
+    sweep_states(
+        kernel,
+        ctmdp,
+        pre,
+        goal,
+        0..n,
+        psi,
+        q_next,
+        maximize,
+        q_out,
+        &mut [],
+    );
 }
 
 /// Brackets the interrupted query when stopping before step `next_i`
@@ -1254,6 +1277,7 @@ fn run_guarded_inner(
 
             let psi = fg.psi(i);
             if let Err(worker) = guarded_step(
+                batch.kernel,
                 batch.ctmdp,
                 pre,
                 &batch.goal,
@@ -1294,6 +1318,7 @@ fn run_guarded_inner(
                         // kernel, same inputs, so the degraded step is
                         // bitwise the step the workers should have done.
                         sequential_step(
+                            batch.kernel,
                             batch.ctmdp,
                             pre,
                             &batch.goal,

@@ -38,8 +38,9 @@ use unicon_sparse::assign_blocks;
 
 use crate::model::Ctmdp;
 use crate::reachability::{
-    emit_iteration, finalize_values, indicator_result, iterate_sequential, step_state,
-    validate_epsilon, validate_time, Objective, Precompute, ReachError, ReachOptions, ReachResult,
+    emit_iteration, finalize_values, indicator_result, iterate_sequential, sweep_states,
+    validate_epsilon, validate_time, Kernel, Objective, Precompute, ReachError, ReachOptions,
+    ReachResult, SweepBuffers,
 };
 
 /// Fixed block size of the deterministic checksum reduction — a property
@@ -89,13 +90,16 @@ pub fn timed_reachability_par(
     let start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
     let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
+    let mut bufs = SweepBuffers::default();
     Ok(run_query(
-        ctmdp, &pre, goal, &fg, k, opts, threads, 0, start,
+        ctmdp, &pre, goal, &fg, k, opts, threads, 0, start, &mut bufs,
     ))
 }
 
 /// Dispatches one query to the sequential or parallel driver. `qi` is
-/// the query's index within its batch, used only to tag telemetry.
+/// the query's index within its batch, used only to tag telemetry;
+/// `bufs` carries the iterate scratch vectors across the queries of a
+/// batch so repeated same-model queries run allocation-free.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_query(
     ctmdp: &Ctmdp,
@@ -107,12 +111,13 @@ pub(crate) fn run_query(
     threads: usize,
     qi: usize,
     start: Instant,
+    bufs: &mut SweepBuffers,
 ) -> ReachResult {
     let workers = resolve_threads(threads).min(ctmdp.num_states());
     if workers <= 1 {
-        iterate_sequential(ctmdp, pre, goal, fg, k, opts, qi, start)
+        iterate_sequential(ctmdp, pre, goal, fg, k, opts, qi, start, bufs)
     } else {
-        iterate_parallel(ctmdp, pre, goal, fg, k, opts, workers, qi, start)
+        iterate_parallel(ctmdp, pre, goal, fg, k, opts, workers, qi, start, bufs)
     }
 }
 
@@ -134,6 +139,9 @@ struct ChunkResult {
 
 /// The parallel value-iteration driver: persistent scoped workers, one
 /// contiguous state range each, synchronized per step through channels.
+/// All scratch vectors — the two value planes and the per-worker chunk
+/// buffers — are borrowed from (and returned to) `bufs`, so consecutive
+/// queries of a batch re-run without a single fresh allocation.
 #[allow(clippy::too_many_arguments)]
 fn iterate_parallel(
     ctmdp: &Ctmdp,
@@ -145,9 +153,11 @@ fn iterate_parallel(
     workers: usize,
     qi: usize,
     start: Instant,
+    bufs: &mut SweepBuffers,
 ) -> ReachResult {
     let n = ctmdp.num_states();
     let maximize = opts.objective == Objective::Maximize;
+    let kernel = opts.kernel;
     let record = opts.record_decisions;
     let ranges: Vec<std::ops::Range<usize>> = assign_blocks(n, workers)
         .into_iter()
@@ -161,8 +171,16 @@ fn iterate_parallel(
 
     // `current` is the shared snapshot q_{i+1}; `spare` is the assembly
     // target for q_i. They rotate each step, recycling both allocations.
-    let mut current = Arc::new(vec![0.0f64; n]);
-    let mut spare = vec![0.0f64; n];
+    let (plane_a, plane_b) = bufs.take_pair(n);
+    let mut current = Arc::new(plane_a);
+    let mut spare = plane_b;
+    // Per-worker scratch, keyed by worker index so the buffer sized for
+    // range `w` on the previous query is handed back to range `w` now.
+    while bufs.chunks.len() < ranges.len() {
+        bufs.chunks.push(Default::default());
+    }
+    let mut buffers: Vec<Option<(Vec<f64>, Vec<u16>)>> =
+        bufs.chunks.drain(..ranges.len()).map(Some).collect();
 
     std::thread::scope(|scope| {
         let (done_tx, done_rx) = mpsc::channel::<ChunkResult>();
@@ -180,18 +198,23 @@ fn iterate_parallel(
                         mut decisions,
                     } = job;
                     values.clear();
-                    values.reserve(range.len());
+                    values.resize(range.len(), 0.0);
                     if record {
                         decisions.clear();
-                        decisions.reserve(range.len());
+                        decisions.resize(range.len(), 0);
                     }
-                    for s in range.clone() {
-                        let (v, idx) = step_state(ctmdp, pre, goal, s, psi, &q_next, maximize);
-                        values.push(v);
-                        if record {
-                            decisions.push(idx);
-                        }
-                    }
+                    sweep_states(
+                        kernel,
+                        ctmdp,
+                        pre,
+                        goal,
+                        range.clone(),
+                        psi,
+                        &q_next,
+                        maximize,
+                        &mut values,
+                        &mut decisions,
+                    );
                     // Drop the snapshot before reporting so the main
                     // thread can reclaim its allocation afterwards.
                     drop(q_next);
@@ -209,13 +232,20 @@ fn iterate_parallel(
             });
         }
 
-        let mut buffers: Vec<Option<(Vec<f64>, Vec<u16>)>> = (0..ranges.len())
-            .map(|_| Some(Default::default()))
-            .collect();
         for i in (1..=k).rev() {
             let psi = fg.psi(i);
             for (w, job_tx) in job_txs.iter().enumerate() {
                 let (values, decs) = buffers[w].take().expect("buffer returned last step");
+                // Capacity probe on the assembler thread: the workers
+                // only clear+resize, so growth shows up exactly once per
+                // undersized buffer — the quantity the buffer-reuse
+                // regression tests pin.
+                if values.capacity() < ranges[w].len() {
+                    bufs.allocs += 1;
+                }
+                if record && decs.capacity() < ranges[w].len() {
+                    bufs.allocs += 1;
+                }
                 job_tx
                     .send(Job {
                         psi,
@@ -250,13 +280,21 @@ fn iterate_parallel(
         drop(job_txs); // workers exit their recv loop
     });
 
-    ReachResult {
+    let result = ReachResult {
         values: finalize_values(goal, &current),
         iterations: k,
         uniform_rate: pre.rate,
         runtime: start.elapsed(),
         decisions,
-    }
+    };
+    // Return every scratch vector for the next query. The workers have
+    // all exited the scope, so the snapshot Arc is unique again.
+    let plane = Arc::try_unwrap(current).unwrap_or_else(|arc| arc.as_ref().clone());
+    bufs.restore_pair(plane, spare);
+    let mut restored: Vec<(Vec<f64>, Vec<u16>)> = buffers.into_iter().flatten().collect();
+    restored.append(&mut bufs.chunks); // keep any leftover stash behind
+    bufs.chunks = restored;
+    result
 }
 
 /// One query of a [`ReachBatch`].
@@ -308,6 +346,17 @@ pub struct BatchStats {
     pub cache_misses: usize,
     /// Sum of all queries' iteration counts.
     pub total_iterations: usize,
+    /// The value-iteration kernel the batch ran on.
+    pub kernel: Kernel,
+    /// Average wall nanoseconds per state per value-iteration step:
+    /// `iterate_time / (total_iterations × num_states)` — the
+    /// size-normalized kernel speed the BENCH trajectory tracks
+    /// (0 when the batch performed no iterations).
+    pub kernel_ns_per_state: f64,
+    /// How many times an iterate scratch vector had to allocate across
+    /// the whole batch. After the first query warms the
+    /// [`SweepBuffers`], further same-model queries add zero.
+    pub buffer_allocs: usize,
     /// Per-query detail, in query order.
     pub queries: Vec<QueryStats>,
 }
@@ -354,6 +403,7 @@ pub struct ReachBatch<'a> {
     pub(crate) goal: Vec<bool>,
     pub(crate) epsilon: f64,
     pub(crate) threads: usize,
+    pub(crate) kernel: Kernel,
     pub(crate) queries: Vec<ReachQuery>,
 }
 
@@ -375,6 +425,7 @@ impl<'a> ReachBatch<'a> {
             goal: goal.to_vec(),
             epsilon: ReachOptions::default().epsilon,
             threads: 1,
+            kernel: Kernel::default(),
             queries: Vec::new(),
         }
     }
@@ -389,6 +440,14 @@ impl<'a> ReachBatch<'a> {
     /// Sets the worker-thread count (`0` = one per hardware thread).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the value-iteration kernel ([`Kernel::Fused`] by default;
+    /// [`Kernel::Reference`] is the retained oracle for differential
+    /// benchmarking — both produce bitwise-identical results).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -468,7 +527,9 @@ impl<'a> ReachBatch<'a> {
         }
         let threads = resolve_threads(self.threads);
 
-        let opts_base = ReachOptions::default().with_epsilon(self.epsilon);
+        let opts_base = ReachOptions::default()
+            .with_epsilon(self.epsilon)
+            .with_kernel(self.kernel);
         // The cache may be shared across many runs (a serve session);
         // stats and counter events report this run's contribution only.
         let (hits0, misses0) = (cache.hits(), cache.misses());
@@ -477,6 +538,9 @@ impl<'a> ReachBatch<'a> {
         let mut weights_time = Duration::ZERO;
         let mut iterate_time = Duration::ZERO;
         let mut total_iterations = 0;
+        // One scratch pool for the whole batch: the first query sizes it,
+        // every later query runs allocation-free.
+        let mut bufs = SweepBuffers::default();
 
         for (qi, q) in self.queries.iter().enumerate() {
             let result = if q.t == 0.0 || pre.rate == 0.0 {
@@ -503,6 +567,7 @@ impl<'a> ReachBatch<'a> {
                     threads,
                     qi,
                     Instant::now(), // det-lint: allow(clock): event timestamp only.
+                    &mut bufs,
                 )
             };
             iterate_time += result.runtime;
@@ -526,6 +591,17 @@ impl<'a> ReachBatch<'a> {
             value: (cache.misses() - misses0) as u64,
         });
 
+        let n = self.ctmdp.num_states();
+        let kernel_ns_per_state = if total_iterations == 0 || n == 0 {
+            0.0
+        } else {
+            iterate_time.as_nanos() as f64 / (total_iterations as f64 * n as f64)
+        };
+        unicon_obs::emit(unicon_obs::Class::Metric, || unicon_obs::Event::Gauge {
+            name: "reach_kernel_ns_per_state",
+            value: kernel_ns_per_state,
+        });
+
         Ok(BatchResult {
             results,
             stats: BatchStats {
@@ -537,6 +613,9 @@ impl<'a> ReachBatch<'a> {
                 cache_hits: cache.hits() - hits0,
                 cache_misses: cache.misses() - misses0,
                 total_iterations,
+                kernel: self.kernel,
+                kernel_ns_per_state,
+                buffer_allocs: bufs.allocs,
                 queries: query_stats,
             },
         })
@@ -714,6 +793,7 @@ impl ReachEngine {
             threads,
             0,
             Instant::now(), // det-lint: allow(clock): runtime telemetry only.
+            &mut SweepBuffers::default(),
         )
     }
 }

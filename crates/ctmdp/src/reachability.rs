@@ -12,10 +12,11 @@
 //! over all emanating *transitions* (not merely all actions), because a
 //! state may carry several transitions with the same label.
 
+use std::ops::Range;
 use std::time::Instant;
 
 use unicon_numeric::FoxGlynn;
-use unicon_sparse::CsrMatrix;
+use unicon_sparse::{CsrMatrix, FusedBuilder, FusedGroups};
 
 use crate::model::{Ctmdp, NotUniformError};
 
@@ -120,6 +121,39 @@ pub enum Objective {
     Minimize,
 }
 
+/// Which implementation executes the per-state value-iteration sweep.
+///
+/// Both kernels compute **bitwise identical** results — the fused kernel
+/// replays the reference kernel's exact f64 operation order over a
+/// flattened layout — so this choice affects wall-clock time only. The
+/// reference kernel is retained as the differential oracle (the same
+/// pattern that keeps the worklist refiner honest against the reference
+/// refiner), pinned by the `tests/kernel_differential.rs` suite and the
+/// ci.sh `--kernel reference` vs `--kernel fused` cmp gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The original two-level traversal: `transitions_from(s)` →
+    /// `rate_fn` → shared CSR row in rate-function-pool order.
+    Reference,
+    /// The fused state-major structure-of-arrays layout compiled by
+    /// [`Precompute`]: duplicated rows in sweep order, split
+    /// target/weight arrays, inlined goal coefficients, precomputed
+    /// state classes, cache-blocked sweep.
+    #[default]
+    Fused,
+}
+
+impl Kernel {
+    /// The CLI/JSON spelling of the kernel name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Fused => "fused",
+        }
+    }
+}
+
 /// Options for [`timed_reachability`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReachOptions {
@@ -131,6 +165,8 @@ pub struct ReachOptions {
     /// scheduler extraction. Memory is `O(k · |S|)` — keep an eye on it for
     /// long horizons.
     pub record_decisions: bool,
+    /// Which sweep kernel to run (bitwise-identical results either way).
+    pub kernel: Kernel,
 }
 
 impl Default for ReachOptions {
@@ -139,6 +175,7 @@ impl Default for ReachOptions {
             epsilon: 1e-6,
             objective: Objective::Maximize,
             record_decisions: false,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -164,6 +201,12 @@ impl ReachOptions {
     /// Enables decision recording.
     pub fn recording_decisions(mut self) -> Self {
         self.record_decisions = true;
+        self
+    }
+
+    /// Selects the sweep kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -204,17 +247,27 @@ pub(crate) struct Precompute {
     pub(crate) probs: CsrMatrix,
     /// `prob_goal[rf] = R(B) / E_R`.
     pub(crate) prob_goal: Vec<f64>,
+    /// The fused state-major kernel layout ([`Kernel::Fused`]): one group
+    /// per state, one row per emanating transition with its rate
+    /// function's probability row **duplicated** (un-pooled) into sweep
+    /// order, the goal coefficient inlined as the row bias, and the
+    /// goal/absorbing/single/multi class precomputed per state. The row
+    /// values are copied bit-exactly from `probs`, in row order, so the
+    /// fused kernel reproduces the reference kernel's sums bitwise.
+    pub(crate) fused: FusedGroups,
 }
 
 impl Precompute {
-    /// Verifies uniformity and builds the shared traversal structures.
+    /// Verifies uniformity and builds the shared traversal structures —
+    /// including the fused kernel layout, compiled once per model.
     pub(crate) fn new(ctmdp: &Ctmdp, goal: &[bool]) -> Result<Self, ReachError> {
         validate_goal(goal, ctmdp)?;
         let rate = ctmdp.uniform_rate()?;
         let rfs = ctmdp.rate_functions();
+        let n = ctmdp.num_states();
         let probs = CsrMatrix::from_triplets(
             rfs.len(),
-            ctmdp.num_states(),
+            n,
             rfs.iter()
                 .enumerate()
                 .flat_map(|(i, rf)| rf.probs().map(move |(tgt, p)| (i, tgt as usize, p))),
@@ -223,17 +276,44 @@ impl Precompute {
             .iter()
             .map(|rf| rf.rate_into(goal) / rf.total())
             .collect();
+
+        // Intern each rate-function row once — transitions sharing a rate
+        // function reference the same pooled entries, keeping the hot
+        // entry pool as small as the CSR the reference kernel reads (and
+        // therefore just as cache-resident). Entries are copied bit-exactly
+        // from the same CSR rows the reference kernel iterates, so the two
+        // kernels see identical coefficients in identical order.
+        let mut fb = FusedBuilder::with_capacity(n, n, ctmdp.num_transitions(), probs.nnz());
+        let pool_rows: Vec<_> = (0..rfs.len())
+            .map(|rf| fb.intern(prob_goal[rf], probs.row(rf).map(|(tgt, p)| (tgt as u32, p))))
+            .collect();
+        for s in 0..n as u32 {
+            if goal[s as usize] {
+                fb.fixed_group();
+                continue;
+            }
+            fb.begin_group();
+            for tr in ctmdp.transitions_from(s) {
+                fb.push_row(pool_rows[tr.rate_fn as usize]);
+            }
+            fb.end_group();
+        }
+        let fused = fb.build();
+
         Ok(Self {
             rate,
             probs,
             prob_goal,
+            fused,
         })
     }
 
-    /// Heap bytes held by the shared traversal structures (CSR rows plus
-    /// the per-rate-function goal mass vector).
+    /// Heap bytes held by the shared traversal structures (CSR rows, the
+    /// per-rate-function goal mass vector and the fused kernel layout).
     pub(crate) fn memory_bytes(&self) -> usize {
-        self.probs.memory_bytes() + self.prob_goal.len() * std::mem::size_of::<f64>()
+        self.probs.memory_bytes()
+            + self.prob_goal.len() * std::mem::size_of::<f64>()
+            + self.fused.memory_bytes()
     }
 }
 
@@ -275,6 +355,98 @@ pub(crate) fn step_state(
         }
     }
     (best, best_idx)
+}
+
+/// One value-iteration sweep over `range`, dispatched once per call on
+/// the selected kernel — the single entry point shared by the sequential
+/// driver, the parallel workers and the guarded engine, which keeps every
+/// engine's per-state operation order (and therefore its bits) identical.
+///
+/// `out` receives the new values for `range` (indexed from `range.start`);
+/// `decisions` must either be empty (recording off — the branch is hoisted
+/// out of the loop here, not tested per state) or exactly `range.len()`.
+///
+/// The fused arm delegates the whole range to
+/// [`FusedGroups::sweep_best`], whose per-group semantics mirror
+/// [`step_state`] operation for operation: `Fixed` is the goal branch
+/// (`psi + q_next[s]`), `Empty` the absorbing branch (`0.0`), and active
+/// groups evaluate each transition's interned row with the same
+/// bias-then-entries order, the same strict `>`/`<` compares, and the
+/// same `-1.0`/`+∞` sentinels — so NaN rows keep the sentinel and ties
+/// keep the first transition in both kernels, and the outputs are
+/// bitwise identical.
+#[allow(clippy::too_many_arguments)] // crate-internal kernel dispatch; a struct would just rename the fields
+pub(crate) fn sweep_states(
+    kernel: Kernel,
+    ctmdp: &Ctmdp,
+    pre: &Precompute,
+    goal: &[bool],
+    range: Range<usize>,
+    psi: f64,
+    q_next: &[f64],
+    maximize: bool,
+    out: &mut [f64],
+    decisions: &mut [u16],
+) {
+    debug_assert_eq!(out.len(), range.len());
+    debug_assert!(decisions.is_empty() || decisions.len() == range.len());
+    let record = !decisions.is_empty();
+    match kernel {
+        Kernel::Reference => {
+            for (i, s) in range.enumerate() {
+                let (v, idx) = step_state(ctmdp, pre, goal, s, psi, q_next, maximize);
+                out[i] = v;
+                if record {
+                    decisions[i] = idx;
+                }
+            }
+        }
+        Kernel::Fused => {
+            let decisions = if record { Some(decisions) } else { None };
+            pre.fused
+                .sweep_best(range, psi, q_next, maximize, out, decisions);
+        }
+    }
+}
+
+/// Scratch vectors reused across iterations *and across the queries of a
+/// batch*: the two value planes, the parallel engine's per-worker chunk
+/// buffers, and a counter of how many times a vector actually had to
+/// grow. A fresh default starts empty; after the first query every
+/// subsequent same-sized query runs allocation-free — `allocs` is the
+/// regression probe the buffer-reuse tests assert on.
+#[derive(Debug, Default)]
+pub(crate) struct SweepBuffers {
+    pub(crate) q: Vec<f64>,
+    pub(crate) q_next: Vec<f64>,
+    /// Per-worker `(values, decisions)` scratch, stashed here between
+    /// parallel runs.
+    pub(crate) chunks: Vec<(Vec<f64>, Vec<u16>)>,
+    /// Number of times any held vector had to allocate (capacity grew).
+    pub(crate) allocs: usize,
+}
+
+impl SweepBuffers {
+    /// Hands out the two value planes, zeroed and sized to `n`, counting
+    /// an allocation whenever a plane's capacity had to grow.
+    pub(crate) fn take_pair(&mut self, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut q = std::mem::take(&mut self.q);
+        let mut q_next = std::mem::take(&mut self.q_next);
+        for v in [&mut q, &mut q_next] {
+            if v.capacity() < n {
+                self.allocs += 1;
+            }
+            v.clear();
+            v.resize(n, 0.0);
+        }
+        (q, q_next)
+    }
+
+    /// Returns the two value planes for the next query.
+    pub(crate) fn restore_pair(&mut self, q: Vec<f64>, q_next: Vec<f64>) {
+        self.q = q;
+        self.q_next = q_next;
+    }
 }
 
 /// The trivial result when no Markov jump can happen (`t = 0` or `E = 0`):
@@ -330,13 +502,23 @@ pub fn timed_reachability(
     let fg = FoxGlynn::new(pre.rate * t);
     let k = fg.right_truncation(opts.epsilon);
     Ok(iterate_sequential(
-        ctmdp, &pre, goal, &fg, k, opts, 0, start,
+        ctmdp,
+        &pre,
+        goal,
+        &fg,
+        k,
+        opts,
+        0,
+        start,
+        &mut SweepBuffers::default(),
     ))
 }
 
 /// The sequential value-iteration driver, shared by the single-query API
 /// and the batch engine's one-thread path. `qi` tags telemetry records
-/// with the query's index in its batch (0 for single-query calls).
+/// with the query's index in its batch (0 for single-query calls). The
+/// value planes come from (and return to) `bufs`, so a batch's queries
+/// share one pair of allocations.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn iterate_sequential(
     ctmdp: &Ctmdp,
@@ -347,6 +529,7 @@ pub(crate) fn iterate_sequential(
     opts: &ReachOptions,
     qi: usize,
     start: Instant,
+    bufs: &mut SweepBuffers,
 ) -> ReachResult {
     let n = ctmdp.num_states();
     let maximize = opts.objective == Objective::Maximize;
@@ -355,8 +538,7 @@ pub(crate) fn iterate_sequential(
         decisions.resize(k, Vec::new());
     }
 
-    let mut q_next = vec![0.0f64; n]; // q_{k+1} = 0
-    let mut q = vec![0.0f64; n];
+    let (mut q, mut q_next) = bufs.take_pair(n); // q_{k+1} = 0
     for i in (1..=k).rev() {
         let psi = fg.psi(i);
         let mut step_decisions: Vec<u16> = if opts.record_decisions {
@@ -364,13 +546,18 @@ pub(crate) fn iterate_sequential(
         } else {
             Vec::new()
         };
-        for s in 0..n {
-            let (v, idx) = step_state(ctmdp, pre, goal, s, psi, &q_next, maximize);
-            q[s] = v;
-            if opts.record_decisions {
-                step_decisions[s] = idx;
-            }
-        }
+        sweep_states(
+            opts.kernel,
+            ctmdp,
+            pre,
+            goal,
+            0..n,
+            psi,
+            &q_next,
+            maximize,
+            &mut q,
+            &mut step_decisions,
+        );
         if opts.record_decisions {
             decisions[i - 1] = step_decisions;
         }
@@ -378,13 +565,15 @@ pub(crate) fn iterate_sequential(
         std::mem::swap(&mut q, &mut q_next);
     }
     // q_next holds q_1.
-    ReachResult {
+    let result = ReachResult {
         values: finalize_values(goal, &q_next),
         iterations: k,
         uniform_rate: pre.rate,
         runtime: start.elapsed(),
         decisions,
-    }
+    };
+    bufs.restore_pair(q, q_next);
+    result
 }
 
 /// Emits the per-iteration convergence record when iteration telemetry is

@@ -165,3 +165,43 @@ fn batch_checksums_are_identical_across_thread_counts() {
         }
     }
 }
+
+/// PR-9 regression: iterate scratch buffers are compiled once per batch
+/// and reused across queries. `BatchStats::buffer_allocs` is the probe —
+/// a 3-query batch must allocate exactly as much as a 1-query batch
+/// (the first query warms the buffers, later ones add zero), and the
+/// values computed in reused buffers must stay bitwise identical to
+/// fresh single-query runs.
+#[test]
+fn batch_buffers_are_allocated_once_and_reused_bitwise() {
+    let n = 30;
+    let m = random_uniform_ctmdp(n, 13);
+    let goal = random_goal(n, 13);
+    let bounds = [0.8, 1.6, 2.4];
+    for threads in [1, 4] {
+        let one = ReachBatch::new(&m, &goal)
+            .with_threads(threads)
+            .query(bounds[0])
+            .run()
+            .unwrap();
+        let mut batch = ReachBatch::new(&m, &goal).with_threads(threads);
+        for &t in &bounds {
+            batch = batch.query(t);
+        }
+        let three = batch.run().unwrap();
+        assert!(one.stats.buffer_allocs > 0, "threads={threads}");
+        assert_eq!(
+            three.stats.buffer_allocs, one.stats.buffer_allocs,
+            "3-query batch must not allocate beyond the first query's \
+             warm-up (threads={threads})"
+        );
+        for (r, &t) in three.results.iter().zip(&bounds) {
+            let single = timed_reachability(&m, &goal, t, &ReachOptions::default()).unwrap();
+            assert_eq!(
+                bits(&r.values),
+                bits(&single.values),
+                "reused buffer diverged at t={t} threads={threads}"
+            );
+        }
+    }
+}

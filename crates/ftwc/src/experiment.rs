@@ -6,7 +6,7 @@ use unicon_core::{PreparedModel, Refiner};
 use unicon_ctmc::transient::{self, TransientOptions};
 use unicon_ctmdp::export;
 use unicon_ctmdp::par::BatchResult;
-use unicon_ctmdp::reachability::ReachResult;
+use unicon_ctmdp::reachability::{Kernel, ReachResult};
 use unicon_imc::audit::{with_recording, Obligation};
 
 use crate::compositional::{self, BuildTimings};
@@ -185,12 +185,30 @@ pub fn reach_bench(
     epsilon: f64,
     threads: usize,
 ) -> ReachBench {
+    reach_bench_with_kernel(params, time_bounds, epsilon, threads, Kernel::default())
+}
+
+/// [`reach_bench`] with an explicit value-iteration kernel — the
+/// differential-benchmarking entry behind `unicon reach --ftwc --kernel`.
+/// Both kernels return bitwise-identical values; only the timings differ.
+///
+/// # Panics
+///
+/// See [`reach_bench`].
+pub fn reach_bench_with_kernel(
+    params: &FtwcParams,
+    time_bounds: &[f64],
+    epsilon: f64,
+    threads: usize,
+    kernel: Kernel,
+) -> ReachBench {
     let (prepared, build_time) = prepare(params);
 
     let mut batch = prepared
         .reach_batch()
         .with_epsilon(epsilon)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_kernel(kernel);
     for &t in time_bounds {
         batch = batch.query(t);
     }

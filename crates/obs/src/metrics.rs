@@ -47,6 +47,9 @@ fn help_text(metric: &str) -> &'static str {
         "unicon_refine_moved_states_total" => "States moved to fresh blocks during refinement.",
         "unicon_refine_blocks" => "Partition blocks after the most recent refinement round.",
         "unicon_guard_events_total" => "Guard-layer incidents, by kind.",
+        "unicon_reach_kernel_ns_per_state" => {
+            "Average wall nanoseconds per state per value-iteration step of the most recent reach batch."
+        }
         "unicon_serve_registry_hits_total" => {
             "Model registrations answered from the serve registry cache."
         }

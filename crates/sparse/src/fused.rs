@@ -1,0 +1,899 @@
+//! Fused structure-of-arrays layout for optimize-over-rows kernels.
+//!
+//! The reachability engine's hot loop evaluates, for every state, a small
+//! set of candidate rows (one per emanating transition) and keeps the
+//! best result. Stored naively that walk is two levels of indirection —
+//! state → transition record → shared row in a rate-function pool, with
+//! a separate per-pool-row coefficient gather — and it re-derives, per
+//! state and per sweep, classification branches whose outcome never
+//! changes (is this a goal state? does it have any transitions?).
+//! [`FusedGroups`] flattens the model once, at precompute time, into a
+//! shape built around what sweeps actually stream:
+//!
+//! * every group carries a precomputed [`GroupClass`] byte, and the
+//!   class sequence is **run-length encoded** at build time. Realistic
+//!   goal sets are long contiguous id ranges (in the fault-tolerant
+//!   workstation-cluster model, the overwhelming majority of states are
+//!   goal states), so a sweep handles each fixed run as one tight
+//!   element-wise loop the compiler can vectorize — bitwise safely,
+//!   because each output element's operation sequence is unchanged —
+//!   instead of taking a data-dependent branch per state;
+//! * entry storage is **pooled** (one copy per interned row no matter
+//!   how many groups reference it) and **compressed**: columns narrow
+//!   to `u16` when the column space allows it, and weights/biases
+//!   dedupe into a cache-resident `f64` table indexed by `u16` when
+//!   they take few enough distinct values — both with transparent
+//!   wide/direct fallbacks chosen per model at build time. A table
+//!   lookup returns the exact stored bits, so compression is invisible
+//!   to the arithmetic;
+//! * the whole sweep ([`FusedGroups::sweep_best`]) is one pass in group
+//!   order, monomorphized per storage combination, so the per-entry
+//!   loop carries no representation branches.
+//!
+//! The evaluation order inside a row — bias term first, then the
+//! entries in storage order — is part of the layout's contract: callers
+//! that intern rows from an existing matrix get **bitwise identical**
+//! sums from [`FusedGroups::sweep_best`] and from a hand-written loop
+//! over that matrix's rows. [`FusedGroups::eval_pool_row`] evaluates a
+//! single pool row in exactly that order and serves as the in-crate
+//! oracle the sweep is tested against.
+
+use std::ops::Range;
+
+/// Precomputed class of one group — the byte the kernel dispatches on
+/// instead of re-deriving per-sweep branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GroupClass {
+    /// The group's value is fixed by the caller (a goal state in the
+    /// reachability engine); it carries no rows.
+    Fixed = 0,
+    /// No candidate rows (an absorbing non-goal state).
+    Empty = 1,
+    /// Exactly one candidate row — evaluate it, skip the compare loop.
+    Single = 2,
+    /// Two or more candidate rows — optimize over them.
+    Multi = 3,
+}
+
+/// What a sweep does with a run of equally-classed groups. `Single` and
+/// `Multi` share the evaluate-and-compare path, so they merge into one
+/// run kind — fewer, longer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunKind {
+    Fixed,
+    Empty,
+    Active,
+}
+
+impl RunKind {
+    fn of(class: GroupClass) -> Self {
+        match class {
+            GroupClass::Fixed => RunKind::Fixed,
+            GroupClass::Empty => RunKind::Empty,
+            GroupClass::Single | GroupClass::Multi => RunKind::Active,
+        }
+    }
+}
+
+/// Identifies an interned pool row inside a [`FusedBuilder`] /
+/// [`FusedGroups`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolRow(u32);
+
+impl PoolRow {
+    /// The row's index into the pool.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Column stream: narrow (`u16`) when the column space fits, wide
+/// (`u32`) otherwise. Chosen once at build time; the narrow form halves
+/// the bytes the hot sweep streams per entry.
+#[derive(Debug, Clone)]
+enum ColData {
+    Narrow(Vec<u16>),
+    Wide(Vec<u32>),
+}
+
+impl ColData {
+    fn len(&self) -> usize {
+        match self {
+            ColData::Narrow(v) => v.len(),
+            ColData::Wide(v) => v.len(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            ColData::Narrow(v) => v.len() * std::mem::size_of::<u16>(),
+            ColData::Wide(v) => v.len() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
+/// Value stream (weights or biases): a `u16` index into a table of the
+/// distinct `f64` values when few enough exist (2 bytes streamed per
+/// value instead of 8, table stays cache-resident), the raw values
+/// otherwise. A table lookup returns the exact stored bits, so the two
+/// forms are bitwise interchangeable.
+#[derive(Debug, Clone)]
+enum ValData {
+    Direct(Vec<f64>),
+    Indexed { idx: Vec<u16>, table: Vec<f64> },
+}
+
+impl ValData {
+    #[inline]
+    fn at(&self, i: usize) -> f64 {
+        match self {
+            ValData::Direct(v) => v[i],
+            ValData::Indexed { idx, table } => table[idx[i] as usize],
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            ValData::Direct(v) => v.len() * std::mem::size_of::<f64>(),
+            ValData::Indexed { idx, table } => {
+                idx.len() * std::mem::size_of::<u16>() + table.len() * std::mem::size_of::<f64>()
+            }
+        }
+    }
+}
+
+/// Dedupes `vals` into a `u16`-indexed table of distinct bit patterns
+/// (first-encounter order, so the result is deterministic) when they
+/// fit, keeping the raw vector otherwise. Keying by bits preserves
+/// every value exactly — NaN payloads and signed zeros included.
+fn compress_vals(vals: Vec<f64>) -> ValData {
+    let mut seen = std::collections::HashMap::new();
+    let mut table: Vec<f64> = Vec::new();
+    let mut idx = Vec::with_capacity(vals.len());
+    for &v in &vals {
+        let next = table.len();
+        let slot = *seen.entry(v.to_bits()).or_insert(next);
+        if slot == next {
+            if next > usize::from(u16::MAX) {
+                return ValData::Direct(vals);
+            }
+            table.push(v);
+        }
+        idx.push(slot as u16);
+    }
+    ValData::Indexed { idx, table }
+}
+
+/// A fused, read-only group/row/entry structure: `group → pool-row ids →
+/// pooled (bias, col, weight)` with every level in contiguous arrays and
+/// the class sequence run-length encoded. Built once via
+/// [`FusedBuilder`], then only ever read — sharing a `&FusedGroups`
+/// across worker threads is free.
+#[derive(Debug, Clone)]
+pub struct FusedGroups {
+    cols: usize,
+    class: Vec<GroupClass>,
+    /// Run-length encoding of `class` (with `Single`/`Multi` merged):
+    /// `(end, kind)` per run, ends strictly increasing, last end equals
+    /// `class.len()`.
+    runs: Vec<(u32, RunKind)>,
+    /// `group_ptr[g]..group_ptr[g+1]` is group `g`'s range in `row_pool`.
+    group_ptr: Vec<u32>,
+    /// State-major candidate lists: the pool-row id of each row.
+    row_pool: Vec<u32>,
+    /// `pool_ptr[p]..pool_ptr[p+1]` is pool row `p`'s range in
+    /// `col`/`weight`.
+    pool_ptr: Vec<u32>,
+    /// Pool row biases, indexed like `pool_ptr`.
+    bias: ValData,
+    col: ColData,
+    weight: ValData,
+}
+
+impl FusedGroups {
+    /// Number of groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.class.len()
+    }
+
+    /// Total candidate rows across all groups (references, not pool rows).
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.row_pool.len()
+    }
+
+    /// Number of distinct interned pool rows.
+    #[must_use]
+    pub fn num_pool_rows(&self) -> usize {
+        self.pool_ptr.len() - 1
+    }
+
+    /// Total `(col, weight)` entries in the shared pool.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Number of class runs the sweep dispatches over.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Width of the column space rows index into.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The precomputed class of group `g`.
+    #[inline]
+    #[must_use]
+    pub fn class(&self, g: usize) -> GroupClass {
+        self.class[g]
+    }
+
+    /// The per-group class bytes, indexed by group.
+    #[inline]
+    #[must_use]
+    pub fn classes(&self) -> &[GroupClass] {
+        &self.class
+    }
+
+    /// The row index range of group `g` (into the state-major row array).
+    #[inline]
+    #[must_use]
+    pub fn rows(&self, g: usize) -> Range<usize> {
+        self.group_ptr[g] as usize..self.group_ptr[g + 1] as usize
+    }
+
+    /// The pool-row ids of group `g`'s candidates, in push order.
+    #[inline]
+    #[must_use]
+    pub fn pool_rows(&self, g: usize) -> &[u32] {
+        &self.row_pool[self.rows(g)]
+    }
+
+    /// The `(col, weight)` entries of pool row `p`, in storage order
+    /// (decompressed on the fly).
+    pub fn pool_entries(&self, p: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (lo, hi) = (self.pool_ptr[p] as usize, self.pool_ptr[p + 1] as usize);
+        (lo..hi).map(|i| {
+            let c = match &self.col {
+                ColData::Narrow(v) => u32::from(v[i]),
+                ColData::Wide(v) => v[i],
+            };
+            (c, self.weight.at(i))
+        })
+    }
+
+    /// The bias coefficient of pool row `p`.
+    #[inline]
+    #[must_use]
+    pub fn pool_bias(&self, p: usize) -> f64 {
+        self.bias.at(p)
+    }
+
+    /// Evaluates pool row `p` against `x`:
+    /// `scale * bias + Σ weightᵢ * x[colᵢ]`, accumulated **in storage
+    /// order** — the fixed operation order downstream bitwise-determinism
+    /// contracts rely on. This is the oracle [`FusedGroups::sweep_best`]
+    /// is tested against; the sweep performs exactly these operations in
+    /// exactly this order per row.
+    #[inline]
+    #[must_use]
+    pub fn eval_pool_row(&self, p: usize, scale: f64, x: &[f64]) -> f64 {
+        let (lo, hi) = (self.pool_ptr[p] as usize, self.pool_ptr[p + 1] as usize);
+        let mut v = scale * self.bias.at(p);
+        for i in lo..hi {
+            let c = match &self.col {
+                ColData::Narrow(cv) => cv[i] as usize,
+                ColData::Wide(cv) => cv[i] as usize,
+            };
+            v += self.weight.at(i) * x[c];
+        }
+        v
+    }
+
+    /// One optimize-over-rows sweep over the groups in `groups`, writing
+    /// each group's best value into `out` (indexed from `groups.start`)
+    /// and, when `decisions` is provided, the best row's position within
+    /// its group.
+    ///
+    /// Per-group semantics:
+    ///
+    /// * [`GroupClass::Fixed`]: value is `scale + x[g]`, decision `0`;
+    /// * [`GroupClass::Empty`]: value is `0.0`, decision `0`;
+    /// * [`GroupClass::Single`] / [`GroupClass::Multi`]: each candidate
+    ///   row evaluates as [`FusedGroups::eval_pool_row`] (same operations,
+    ///   same order); the best row wins by strict `>` against an initial
+    ///   `-1.0` when `maximize`, strict `<` against `+∞` otherwise. Strict
+    ///   compares keep the **first** best row on ties, and rows that
+    ///   evaluate to NaN never displace the sentinel (both compares are
+    ///   false for NaN) — matching a sequential first-wins reference loop.
+    ///
+    /// The sweep walks the precomputed class runs: fixed and empty runs
+    /// become element-wise loops over the run's span (vectorizable
+    /// without changing any element's operation sequence), active runs
+    /// evaluate per group. A shared-row value is recomputed for every
+    /// referencing group, exactly as a per-state reference kernel would —
+    /// identical operations in identical order, so the output is bitwise
+    /// reproducible at any `groups` partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is out of range, `out` is shorter than
+    /// `groups`, or a provided `decisions` is shorter than `groups`.
+    pub fn sweep_best(
+        &self,
+        groups: Range<usize>,
+        scale: f64,
+        x: &[f64],
+        maximize: bool,
+        out: &mut [f64],
+        decisions: Option<&mut [u16]>,
+    ) {
+        assert!(groups.end <= self.num_groups(), "group range out of bounds");
+        // One dispatch per sweep; each storage combination gets its own
+        // `inline(never)` instantiation so the per-entry loop carries no
+        // representation branches (and the optimizer cannot tail-merge
+        // the arms back into one branchy body).
+        match (&self.col, &self.weight) {
+            (ColData::Narrow(c), ValData::Indexed { idx, table }) => sweep_best_generic(
+                self,
+                c,
+                idx,
+                |ix| table[usize::from(ix)],
+                groups,
+                scale,
+                x,
+                maximize,
+                out,
+                decisions,
+            ),
+            (ColData::Narrow(c), ValData::Direct(w)) => sweep_best_generic(
+                self,
+                c,
+                w,
+                |w| w,
+                groups,
+                scale,
+                x,
+                maximize,
+                out,
+                decisions,
+            ),
+            (ColData::Wide(c), ValData::Indexed { idx, table }) => sweep_best_generic(
+                self,
+                c,
+                idx,
+                |ix| table[usize::from(ix)],
+                groups,
+                scale,
+                x,
+                maximize,
+                out,
+                decisions,
+            ),
+            (ColData::Wide(c), ValData::Direct(w)) => sweep_best_generic(
+                self,
+                c,
+                w,
+                |w| w,
+                groups,
+                scale,
+                x,
+                maximize,
+                out,
+                decisions,
+            ),
+        }
+    }
+
+    /// Heap bytes held by the fused arrays.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.class.len() * std::mem::size_of::<GroupClass>()
+            + self.runs.len() * std::mem::size_of::<(u32, RunKind)>()
+            + self.group_ptr.len() * std::mem::size_of::<u32>()
+            + self.row_pool.len() * std::mem::size_of::<u32>()
+            + self.pool_ptr.len() * std::mem::size_of::<u32>()
+            + self.bias.memory_bytes()
+            + self.col.memory_bytes()
+            + self.weight.memory_bytes()
+    }
+}
+
+/// The sweep body, monomorphized per storage combination: `C` is the
+/// column element (`u16`/`u32`), `wraw`/`wmap` realize the weight stream
+/// (raw `f64`s with an identity map, or `u16` indices mapped through the
+/// dedup table). `inline(never)` keeps the four instantiations as
+/// separate clean bodies. Entry loops zip subslices so the hot path
+/// carries no per-entry index checks beyond the unavoidable table/`x`
+/// gathers.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn sweep_best_generic<C: Copy + Into<u32>, R: Copy>(
+    f: &FusedGroups,
+    col: &[C],
+    wraw: &[R],
+    wmap: impl Fn(R) -> f64 + Copy,
+    groups: Range<usize>,
+    scale: f64,
+    x: &[f64],
+    maximize: bool,
+    out: &mut [f64],
+    mut decisions: Option<&mut [u16]>,
+) {
+    let base = groups.start;
+    // First run overlapping the range start.
+    let mut ri = f
+        .runs
+        .partition_point(|&(end, _)| (end as usize) <= groups.start);
+    let mut g = groups.start;
+    while g < groups.end {
+        let (run_end, kind) = f.runs[ri];
+        let end = (run_end as usize).min(groups.end);
+        match kind {
+            RunKind::Fixed => {
+                // Element-wise: each output is exactly `scale + x[g]`,
+                // independent of its neighbors, so the compiler may
+                // vectorize the run without reordering any element's
+                // operations.
+                for (o, &xi) in out[g - base..end - base].iter_mut().zip(&x[g..end]) {
+                    *o = scale + xi;
+                }
+                if let Some(d) = decisions.as_deref_mut() {
+                    d[g - base..end - base].fill(0);
+                }
+            }
+            RunKind::Empty => {
+                out[g - base..end - base].fill(0.0);
+                if let Some(d) = decisions.as_deref_mut() {
+                    d[g - base..end - base].fill(0);
+                }
+            }
+            RunKind::Active => {
+                for s in g..end {
+                    let rlo = f.group_ptr[s] as usize;
+                    let rhi = f.group_ptr[s + 1] as usize;
+                    let mut best = if maximize { -1.0f64 } else { f64::INFINITY };
+                    let mut best_idx = 0u16;
+                    for (k, &p) in f.row_pool[rlo..rhi].iter().enumerate() {
+                        let p = p as usize;
+                        let (lo, hi) = (f.pool_ptr[p] as usize, f.pool_ptr[p + 1] as usize);
+                        let mut v = scale * f.bias.at(p);
+                        for (&c, &w) in col[lo..hi].iter().zip(&wraw[lo..hi]) {
+                            v += wmap(w) * x[c.into() as usize];
+                        }
+                        let better = if maximize { v > best } else { v < best };
+                        if better {
+                            best = v;
+                            best_idx = k as u16;
+                        }
+                    }
+                    out[s - base] = best;
+                    if let Some(d) = decisions.as_deref_mut() {
+                        d[s - base] = best_idx;
+                    }
+                }
+            }
+        }
+        g = end;
+        ri += 1;
+    }
+}
+
+/// Builds a [`FusedGroups`]: intern shared rows first (or inline per
+/// push), then emit groups in group order. [`FusedBuilder::build`]
+/// selects the compressed storage forms the collected data admits and
+/// run-length encodes the class sequence.
+///
+/// Call [`FusedBuilder::fixed_group`] for a rowless fixed group, or
+/// [`FusedBuilder::begin_group`] / [`FusedBuilder::push_row`] /
+/// [`FusedBuilder::end_group`] for a group with candidate rows — the
+/// class ([`GroupClass::Empty`] / [`GroupClass::Single`] /
+/// [`GroupClass::Multi`]) is derived from the row count at `end_group`.
+#[derive(Debug)]
+pub struct FusedBuilder {
+    cols: usize,
+    class: Vec<GroupClass>,
+    group_ptr: Vec<u32>,
+    row_pool: Vec<u32>,
+    pool_ptr: Vec<u32>,
+    bias: Vec<f64>,
+    col: Vec<u32>,
+    weight: Vec<f64>,
+    open: bool,
+}
+
+impl FusedBuilder {
+    /// Starts a builder for groups whose rows index into `0..cols`,
+    /// reserving space for the expected totals up front (`groups`, `rows`
+    /// and `entries` are hints, not limits).
+    #[must_use]
+    pub fn with_capacity(cols: usize, groups: usize, rows: usize, entries: usize) -> Self {
+        let mut group_ptr = Vec::with_capacity(groups + 1);
+        group_ptr.push(0);
+        let mut pool_ptr = Vec::with_capacity(rows + 1);
+        pool_ptr.push(0);
+        Self {
+            cols,
+            class: Vec::with_capacity(groups),
+            group_ptr,
+            row_pool: Vec::with_capacity(rows),
+            pool_ptr,
+            bias: Vec::new(),
+            col: Vec::with_capacity(entries),
+            weight: Vec::with_capacity(entries),
+            open: false,
+        }
+    }
+
+    /// Appends `entries` (with their `bias` coefficient) to the shared
+    /// pool as one row and returns its handle — intern a row once,
+    /// reference it from many groups. The bias binds to the pool row,
+    /// so a shared row is stored (bias included) exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's column is out of range or the pool outgrows
+    /// the `u32` index space.
+    pub fn intern(&mut self, bias: f64, entries: impl IntoIterator<Item = (u32, f64)>) -> PoolRow {
+        for (c, w) in entries {
+            assert!((c as usize) < self.cols, "column {c} out of range");
+            self.col.push(c);
+            self.weight.push(w);
+        }
+        self.pool_ptr.push(index_u32(self.col.len()));
+        self.bias.push(bias);
+        PoolRow(index_u32(self.bias.len() - 1))
+    }
+
+    /// Appends a rowless [`GroupClass::Fixed`] group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rowful group is still open.
+    pub fn fixed_group(&mut self) {
+        assert!(!self.open, "close the open group before adding another");
+        self.class.push(GroupClass::Fixed);
+        self.group_ptr.push(index_u32(self.row_pool.len()));
+    }
+
+    /// Opens a group that will receive candidate rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group is already open.
+    pub fn begin_group(&mut self) {
+        assert!(!self.open, "close the open group before opening another");
+        self.open = true;
+    }
+
+    /// Appends one candidate row (a reference to an interned pool row)
+    /// to the open group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no group is open or `row` did not come from this
+    /// builder's [`FusedBuilder::intern`].
+    pub fn push_row(&mut self, row: PoolRow) {
+        assert!(self.open, "push_row needs an open group");
+        assert!(
+            (row.0 as usize) < self.bias.len(),
+            "pool row {} out of range",
+            row.0
+        );
+        self.row_pool.push(row.0);
+    }
+
+    /// Convenience: interns `entries` privately and pushes the row in
+    /// one call (no sharing).
+    ///
+    /// # Panics
+    ///
+    /// See [`FusedBuilder::intern`] and [`FusedBuilder::push_row`].
+    pub fn push_row_inline(&mut self, bias: f64, entries: impl IntoIterator<Item = (u32, f64)>) {
+        let row = self.intern(bias, entries);
+        self.push_row(row);
+    }
+
+    /// Closes the open group, deriving its class from the row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no group is open.
+    pub fn end_group(&mut self) {
+        assert!(self.open, "end_group needs an open group");
+        self.open = false;
+        let prev = *self.group_ptr.last().expect("group_ptr starts non-empty") as usize;
+        let rows_in_group = self.row_pool.len() - prev;
+        self.class.push(match rows_in_group {
+            0 => GroupClass::Empty,
+            1 => GroupClass::Single,
+            _ => GroupClass::Multi,
+        });
+        self.group_ptr.push(index_u32(self.row_pool.len()));
+    }
+
+    /// Finalizes the structure: run-length encodes the class sequence
+    /// and chooses the narrowest storage the collected data admits —
+    /// `u16` columns when the column space fits, `u16`-indexed value
+    /// tables when the distinct weight/bias counts fit. Every choice is
+    /// bitwise invisible to evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group is still open.
+    #[must_use]
+    pub fn build(self) -> FusedGroups {
+        assert!(!self.open, "close the open group before building");
+        let mut runs: Vec<(u32, RunKind)> = Vec::new();
+        for (g, &c) in self.class.iter().enumerate() {
+            let kind = RunKind::of(c);
+            match runs.last_mut() {
+                Some((end, k)) if *k == kind => *end = g as u32 + 1,
+                _ => runs.push((g as u32 + 1, kind)),
+            }
+        }
+        let col = if self.cols <= usize::from(u16::MAX) + 1 {
+            ColData::Narrow(self.col.into_iter().map(|c| c as u16).collect())
+        } else {
+            ColData::Wide(self.col)
+        };
+        FusedGroups {
+            cols: self.cols,
+            class: self.class,
+            runs,
+            group_ptr: self.group_ptr,
+            row_pool: self.row_pool,
+            pool_ptr: self.pool_ptr,
+            bias: compress_vals(self.bias),
+            col,
+            weight: compress_vals(self.weight),
+        }
+    }
+}
+
+fn index_u32(i: usize) -> u32 {
+    u32::try_from(i).expect("fused layout exceeds u32 index space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FusedGroups {
+        let mut b = FusedBuilder::with_capacity(4, 4, 3, 5);
+        b.fixed_group(); // group 0
+        let shared = b.intern(0.25, [(0, 0.5), (3, 0.5)]);
+        b.begin_group(); // group 1: two rows, one shared
+        b.push_row(shared);
+        b.push_row_inline(0.0, [(1, 1.0)]);
+        b.end_group();
+        b.begin_group(); // group 2: empty
+        b.end_group();
+        b.begin_group(); // group 3: single row sharing group 1's pool row
+        b.push_row(shared);
+        b.end_group();
+        b.build()
+    }
+
+    #[test]
+    fn classes_and_shapes_are_derived() {
+        let f = sample();
+        assert_eq!(f.num_groups(), 4);
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.num_pool_rows(), 2);
+        assert_eq!(f.num_entries(), 3); // shared row stored once
+        assert_eq!(f.cols(), 4);
+        assert_eq!(f.class(0), GroupClass::Fixed);
+        assert_eq!(f.class(1), GroupClass::Multi);
+        assert_eq!(f.class(2), GroupClass::Empty);
+        assert_eq!(f.class(3), GroupClass::Single);
+        assert_eq!(f.rows(0), 0..0);
+        assert_eq!(f.rows(1), 0..2);
+        assert_eq!(f.rows(2), 2..2);
+        assert_eq!(f.rows(3), 2..3);
+        assert_eq!(f.classes().len(), 4);
+        // Runs: Fixed | Active | Empty | Active — 4 runs.
+        assert_eq!(f.num_runs(), 4);
+    }
+
+    #[test]
+    fn interned_rows_are_shared() {
+        let f = sample();
+        assert_eq!(f.pool_rows(1), &[0, 1]);
+        assert_eq!(f.pool_rows(3), &[0]);
+        assert_eq!(f.pool_bias(0), 0.25);
+        assert_eq!(f.pool_bias(1), 0.0);
+        let entries: Vec<_> = f.pool_entries(0).collect();
+        assert_eq!(entries, vec![(0, 0.5), (3, 0.5)]);
+    }
+
+    #[test]
+    fn eval_matches_manual_in_order_sum_bitwise() {
+        let f = sample();
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let scale = 0.7;
+        // pool row 0: scale*0.25 + 0.5*x[0] + 0.5*x[3], in order
+        let mut manual = scale * 0.25;
+        manual += 0.5 * x[0];
+        manual += 0.5 * x[3];
+        assert_eq!(f.eval_pool_row(0, scale, &x).to_bits(), manual.to_bits());
+    }
+
+    /// The reference semantics `sweep_best` must reproduce bitwise.
+    fn oracle(f: &FusedGroups, g: usize, scale: f64, x: &[f64], maximize: bool) -> (f64, u16) {
+        match f.class(g) {
+            GroupClass::Fixed => (scale + x[g], 0),
+            GroupClass::Empty => (0.0, 0),
+            _ => {
+                let mut best = if maximize { -1.0f64 } else { f64::INFINITY };
+                let mut bi = 0u16;
+                for (k, &p) in f.pool_rows(g).iter().enumerate() {
+                    let v = f.eval_pool_row(p as usize, scale, x);
+                    let better = if maximize { v > best } else { v < best };
+                    if better {
+                        best = v;
+                        bi = k as u16;
+                    }
+                }
+                (best, bi)
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_best_matches_oracle_bitwise() {
+        let f = sample();
+        let x = [0.1, 0.2, 0.3, 0.4];
+        for &maximize in &[true, false] {
+            let mut out = vec![0.0; 4];
+            let mut dec = vec![u16::MAX; 4];
+            f.sweep_best(0..4, 0.7, &x, maximize, &mut out, Some(&mut dec));
+            for g in 0..4 {
+                let (v, d) = oracle(&f, g, 0.7, &x, maximize);
+                assert_eq!(out[g].to_bits(), v.to_bits(), "group {g}");
+                assert_eq!(dec[g], d, "group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_best_subranges_agree_with_full_sweep() {
+        // Many groups with varied classes and row lengths; every split
+        // point must reproduce the full sweep bitwise — the property the
+        // parallel engine relies on.
+        let mut b = FusedBuilder::with_capacity(16, 12, 24, 96);
+        let mut rng = 0x2545_f491_4f6c_dd1du64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for g in 0..12u64 {
+            match g % 4 {
+                0 => b.fixed_group(),
+                1 => {
+                    b.begin_group();
+                    b.end_group();
+                }
+                _ => {
+                    b.begin_group();
+                    for _ in 0..(next() % 3 + 1) {
+                        let len = (next() % 4 + 1) as u32;
+                        b.push_row_inline(
+                            (next() % 8) as f64 * 0.125,
+                            (0..len).map(|j| ((next() % 16) as u32, f64::from(j + 1) * 0.0625)),
+                        );
+                    }
+                    b.end_group();
+                }
+            }
+        }
+        let f = b.build();
+        let x: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.37 + 0.01).collect();
+        let mut full = vec![0.0; 12];
+        let mut full_dec = vec![0u16; 12];
+        f.sweep_best(0..12, 0.9, &x, true, &mut full, Some(&mut full_dec));
+        for split in 0..=12 {
+            let mut lo = vec![0.0; split];
+            let mut lo_dec = vec![0u16; split];
+            let mut hi = vec![0.0; 12 - split];
+            let mut hi_dec = vec![0u16; 12 - split];
+            f.sweep_best(0..split, 0.9, &x, true, &mut lo, Some(&mut lo_dec));
+            f.sweep_best(split..12, 0.9, &x, true, &mut hi, Some(&mut hi_dec));
+            for g in 0..split {
+                assert_eq!(lo[g].to_bits(), full[g].to_bits(), "split {split} g {g}");
+                assert_eq!(lo_dec[g], full_dec[g]);
+            }
+            for g in split..12 {
+                assert_eq!(hi[g - split].to_bits(), full[g].to_bits());
+                assert_eq!(hi_dec[g - split], full_dec[g]);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_best_ties_keep_first_and_nan_keeps_sentinel() {
+        let mut b = FusedBuilder::with_capacity(2, 2, 5, 5);
+        b.begin_group(); // two equal rows: first must win
+        b.push_row_inline(0.5, [(0, 1.0)]);
+        b.push_row_inline(0.5, [(0, 1.0)]);
+        b.end_group();
+        b.begin_group(); // NaN row then a finite row
+        b.push_row_inline(f64::NAN, [(0, 1.0)]);
+        b.push_row_inline(0.25, [(1, 1.0)]);
+        b.end_group();
+        let f = b.build();
+        let x = [0.5, 0.25];
+        let mut out = vec![0.0; 2];
+        let mut dec = vec![u16::MAX; 2];
+        f.sweep_best(0..2, 1.0, &x, true, &mut out, Some(&mut dec));
+        assert_eq!(dec[0], 0, "equal rows keep the first");
+        assert_eq!(dec[1], 1, "NaN row never displaces the sentinel");
+        assert_eq!(out[1], 0.25 + 0.25);
+        // All-NaN group: the sentinel itself survives.
+        let mut b = FusedBuilder::with_capacity(1, 1, 1, 1);
+        b.begin_group();
+        b.push_row_inline(f64::NAN, [(0, 1.0)]);
+        b.end_group();
+        let f = b.build();
+        let mut out = vec![0.0; 1];
+        f.sweep_best(0..1, 1.0, &[0.0], true, &mut out, None);
+        assert_eq!(out[0], -1.0);
+        f.sweep_best(0..1, 1.0, &[0.0], false, &mut out, None);
+        assert_eq!(out[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn value_compression_preserves_exact_bits() {
+        // Values engineered to collide in magnitude but differ in bits:
+        // 0.0 vs -0.0 and two NaNs with different payloads.
+        let nan_a = f64::from_bits(0x7ff8_0000_0000_0001);
+        let nan_b = f64::from_bits(0x7ff8_0000_0000_0002);
+        let vals = vec![0.0, -0.0, nan_a, nan_b, 0.0, nan_a];
+        match compress_vals(vals.clone()) {
+            ValData::Indexed { idx, table } => {
+                assert_eq!(table.len(), 4); // 0.0, -0.0, nan_a, nan_b
+                for (i, v) in vals.iter().enumerate() {
+                    assert_eq!(table[idx[i] as usize].to_bits(), v.to_bits());
+                }
+            }
+            ValData::Direct(_) => panic!("six values must index"),
+        }
+    }
+
+    #[test]
+    fn empty_structure_builds() {
+        let f = FusedBuilder::with_capacity(0, 0, 0, 0).build();
+        assert_eq!(f.num_groups(), 0);
+        assert_eq!(f.num_rows(), 0);
+        assert_eq!(f.num_pool_rows(), 0);
+        assert_eq!(f.num_runs(), 0);
+        assert!(f.memory_bytes() > 0); // the sentinel pointers
+        let mut out: Vec<f64> = Vec::new();
+        f.sweep_best(0..0, 1.0, &[], true, &mut out, None); // no-op, no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "open group")]
+    fn unbalanced_groups_are_rejected() {
+        let mut b = FusedBuilder::with_capacity(1, 1, 1, 1);
+        b.begin_group();
+        b.begin_group();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_columns_are_rejected() {
+        let mut b = FusedBuilder::with_capacity(2, 1, 1, 1);
+        b.intern(0.0, [(2, 1.0)]);
+    }
+}

@@ -30,7 +30,9 @@
 pub mod chunk;
 mod coo;
 mod csr;
+pub mod fused;
 
 pub use chunk::{assign_blocks, fixed_blocks, RowChunk};
 pub use coo::CooBuilder;
 pub use csr::{CsrMatrix, RowIter};
+pub use fused::{FusedBuilder, FusedGroups, GroupClass, PoolRow};

@@ -43,7 +43,9 @@ use unicon::core::ClosedModel;
 use unicon::ctmdp::export;
 use unicon::ctmdp::guard::{CheckpointConfig, DegradePolicy, GuardOptions, GuardedRun, RunBudget};
 use unicon::ctmdp::par::ReachBatch;
-use unicon::ctmdp::reachability::{timed_reachability, Objective, ReachOptions, ReachResult};
+use unicon::ctmdp::reachability::{
+    timed_reachability, Kernel, Objective, ReachOptions, ReachResult,
+};
 use unicon::ftwc::{experiment, FtwcParams};
 use unicon::imc::audit::Witness;
 use unicon::imc::{analysis, io, Imc, View};
@@ -153,6 +155,7 @@ fn print_usage() {
          [--epsilon <e>] [--min] [--exact-goal]\n  \
          unicon reach (--ftwc <N> | <model.aut> --goal <s1,s2,…>)\n          \
          --time-bounds <t1,t2,…> [--threads <n>] [--epsilon <e>]\n          \
+         [--kernel reference|fused]\n          \
          [--min] [--exact-goal] [--json <out.json>] [--values-out <dump>]\n          \
          [--max-iters <n>] [--timeout <secs>] [--checkpoint <file>]\n          \
          [--checkpoint-every <k>] [--resume <file>] [--on-degrade fail|sequential]\n  \
@@ -178,8 +181,11 @@ fn print_usage() {
          `reach` answers all time bounds in one batched pass (shared\n\
          precomputation, cached Fox–Glynn weights, optional worker threads;\n\
          results are bitwise independent of --threads) and prints phase\n\
-         timings as JSON. --values-out dumps every state value as hex bits\n\
-         for exact cross-run comparison.\n\n\
+         timings as JSON, including the normalized kernel speed\n\
+         kernel_ns_per_state. --values-out dumps every state value as hex\n\
+         bits for exact cross-run comparison. --kernel selects the fused\n\
+         SoA kernel (default) or the retained reference oracle — both\n\
+         return identical bits; only the timings differ.\n\n\
          Any of --max-iters/--timeout/--checkpoint/--resume/--on-degrade\n\
          selects the guarded engine: per-iteration numeric health checks,\n\
          budget stops with partial lower/upper bounds (exit 3), periodic\n\
@@ -332,6 +338,19 @@ fn parse_epsilon(key: &str, s: &str) -> Result<f64, CliError> {
 fn epsilon_or_default(cli: &Cli) -> Result<f64, CliError> {
     cli.value("--epsilon")
         .map_or(Ok(1e-6), |s| parse_epsilon("--epsilon", s))
+}
+
+/// The `--kernel` escape hatch: `fused` (the default) or `reference`
+/// (the retained oracle, for differential benchmarking).
+fn kernel_or_default(cli: &Cli) -> Result<Kernel, CliError> {
+    match cli.value("--kernel") {
+        None | Some("fused") => Ok(Kernel::Fused),
+        Some("reference") => Ok(Kernel::Reference),
+        Some(other) => Err(usage(
+            "--kernel",
+            format!("expects 'reference' or 'fused', got '{other}'"),
+        )),
+    }
 }
 
 fn parse_goal(spec: &str, num_states: usize) -> Result<Vec<bool>, CliError> {
@@ -596,6 +615,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
             "--time-bounds",
             "--threads",
             "--epsilon",
+            "--kernel",
             "--json",
             "--values-out",
             "--residuals-out",
@@ -623,6 +643,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
     let threads = cli
         .value("--threads")
         .map_or(Ok(0), |s| parse_usize("--threads", s))?;
+    let kernel = kernel_or_default(&cli)?;
     let guard = guard_spec(&cli)?;
 
     if let Some(nspec) = cli.value("--ftwc") {
@@ -631,7 +652,13 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
             None => {
                 // plain batched engine with full phase-timing stats
                 let (bench, events) = run_collected(&cli, || {
-                    experiment::reach_bench(&FtwcParams::new(n), &bounds, epsilon, threads)
+                    experiment::reach_bench_with_kernel(
+                        &FtwcParams::new(n),
+                        &bounds,
+                        epsilon,
+                        threads,
+                        kernel,
+                    )
                 });
                 let initial = bench.initial;
                 emit_results(
@@ -649,7 +676,8 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
                 let mut batch = prepared
                     .reach_batch()
                     .with_epsilon(epsilon)
-                    .with_threads(threads);
+                    .with_threads(threads)
+                    .with_kernel(kernel);
                 for &t in &bounds {
                     batch = batch.query(t);
                 }
@@ -689,7 +717,8 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, CliError> {
         };
         let mut batch = ReachBatch::new(&out.ctmdp, &cgoal)
             .with_epsilon(epsilon)
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_kernel(kernel);
         for &t in &bounds {
             batch = batch.query_with(t, objective);
         }

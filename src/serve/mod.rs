@@ -250,6 +250,10 @@ impl ServeState {
             "serve_queue_depth",
             "serve_cache_resident_bytes",
             "serve_drain_seconds",
+            // Owned by the reach batch engine, not serve itself, but
+            // zero-seeded here so the gauge is scrapable before the
+            // first query warms it.
+            "reach_kernel_ns_per_state",
         ] {
             self.set_gauge(name, 0.0);
         }
@@ -1192,6 +1196,8 @@ mod tests {
             "unicon_serve_cache_evictions_total 0",
             "unicon_serve_cache_resident_bytes 0e0",
             "unicon_serve_drain_seconds 0e0",
+            "unicon_reach_kernel_ns_per_state 0e0",
+            "# TYPE unicon_reach_kernel_ns_per_state gauge",
         ] {
             assert!(
                 exposition.contains(needle),
