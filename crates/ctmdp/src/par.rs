@@ -38,9 +38,9 @@ use unicon_sparse::assign_blocks;
 
 use crate::model::Ctmdp;
 use crate::reachability::{
-    emit_iteration, finalize_values, indicator_result, iterate_sequential, sweep_states,
-    validate_epsilon, validate_time, Kernel, Objective, Precompute, ReachError, ReachOptions,
-    ReachResult, SweepBuffers,
+    emit_iteration, emit_kernel_timing, finalize_values, indicator_result, iterate_sequential,
+    sweep_states, validate_epsilon, validate_time, Kernel, Objective, Precompute, ReachError,
+    ReachOptions, ReachResult, SweepBuffers,
 };
 
 /// Fixed block size of the deterministic checksum reduction — a property
@@ -114,11 +114,29 @@ pub(crate) fn run_query(
     bufs: &mut SweepBuffers,
 ) -> ReachResult {
     let workers = resolve_threads(threads).min(ctmdp.num_states());
-    if workers <= 1 {
+    // Per-query kernel-speed attribution: snapshot the shared class-time
+    // ledger around the iteration and emit the delta as picosecond-per-
+    // state observations. Read-only with respect to the iteration — the
+    // values are bitwise identical whether or not metrics are live.
+    let metrics_live = unicon_obs::live(unicon_obs::Class::Metric);
+    let before = if metrics_live {
+        Some(pre.timing.snapshot())
+    } else {
+        None
+    };
+    let result = if workers <= 1 {
         iterate_sequential(ctmdp, pre, goal, fg, k, opts, qi, start, bufs)
     } else {
         iterate_parallel(ctmdp, pre, goal, fg, k, opts, workers, qi, start, bufs)
+    };
+    if let Some(before) = &before {
+        emit_kernel_timing(pre, before);
+        unicon_obs::observe(
+            "reach_query_ns",
+            u64::try_from(result.runtime.as_nanos()).unwrap_or(u64::MAX),
+        );
     }
+    result
 }
 
 /// One unit of work: apply step `psi` to the worker's state range against
@@ -546,8 +564,11 @@ impl<'a> ReachBatch<'a> {
             let result = if q.t == 0.0 || pre.rate == 0.0 {
                 indicator_result(&self.goal, pre.rate)
             } else {
+                let query_span = unicon_obs::span("query");
                 let w_start = Instant::now(); // det-lint: allow(clock): runtime telemetry only.
+                let weights_span = unicon_obs::span("weights");
                 let cached = cache.get(pre.rate, q.t, self.epsilon).clone();
+                drop(weights_span);
                 weights_time += w_start.elapsed();
                 unicon_obs::emit(unicon_obs::Class::Iter, || unicon_obs::Event::QueryStart {
                     query: qi,
@@ -557,7 +578,7 @@ impl<'a> ReachBatch<'a> {
                     right: cached.truncation,
                 });
                 let opts = opts_base.with_objective(q.objective);
-                run_query(
+                let result = run_query(
                     self.ctmdp,
                     pre,
                     &self.goal,
@@ -568,7 +589,9 @@ impl<'a> ReachBatch<'a> {
                     qi,
                     Instant::now(), // det-lint: allow(clock): event timestamp only.
                     &mut bufs,
-                )
+                );
+                drop(query_span);
+                result
             };
             iterate_time += result.runtime;
             total_iterations += result.iterations;

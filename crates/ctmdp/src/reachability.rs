@@ -13,10 +13,11 @@
 //! state may carry several transitions with the same label.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use unicon_numeric::FoxGlynn;
-use unicon_sparse::{CsrMatrix, FusedBuilder, FusedGroups};
+use unicon_sparse::{ClassTiming, CsrMatrix, FusedBuilder, FusedGroups};
 
 use crate::model::{Ctmdp, NotUniformError};
 
@@ -255,6 +256,75 @@ pub(crate) struct Precompute {
     /// values are copied bit-exactly from `probs`, in row order, so the
     /// fused kernel reproduces the reference kernel's sums bitwise.
     pub(crate) fused: FusedGroups,
+    /// Cross-thread per-[`unicon_sparse::GroupClass`] time attribution,
+    /// filled by the fused kernel only while metric telemetry is live.
+    /// Purely observational — no value-iteration bit depends on it.
+    pub(crate) timing: KernelTiming,
+}
+
+/// Atomic per-class kernel-time accumulator shared by all sweep workers
+/// of a precomputation. Workers *accumulate* here (they never emit
+/// telemetry themselves); the calling thread snapshots deltas per query
+/// and emits the derived histograms.
+#[derive(Debug, Default)]
+pub(crate) struct KernelTiming {
+    ns: [AtomicU64; 4],
+    groups: [AtomicU64; 4],
+}
+
+impl Clone for KernelTiming {
+    /// A cloned precomputation starts a fresh ledger: the counters are
+    /// observability state, not model state.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl KernelTiming {
+    /// Folds one sweep's timing into the shared ledger.
+    pub(crate) fn add(&self, t: &ClassTiming) {
+        for i in 0..4 {
+            self.ns[i].fetch_add(t.ns[i], Ordering::Relaxed);
+            self.groups[i].fetch_add(t.groups[i], Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the ledger.
+    pub(crate) fn snapshot(&self) -> ClassTiming {
+        let mut out = ClassTiming::default();
+        for i in 0..4 {
+            out.ns[i] = self.ns[i].load(Ordering::Relaxed);
+            out.groups[i] = self.groups[i].load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Metric names of the per-class kernel speed histograms, indexed by
+/// `GroupClass as usize` (the `unicon_` exposition prefix is added by
+/// the registry). Picoseconds per state: the fixed/empty classes sweep
+/// well under a nanosecond per state, so nanosecond-resolution
+/// histograms would collapse them into the first bucket.
+pub(crate) const CLASS_PS_NAMES: [&str; 4] = [
+    "kernel_fixed_ps_per_state",
+    "kernel_empty_ps_per_state",
+    "kernel_single_ps_per_state",
+    "kernel_multi_ps_per_state",
+];
+
+/// Emits one `Observe` per group class the query actually swept, with
+/// the class's picoseconds-per-state average since `before`. Called on
+/// the query's calling thread after all workers have joined.
+pub(crate) fn emit_kernel_timing(pre: &Precompute, before: &ClassTiming) {
+    let now = pre.timing.snapshot();
+    for (i, name) in CLASS_PS_NAMES.iter().enumerate() {
+        let groups = now.groups[i].saturating_sub(before.groups[i]);
+        if groups == 0 {
+            continue;
+        }
+        let ns = now.ns[i].saturating_sub(before.ns[i]);
+        unicon_obs::observe(name, ns.saturating_mul(1000) / groups);
+    }
 }
 
 impl Precompute {
@@ -305,6 +375,7 @@ impl Precompute {
             probs,
             prob_goal,
             fused,
+            timing: KernelTiming::default(),
         })
     }
 
@@ -403,8 +474,20 @@ pub(crate) fn sweep_states(
         }
         Kernel::Fused => {
             let decisions = if record { Some(decisions) } else { None };
-            pre.fused
-                .sweep_best(range, psi, q_next, maximize, out, decisions);
+            // Timing attribution only while metric telemetry is live: the
+            // timed walk writes bitwise what the plain sweep writes (see
+            // `sweep_best_timed`), so the values never depend on which
+            // path ran — the bit-invisibility contract the CI trace-on/
+            // trace-off cmp gate pins.
+            if unicon_obs::live(unicon_obs::Class::Metric) {
+                let mut t = ClassTiming::default();
+                pre.fused
+                    .sweep_best_timed(range, psi, q_next, maximize, out, decisions, &mut t);
+                pre.timing.add(&t);
+            } else {
+                pre.fused
+                    .sweep_best(range, psi, q_next, maximize, out, decisions);
+            }
         }
     }
 }

@@ -127,9 +127,15 @@ impl ReachBench {
 /// well-formed parameters).
 pub fn prepare(params: &FtwcParams) -> (PreparedModel, Duration) {
     let start = std::time::Instant::now();
+    let build_span = unicon_obs::span("build");
+    let generate_span = unicon_obs::span("generate");
     let model = generator::build_uimc(params);
+    drop(generate_span);
+    let transform_span = unicon_obs::span("transform");
     let prepared =
         PreparedModel::new(&model.uniform, &model.premium_down).expect("FTWC transforms cleanly");
+    drop(transform_span);
+    drop(build_span);
     (prepared, start.elapsed())
 }
 

@@ -129,6 +129,30 @@ pub enum Event {
         /// Total blocks after the round.
         num_blocks: usize,
     },
+    /// One sample for a named histogram (e.g. a request latency in
+    /// nanoseconds). Unlike [`Event::Counter`] the value is a
+    /// distribution sample, not a sum contribution.
+    Observe {
+        /// Metric-safe histogram name.
+        name: &'static str,
+        /// The observed value (integer units, typically nanoseconds).
+        value: u64,
+    },
+    /// One completed serve request: the per-request accounting record
+    /// that ties a `request_id` to where its wall-clock went.
+    Request {
+        /// Session-monotonic request id (also stamped on the response
+        /// line and on every trace event emitted while handling it).
+        id: u64,
+        /// Request verb: `"register"`, `"query"`, `"metrics"`,
+        /// `"shutdown"` or `"error"`.
+        verb: &'static str,
+        /// Nanoseconds between reading the request line and the handler
+        /// starting work (admission/queue wait).
+        queue_ns: u64,
+        /// Nanoseconds the handler ran.
+        run_ns: u64,
+    },
     /// A guard-layer incident (checkpoint written, degradation, budget
     /// exhaustion, resume).
     Guard {
@@ -154,6 +178,8 @@ impl Event {
             Event::ReachIteration { .. } => Class::Iter,
             Event::Counter { .. }
             | Event::Gauge { .. }
+            | Event::Observe { .. }
+            | Event::Request { .. }
             | Event::QueryStart { .. }
             | Event::RefineRound { .. } => Class::Metric,
             Event::Guard { .. } => Class::Guard,
@@ -269,6 +295,29 @@ impl Event {
                 s.push_str(&num_blocks.to_string());
                 s.push('}');
             }
+            Event::Observe { name, value } => {
+                s.push_str("{\"type\":\"observe\",\"name\":");
+                json::write_str(name, &mut s);
+                s.push_str(",\"value\":");
+                s.push_str(&value.to_string());
+                s.push('}');
+            }
+            Event::Request {
+                id,
+                verb,
+                queue_ns,
+                run_ns,
+            } => {
+                s.push_str("{\"type\":\"request\",\"id\":");
+                s.push_str(&id.to_string());
+                s.push_str(",\"verb\":");
+                json::write_str(verb, &mut s);
+                s.push_str(",\"queue_ns\":");
+                s.push_str(&queue_ns.to_string());
+                s.push_str(",\"run_ns\":");
+                s.push_str(&run_ns.to_string());
+                s.push('}');
+            }
             Event::Guard {
                 kind,
                 query,
@@ -364,6 +413,16 @@ mod tests {
                 step: 9,
                 detail: "worker 2 panicked".into(),
             },
+            Event::Observe {
+                name: "serve_query_latency_ns",
+                value: 1_234_567,
+            },
+            Event::Request {
+                id: 3,
+                verb: "query",
+                queue_ns: 21_000,
+                run_ns: 9_876_543,
+            },
         ];
         for ev in &events {
             let line = ev.to_json();
@@ -453,6 +512,29 @@ mod tests {
                     assert_eq!(
                         v.get("detail").and_then(Value::as_str),
                         Some(detail.as_str())
+                    );
+                }
+                Event::Observe { name, value } => {
+                    assert_eq!(ty, "observe");
+                    assert_eq!(v.get("name").and_then(Value::as_str), Some(*name));
+                    assert_eq!(v.get("value").and_then(Value::as_f64), Some(*value as f64));
+                }
+                Event::Request {
+                    id,
+                    verb,
+                    queue_ns,
+                    run_ns,
+                } => {
+                    assert_eq!(ty, "request");
+                    assert_eq!(v.get("id").and_then(Value::as_f64), Some(*id as f64));
+                    assert_eq!(v.get("verb").and_then(Value::as_str), Some(*verb));
+                    assert_eq!(
+                        v.get("queue_ns").and_then(Value::as_f64),
+                        Some(*queue_ns as f64)
+                    );
+                    assert_eq!(
+                        v.get("run_ns").and_then(Value::as_f64),
+                        Some(*run_ns as f64)
                     );
                 }
             }

@@ -15,6 +15,7 @@ pub struct Histogram {
     counts: [u64; HISTOGRAM_BUCKETS],
     sum: u64,
     count: u64,
+    max: u64,
 }
 
 impl Default for Histogram {
@@ -31,6 +32,7 @@ impl Histogram {
             counts: [0; HISTOGRAM_BUCKETS],
             sum: 0,
             count: 0,
+            max: 0,
         }
     }
 
@@ -61,6 +63,48 @@ impl Histogram {
         self.counts[Self::bucket_index(v)] += 1;
         self.sum = self.sum.saturating_add(v);
         self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// The largest observation, tracked exactly; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Exact-bucket quantile estimate for `q ∈ [0, 1]`: the inclusive
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// rank `⌈q·count⌉` (rank 1 at minimum), capped at the exact
+    /// tracked maximum. The cap makes a single observation and the
+    /// overflow bucket exact, and every estimate is computed in pure
+    /// integer arithmetic — two runs observing the same values report
+    /// byte-identical quantiles on every platform. `None` when the
+    /// histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ⌈q·count⌉ without float rounding surprises at the top: the
+        // product is clamped back into [1, count].
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(match Self::bound(i) {
+                    Some(b) => b.min(self.max),
+                    None => self.max,
+                });
+            }
+        }
+        Some(self.max)
     }
 
     /// Total observations.
@@ -147,5 +191,70 @@ mod tests {
         h.observe(u64::MAX);
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        assert_eq!(h.max(), None);
+    }
+
+    /// A single sample is exact at every quantile: the bucket upper
+    /// bound is capped at the tracked maximum.
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.observe(100); // bucket bound is 128
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(100), "q={q}");
+        }
+        assert_eq!(h.max(), Some(100));
+    }
+
+    /// All samples in one bucket: every quantile reports that bucket,
+    /// capped at the exact maximum observed inside it.
+    #[test]
+    fn all_in_one_bucket_quantiles_report_the_bucket() {
+        let mut h = Histogram::new();
+        for v in [65, 80, 100, 127] {
+            h.observe(v); // all in the (64, 128] bucket
+        }
+        for q in [0.0, 0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), Some(127), "q={q}");
+        }
+        assert_eq!(h.max(), Some(127));
+    }
+
+    /// Observations beyond the last finite bound land in the +Inf
+    /// bucket; quantiles there report the exact tracked maximum instead
+    /// of an unbounded estimate — u64::MAX included.
+    #[test]
+    fn overflow_bucket_quantiles_use_the_exact_max() {
+        let mut h = Histogram::new();
+        h.observe(1);
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.99), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    /// Rank arithmetic at exact bucket boundaries: with samples at the
+    /// inclusive bound of distinct buckets, each quantile resolves to a
+    /// bound, never interpolates, and p0 takes rank 1.
+    #[test]
+    fn quantile_ranks_resolve_to_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.observe(v); // four distinct buckets, one sample each
+        }
+        assert_eq!(h.quantile(0.0), Some(1)); // rank 1
+        assert_eq!(h.quantile(0.25), Some(1)); // rank 1
+        assert_eq!(h.quantile(0.5), Some(2)); // rank 2
+        assert_eq!(h.quantile(0.75), Some(4)); // rank 3
+        assert_eq!(h.quantile(1.0), Some(8)); // rank 4
     }
 }

@@ -55,9 +55,10 @@ mod event;
 mod hist;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod sink;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -114,6 +115,8 @@ thread_local! {
     static COLLECTOR: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
     /// The open-span stack of this thread (parent tracking + timing).
     static SPAN_STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+    /// The request id events on this thread are attributed to, if any.
+    static CURRENT_REQUEST: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 fn sinks() -> std::sync::RwLockReadGuard<'static, Vec<Arc<dyn Sink>>> {
@@ -214,6 +217,48 @@ pub fn collect<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>) {
         captured
     });
     (out, events)
+}
+
+// ---------------------------------------------------------------------------
+// Request scoping
+// ---------------------------------------------------------------------------
+
+/// The request id the current thread's events are attributed to, if a
+/// [`request_scope`] is active. The JSONL sink stamps this onto every
+/// trace line (`"request":N`), so a multi-request trace can be filtered
+/// to one request end-to-end. Engine emission all happens on the
+/// calling/assembler thread, so a serve session's scope covers every
+/// span, iteration record and metric its query triggers.
+#[must_use]
+pub fn current_request() -> Option<u64> {
+    CURRENT_REQUEST.with(Cell::get)
+}
+
+/// An active request attribution scope; dropping it restores the
+/// previous scope (scopes nest, inner wins).
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: Option<u64>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.prev));
+    }
+}
+
+/// Attributes every event emitted on this thread to request `id` until
+/// the returned guard drops. Purely an annotation: no event is created,
+/// suppressed or reordered by scoping, so the bit-invisibility contract
+/// is untouched.
+pub fn request_scope(id: u64) -> RequestScope {
+    let prev = CURRENT_REQUEST.with(|c| c.replace(Some(id)));
+    RequestScope { prev }
+}
+
+/// Emits one histogram sample ([`Event::Observe`]) for `name`.
+pub fn observe(name: &'static str, value: u64) {
+    emit(Class::Metric, || Event::Observe { name, value });
 }
 
 // ---------------------------------------------------------------------------
@@ -489,6 +534,21 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, Event::SpanClose { name: "raii", .. })));
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        assert_eq!(current_request(), None);
+        {
+            let _outer = request_scope(7);
+            assert_eq!(current_request(), Some(7));
+            {
+                let _inner = request_scope(8);
+                assert_eq!(current_request(), Some(8), "inner scope wins");
+            }
+            assert_eq!(current_request(), Some(7), "outer scope restored");
+        }
+        assert_eq!(current_request(), None, "no scope after the last drop");
     }
 
     #[test]

@@ -88,6 +88,27 @@ fn help_text(metric: &str) -> &'static str {
         "unicon_serve_lines_too_long_total" => {
             "serve request lines rejected for exceeding --max-line-bytes."
         }
+        "unicon_serve_query_latency_ns" => {
+            "Wall-clock latency of serve reach queries in nanoseconds (admission to response)."
+        }
+        "unicon_serve_queue_wait_ns" => {
+            "Nanoseconds serve requests waited between line read and handler start (admission wait)."
+        }
+        "unicon_serve_request_run_ns" => "Nanoseconds serve request handlers ran, end to end.",
+        "unicon_serve_build_ns" => "Wall-clock serve model build times in nanoseconds.",
+        "unicon_reach_query_ns" => "Wall-clock reach query latencies in nanoseconds.",
+        "unicon_kernel_fixed_ps_per_state" => {
+            "Fused-kernel sweep cost in picoseconds per state over fixed-classed (goal) groups, per query."
+        }
+        "unicon_kernel_empty_ps_per_state" => {
+            "Fused-kernel sweep cost in picoseconds per state over empty-classed (absorbing) groups, per query."
+        }
+        "unicon_kernel_single_ps_per_state" => {
+            "Fused-kernel sweep cost in picoseconds per state over single-row groups, per query."
+        }
+        "unicon_kernel_multi_ps_per_state" => {
+            "Fused-kernel sweep cost in picoseconds per state over multi-row (optimizing) groups, per query."
+        }
         _ => "Event-stream counter.",
     }
 }
@@ -105,6 +126,18 @@ impl Registry {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         f(&mut inner)
+    }
+
+    /// Registers an empty histogram series so the exposition shows the
+    /// metric (with zeroed buckets and quantiles) before the first
+    /// sample arrives — the zero-seeding convention used for counters.
+    pub fn seed_histogram(&self, name: &str) {
+        self.with_inner(|inner| {
+            inner
+                .histograms
+                .entry((name.to_string(), String::new()))
+                .or_default();
+        });
     }
 
     /// Renders the Prometheus text exposition: `# HELP` / `# TYPE`
@@ -161,6 +194,21 @@ impl Registry {
                     &format!("{name}_count"),
                     labels,
                     &hist.count().to_string(),
+                ));
+                // Exact-bucket quantile estimates (integer math, so equal
+                // event streams stay byte-identical). Empty histograms
+                // render 0 so zero-seeded series are still scrapeable.
+                for (suffix, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    entry.1.push(render_sample(
+                        &format!("{name}_{suffix}"),
+                        labels,
+                        &hist.quantile(q).unwrap_or(0).to_string(),
+                    ));
+                }
+                entry.1.push(render_sample(
+                    &format!("{name}_max"),
+                    labels,
+                    &hist.max().unwrap_or(0).to_string(),
                 ));
             }
 
@@ -289,6 +337,27 @@ impl Sink for Registry {
                         *num_blocks as f64,
                     );
                 }
+                Event::Observe { name, value } => {
+                    inner
+                        .histograms
+                        .entry((format!("unicon_{name}"), String::new()))
+                        .or_default()
+                        .observe(*value);
+                }
+                Event::Request {
+                    queue_ns, run_ns, ..
+                } => {
+                    inner
+                        .histograms
+                        .entry(("unicon_serve_queue_wait_ns".to_string(), String::new()))
+                        .or_default()
+                        .observe(*queue_ns);
+                    inner
+                        .histograms
+                        .entry(("unicon_serve_request_run_ns".to_string(), String::new()))
+                        .or_default()
+                        .observe(*run_ns);
+                }
                 Event::Guard { kind, .. } => {
                     count(
                         &mut inner.counters,
@@ -395,6 +464,48 @@ mod tests {
         let reg2 = Registry::new();
         feed(&reg2);
         assert_eq!(text, reg2.exposition());
+    }
+
+    #[test]
+    fn observe_and_request_feed_histograms_with_quantiles() {
+        let reg = Registry::new();
+        reg.record(&Event::Observe {
+            name: "serve_query_latency_ns",
+            value: 100,
+        });
+        reg.record(&Event::Observe {
+            name: "serve_query_latency_ns",
+            value: 200,
+        });
+        reg.record(&Event::Request {
+            id: 1,
+            verb: "query",
+            queue_ns: 50,
+            run_ns: 5000,
+        });
+        let text = reg.exposition();
+        assert!(text.contains("# TYPE unicon_serve_query_latency_ns histogram"));
+        assert!(text.contains("unicon_serve_query_latency_ns_count 2"));
+        // 100 lands in the 2^7 = 128 bucket; p50 reports its upper bound
+        assert!(text.contains("unicon_serve_query_latency_ns_p50 128"));
+        assert!(text.contains("unicon_serve_query_latency_ns_p99 200"));
+        assert!(text.contains("unicon_serve_query_latency_ns_max 200"));
+        assert!(text.contains("unicon_serve_queue_wait_ns_count 1"));
+        assert!(text.contains("unicon_serve_queue_wait_ns_p50 50"));
+        assert!(text.contains("unicon_serve_request_run_ns_count 1"));
+    }
+
+    #[test]
+    fn seeded_histograms_render_zeroed_series() {
+        let reg = Registry::new();
+        reg.seed_histogram("unicon_serve_build_ns");
+        let text = reg.exposition();
+        assert!(text.contains("# HELP unicon_serve_build_ns"));
+        assert!(text.contains("unicon_serve_build_ns_count 0"));
+        assert!(text.contains("unicon_serve_build_ns_p50 0"));
+        assert!(text.contains("unicon_serve_build_ns_p90 0"));
+        assert!(text.contains("unicon_serve_build_ns_p99 0"));
+        assert!(text.contains("unicon_serve_build_ns_max 0"));
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Self-profiling over the span stream: reconstructs the nested span
+//! tree from collected [`Event`]s and renders it as folded stacks
+//! (flamegraph-compatible), Chrome `trace_event` JSON, and a hottest-
+//! spans table (`unicon profile`).
+//!
+//! Span records carry measured durations but no absolute timestamps
+//! (the bit-invisibility contract keeps clock reads at span boundaries
+//! only), so the Chrome timeline is *packed*: each span starts where
+//! its previous sibling ended, inside its parent's start. Durations are
+//! real; gaps between siblings are elided. Folded stacks and the top
+//! table use only durations, which are exact.
+
+use crate::json;
+use crate::Event;
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name (the static phase label).
+    pub name: &'static str,
+    /// The span id from the trace.
+    pub id: u64,
+    /// Arena index of the parent node, `None` for roots.
+    pub parent: Option<usize>,
+    /// Measured wall-clock duration in nanoseconds (0 until the close
+    /// record is seen).
+    pub nanos: u64,
+    /// Arena indices of child spans, in open order.
+    pub children: Vec<usize>,
+}
+
+/// The reconstructed span forest: an arena of nodes plus the root
+/// indices, in open order.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// All nodes; children/parent fields index into this arena.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of root spans (no parent), in open order.
+    pub roots: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Builds the span forest from an event stream: `SpanOpen` records
+    /// create nodes (linked to their parent by id), `SpanClose` records
+    /// fill in durations. Unmatched closes are ignored; unclosed opens
+    /// keep duration 0.
+    #[must_use]
+    pub fn build(events: &[Event]) -> SpanTree {
+        let mut tree = SpanTree::default();
+        // span id -> arena index; ids are process-unique, so a plain
+        // linear map over the (small) arena suffices and stays ordered.
+        let find = |nodes: &[SpanNode], id: u64| nodes.iter().position(|n| n.id == id);
+        for ev in events {
+            match ev {
+                Event::SpanOpen { name, id, parent } => {
+                    let parent_idx = parent.and_then(|p| find(&tree.nodes, p));
+                    let idx = tree.nodes.len();
+                    tree.nodes.push(SpanNode {
+                        name,
+                        id: *id,
+                        parent: parent_idx,
+                        nanos: 0,
+                        children: Vec::new(),
+                    });
+                    match parent_idx {
+                        Some(p) => tree.nodes[p].children.push(idx),
+                        None => tree.roots.push(idx),
+                    }
+                }
+                Event::SpanClose { id, nanos, .. } => {
+                    if let Some(idx) = find(&tree.nodes, *id) {
+                        tree.nodes[idx].nanos = *nanos;
+                    }
+                }
+                _ => {}
+            }
+        }
+        tree
+    }
+
+    /// Number of spans in the forest.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the stream contained no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Self time of node `idx`: its duration minus its children's
+    /// (saturating — a child measured longer than its parent, possible
+    /// under clock granularity, never goes negative).
+    #[must_use]
+    pub fn self_nanos(&self, idx: usize) -> u64 {
+        let child_sum: u64 = self.nodes[idx]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].nanos)
+            .sum();
+        self.nodes[idx].nanos.saturating_sub(child_sum)
+    }
+
+    /// The `;`-joined stack path from the root down to node `idx`.
+    #[must_use]
+    pub fn stack_path(&self, idx: usize) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            parts.push(self.nodes[i].name);
+            cur = self.nodes[i].parent;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Folded-stack output: one `root;child;leaf <self-nanos>` line per
+    /// distinct stack path (first-encounter order, self times summed),
+    /// directly consumable by flamegraph tooling with nanosecond
+    /// "sample" weights. Zero-self-time stacks are kept so every span
+    /// name appears.
+    #[must_use]
+    pub fn folded_stacks(&self) -> String {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: Vec<u64> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            let path = self.stack_path(idx);
+            let self_ns = self.self_nanos(idx);
+            match order.iter().position(|p| *p == path) {
+                Some(i) => totals[i] += self_ns,
+                None => {
+                    order.push(path);
+                    totals.push(self_ns);
+                }
+            }
+        }
+        let mut out = String::new();
+        for (path, ns) in order.iter().zip(&totals) {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (the `{"traceEvents":[...]}` envelope,
+    /// loadable in `chrome://tracing` / Perfetto): one complete (`"X"`)
+    /// event per span, timestamps in microseconds on the packed
+    /// timeline, with the span id and self time under `args`.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        let mut cursor = 0u64; // packed timeline position, nanoseconds
+        for &root in &self.roots {
+            let end = self.emit_chrome(root, cursor, &mut events);
+            cursor = end;
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&events.join(","));
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Recursively renders node `idx` starting at `start` ns on the
+    /// packed timeline; returns the node's end position.
+    fn emit_chrome(&self, idx: usize, start: u64, events: &mut Vec<String>) -> u64 {
+        let node = &self.nodes[idx];
+        let mut ev = String::from("{\"name\":");
+        json::write_str(node.name, &mut ev);
+        ev.push_str(",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":");
+        // Chrome wants microseconds; keep sub-µs precision as a decimal.
+        json::write_f64(start as f64 / 1e3, &mut ev);
+        ev.push_str(",\"dur\":");
+        json::write_f64(node.nanos as f64 / 1e3, &mut ev);
+        ev.push_str(",\"args\":{\"span_id\":");
+        ev.push_str(&node.id.to_string());
+        ev.push_str(",\"self_ns\":");
+        ev.push_str(&self.self_nanos(idx).to_string());
+        ev.push_str("}}");
+        events.push(ev);
+        let mut child_start = start;
+        for &c in &self.nodes[idx].children {
+            child_start = self.emit_chrome(c, child_start, events);
+        }
+        start + self.nodes[idx].nanos
+    }
+
+    /// The hottest spans aggregated by name: `(name, calls, total ns,
+    /// self ns)`, sorted by self time descending (ties broken by name
+    /// for a deterministic table), truncated to `top`.
+    #[must_use]
+    pub fn top_spans(&self, top: usize) -> Vec<(&'static str, u64, u64, u64)> {
+        let mut agg: Vec<(&'static str, u64, u64, u64)> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            let node = &self.nodes[idx];
+            let self_ns = self.self_nanos(idx);
+            match agg.iter_mut().find(|(n, ..)| *n == node.name) {
+                Some(row) => {
+                    row.1 += 1;
+                    row.2 += node.nanos;
+                    row.3 += self_ns;
+                }
+                None => agg.push((node.name, 1, node.nanos, self_ns)),
+            }
+        }
+        agg.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
+        agg.truncate(top);
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    /// A hand-built span stream:
+    /// build(100us) { minimize(60us) { refine(40us) }, transform(20us) }
+    /// then a sibling root reach(50us).
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::SpanOpen {
+                name: "build",
+                id: 1,
+                parent: None,
+            },
+            Event::SpanOpen {
+                name: "minimize",
+                id: 2,
+                parent: Some(1),
+            },
+            Event::SpanOpen {
+                name: "refine",
+                id: 3,
+                parent: Some(2),
+            },
+            Event::SpanClose {
+                name: "refine",
+                id: 3,
+                nanos: 40_000,
+            },
+            Event::SpanClose {
+                name: "minimize",
+                id: 2,
+                nanos: 60_000,
+            },
+            Event::SpanOpen {
+                name: "transform",
+                id: 4,
+                parent: Some(1),
+            },
+            Event::SpanClose {
+                name: "transform",
+                id: 4,
+                nanos: 20_000,
+            },
+            Event::SpanClose {
+                name: "build",
+                id: 1,
+                nanos: 100_000,
+            },
+            Event::SpanOpen {
+                name: "reach",
+                id: 5,
+                parent: None,
+            },
+            Event::SpanClose {
+                name: "reach",
+                id: 5,
+                nanos: 50_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn tree_reconstruction_links_parents_and_durations() {
+        let tree = SpanTree::build(&sample_events());
+        assert_eq!(tree.nodes.len(), 5);
+        assert_eq!(tree.roots.len(), 2);
+        let build = &tree.nodes[tree.roots[0]];
+        assert_eq!(build.name, "build");
+        assert_eq!(build.nanos, 100_000);
+        assert_eq!(build.children.len(), 2);
+        let minimize = &tree.nodes[build.children[0]];
+        assert_eq!(minimize.name, "minimize");
+        assert_eq!(minimize.children.len(), 1);
+        // self time: build = 100us - (60us + 20us) = 20us
+        assert_eq!(tree.self_nanos(tree.roots[0]), 20_000);
+        assert_eq!(tree.self_nanos(build.children[0]), 20_000); // 60 - 40
+    }
+
+    #[test]
+    fn folded_stacks_carry_nested_paths_and_self_times() {
+        let tree = SpanTree::build(&sample_events());
+        let folded = tree.folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"build 20000"));
+        assert!(lines.contains(&"build;minimize 20000"));
+        assert!(lines.contains(&"build;minimize;refine 40000"));
+        assert!(lines.contains(&"build;transform 20000"));
+        assert!(lines.contains(&"reach 50000"));
+        // every line is "path space integer"
+        for line in &lines {
+            let (path, ns) = line.rsplit_once(' ').expect("weight");
+            assert!(!path.is_empty());
+            ns.parse::<u64>().expect("integer self time");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_packs_the_timeline() {
+        let tree = SpanTree::build(&sample_events());
+        let json_text = tree.chrome_trace();
+        let v = Value::parse(&json_text).expect("chrome trace is valid JSON");
+        let events = match v.get("traceEvents") {
+            Some(Value::Arr(items)) => items,
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 5);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+            assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+            assert!(ev.get("dur").and_then(Value::as_f64).is_some());
+            assert!(ev.get("name").and_then(Value::as_str).is_some());
+        }
+        // packed layout: the second root starts where the first ended
+        let reach = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("reach"))
+            .expect("reach event");
+        assert_eq!(reach.get("ts").and_then(Value::as_f64), Some(100.0)); // µs
+                                                                          // children start at the parent's start, packed in order
+        let minimize = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("minimize"))
+            .expect("minimize event");
+        assert_eq!(minimize.get("ts").and_then(Value::as_f64), Some(0.0));
+        let transform = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("transform"))
+            .expect("transform event");
+        assert_eq!(transform.get("ts").and_then(Value::as_f64), Some(60.0));
+    }
+
+    #[test]
+    fn top_spans_sort_by_self_time() {
+        let tree = SpanTree::build(&sample_events());
+        let top = tree.top_spans(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, "reach"); // 50us self
+        assert_eq!(top[0], ("reach", 1, 50_000, 50_000));
+        assert_eq!(top[1].0, "refine"); // 40us self
+        let all = tree.top_spans(10);
+        assert_eq!(all.len(), 5, "five distinct names");
+    }
+
+    #[test]
+    fn empty_stream_builds_an_empty_tree() {
+        let tree = SpanTree::build(&[]);
+        assert!(tree.nodes.is_empty());
+        assert_eq!(tree.folded_stacks(), "");
+        let v = Value::parse(&tree.chrome_trace()).expect("empty trace parses");
+        assert!(matches!(v.get("traceEvents"), Some(Value::Arr(a)) if a.is_empty()));
+    }
+}

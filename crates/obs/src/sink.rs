@@ -48,7 +48,16 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
-        let line = event.to_json();
+        let mut line = event.to_json();
+        // record() runs on the emitting thread, so the thread-local
+        // request scope identifies the serve request this event belongs
+        // to; stamping it lets a trace be filtered to one request.
+        if let Some(rid) = crate::current_request() {
+            line.truncate(line.len() - 1);
+            line.push_str(",\"request\":");
+            line.push_str(&rid.to_string());
+            line.push('}');
+        }
         let mut out = self
             .out
             .lock()
@@ -145,6 +154,37 @@ mod tests {
         for line in &lines {
             crate::json::Value::parse(line).expect("each line is a JSON document");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_stamps_the_active_request_scope() {
+        let dir = std::env::temp_dir().join("unicon-obs-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("trace-rid-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create trace file");
+        sink.record(&Event::Counter {
+            name: "unscoped",
+            value: 1,
+        });
+        {
+            let _scope = crate::request_scope(42);
+            sink.record(&Event::Counter {
+                name: "scoped",
+                value: 1,
+            });
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = crate::json::Value::parse(lines[0]).expect("valid json");
+        assert!(first.get("request").is_none(), "no scope, no stamp");
+        let second = crate::json::Value::parse(lines[1]).expect("valid json");
+        assert_eq!(
+            second.get("request").and_then(crate::json::Value::as_f64),
+            Some(42.0)
+        );
         std::fs::remove_file(&path).ok();
     }
 

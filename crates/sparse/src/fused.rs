@@ -39,6 +39,7 @@
 //! oracle the sweep is tested against.
 
 use std::ops::Range;
+use std::time::Instant;
 
 /// Precomputed class of one group — the byte the kernel dispatches on
 /// instead of re-deriving per-sweep branches.
@@ -54,6 +55,34 @@ pub enum GroupClass {
     Single = 2,
     /// Two or more candidate rows — optimize over them.
     Multi = 3,
+}
+
+impl GroupClass {
+    /// Display names, indexed like the [`ClassTiming`] arrays.
+    pub const NAMES: [&'static str; 4] = ["fixed", "empty", "single", "multi"];
+}
+
+/// Per-[`GroupClass`] time attribution for one or more timed sweeps:
+/// nanoseconds spent in, and groups processed under, each class
+/// (indexed by `GroupClass as usize`). Filled by
+/// [`FusedGroups::sweep_best_timed`]; purely additive so per-sweep
+/// results aggregate by element-wise summation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTiming {
+    /// Wall-clock nanoseconds attributed to each class.
+    pub ns: [u64; 4],
+    /// Groups swept under each class.
+    pub groups: [u64; 4],
+}
+
+impl ClassTiming {
+    /// Element-wise accumulation of another timing into this one.
+    pub fn add(&mut self, other: &ClassTiming) {
+        for i in 0..4 {
+            self.ns[i] += other.ns[i];
+            self.groups[i] += other.groups[i];
+        }
+    }
 }
 
 /// What a sweep does with a run of equally-classed groups. `Single` and
@@ -179,6 +208,12 @@ pub struct FusedGroups {
     /// `(end, kind)` per run, ends strictly increasing, last end equals
     /// `class.len()`.
     runs: Vec<(u32, RunKind)>,
+    /// Exact-class run-length encoding (`Single` and `Multi` kept
+    /// distinct), same `(end, class)` shape as `runs`. The sweep itself
+    /// dispatches on the merged `runs`; this finer RLE exists so a
+    /// timed sweep can attribute time per [`GroupClass`] without a
+    /// per-group branch.
+    class_runs: Vec<(u32, GroupClass)>,
     /// `group_ptr[g]..group_ptr[g+1]` is group `g`'s range in `row_pool`.
     group_ptr: Vec<u32>,
     /// State-major candidate lists: the pool-row id of each row.
@@ -393,11 +428,80 @@ impl FusedGroups {
         }
     }
 
+    /// The exact-class run-length encoding: `(end, class)` per run,
+    /// ends strictly increasing, last end equal to
+    /// [`FusedGroups::num_groups`].
+    #[inline]
+    #[must_use]
+    pub fn class_runs(&self) -> &[(u32, GroupClass)] {
+        &self.class_runs
+    }
+
+    /// [`FusedGroups::sweep_best`] with per-[`GroupClass`] time
+    /// attribution accumulated into `timing`.
+    ///
+    /// The walk splits `groups` at the precomputed exact-class run
+    /// boundaries and sweeps each subrange through the ordinary
+    /// [`FusedGroups::sweep_best`] — which produces bitwise identical
+    /// output at any range partition (see
+    /// `sweep_best_subranges_agree_with_full_sweep`), so timing is
+    /// observation without perturbation: `out`/`decisions` are byte-for-
+    /// byte what the untimed sweep writes. The clock is read once per
+    /// class run (not per group), keeping overhead proportional to the
+    /// model's class fragmentation, not its size.
+    ///
+    /// # Panics
+    ///
+    /// As [`FusedGroups::sweep_best`].
+    #[allow(clippy::too_many_arguments)] // sweep_best's signature plus the timing accumulator
+    pub fn sweep_best_timed(
+        &self,
+        groups: Range<usize>,
+        scale: f64,
+        x: &[f64],
+        maximize: bool,
+        out: &mut [f64],
+        mut decisions: Option<&mut [u16]>,
+        timing: &mut ClassTiming,
+    ) {
+        assert!(groups.end <= self.num_groups(), "group range out of bounds");
+        let base = groups.start;
+        let mut ri = self
+            .class_runs
+            .partition_point(|&(end, _)| (end as usize) <= groups.start);
+        let mut g = groups.start;
+        while g < groups.end {
+            let (run_end, class) = self.class_runs[ri];
+            let end = (run_end as usize).min(groups.end);
+            // det-lint: allow(clock): timing attribution only — the swept
+            // values are produced by the deterministic sweep_best call
+            // between the two clock reads and never depend on them.
+            let t0 = Instant::now();
+            self.sweep_best(
+                g..end,
+                scale,
+                x,
+                maximize,
+                &mut out[g - base..end - base],
+                decisions
+                    .as_deref_mut()
+                    .map(|d| &mut d[g - base..end - base]),
+            );
+            let dt = t0.elapsed();
+            let ci = class as usize;
+            timing.ns[ci] += u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+            timing.groups[ci] += (end - g) as u64;
+            g = end;
+            ri += 1;
+        }
+    }
+
     /// Heap bytes held by the fused arrays.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         self.class.len() * std::mem::size_of::<GroupClass>()
             + self.runs.len() * std::mem::size_of::<(u32, RunKind)>()
+            + self.class_runs.len() * std::mem::size_of::<(u32, GroupClass)>()
             + self.group_ptr.len() * std::mem::size_of::<u32>()
             + self.row_pool.len() * std::mem::size_of::<u32>()
             + self.pool_ptr.len() * std::mem::size_of::<u32>()
@@ -633,11 +737,16 @@ impl FusedBuilder {
     pub fn build(self) -> FusedGroups {
         assert!(!self.open, "close the open group before building");
         let mut runs: Vec<(u32, RunKind)> = Vec::new();
+        let mut class_runs: Vec<(u32, GroupClass)> = Vec::new();
         for (g, &c) in self.class.iter().enumerate() {
             let kind = RunKind::of(c);
             match runs.last_mut() {
                 Some((end, k)) if *k == kind => *end = g as u32 + 1,
                 _ => runs.push((g as u32 + 1, kind)),
+            }
+            match class_runs.last_mut() {
+                Some((end, k)) if *k == c => *end = g as u32 + 1,
+                _ => class_runs.push((g as u32 + 1, c)),
             }
         }
         let col = if self.cols <= usize::from(u16::MAX) + 1 {
@@ -649,6 +758,7 @@ impl FusedBuilder {
             cols: self.cols,
             class: self.class,
             runs,
+            class_runs,
             group_ptr: self.group_ptr,
             row_pool: self.row_pool,
             pool_ptr: self.pool_ptr,
@@ -818,6 +928,63 @@ mod tests {
                 assert_eq!(hi_dec[g - split], full_dec[g]);
             }
         }
+    }
+
+    #[test]
+    fn class_runs_keep_single_and_multi_distinct() {
+        let f = sample();
+        // Classes: Fixed, Multi, Empty, Single — four exact-class runs.
+        assert_eq!(
+            f.class_runs(),
+            &[
+                (1, GroupClass::Fixed),
+                (2, GroupClass::Multi),
+                (3, GroupClass::Empty),
+                (4, GroupClass::Single),
+            ]
+        );
+    }
+
+    #[test]
+    fn timed_sweep_is_bitwise_identical_and_attributes_groups() {
+        let f = sample();
+        let x = [0.1, 0.2, 0.3, 0.4];
+        for &maximize in &[true, false] {
+            let mut plain = vec![0.0; 4];
+            let mut plain_dec = vec![u16::MAX; 4];
+            f.sweep_best(0..4, 0.7, &x, maximize, &mut plain, Some(&mut plain_dec));
+            let mut timed = vec![0.0; 4];
+            let mut timed_dec = vec![u16::MAX; 4];
+            let mut timing = ClassTiming::default();
+            f.sweep_best_timed(
+                0..4,
+                0.7,
+                &x,
+                maximize,
+                &mut timed,
+                Some(&mut timed_dec),
+                &mut timing,
+            );
+            for g in 0..4 {
+                assert_eq!(timed[g].to_bits(), plain[g].to_bits(), "group {g}");
+                assert_eq!(timed_dec[g], plain_dec[g], "group {g}");
+            }
+            // Group attribution is exact even though the ns are wall time.
+            assert_eq!(timing.groups[GroupClass::Fixed as usize], 1);
+            assert_eq!(timing.groups[GroupClass::Multi as usize], 1);
+            assert_eq!(timing.groups[GroupClass::Empty as usize], 1);
+            assert_eq!(timing.groups[GroupClass::Single as usize], 1);
+        }
+        // Subranges attribute only what they cover, accumulating.
+        let mut out = vec![0.0; 2];
+        let mut timing = ClassTiming::default();
+        f.sweep_best_timed(1..3, 0.7, &x, true, &mut out, None, &mut timing);
+        assert_eq!(timing.groups, [0, 1, 0, 1]); // Multi + Empty only
+        f.sweep_best_timed(1..3, 0.7, &x, true, &mut out, None, &mut timing);
+        assert_eq!(timing.groups, [0, 2, 0, 2]);
+        let mut other = ClassTiming::default();
+        other.add(&timing);
+        assert_eq!(other.groups, timing.groups);
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod fused;
 pub use chunk::{assign_blocks, fixed_blocks, RowChunk};
 pub use coo::CooBuilder;
 pub use csr::{CsrMatrix, RowIter};
-pub use fused::{FusedBuilder, FusedGroups, GroupClass, PoolRow};
+pub use fused::{ClassTiming, FusedBuilder, FusedGroups, GroupClass, PoolRow};

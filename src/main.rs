@@ -9,6 +9,8 @@
 //! unicon reach --ftwc 4 --time-bounds 10,100 --threads 2   batched engine
 //! unicon ftwc --n 4 --time 100 [--epsilon 1e-6]  built-in case study
 //! unicon bench-build --n-list 1,2 [--json]       construction benchmark
+//! unicon bench speedup|history|diff              perf files + regression gate
+//! unicon profile --ftwc 4 [--folded f] [--chrome f]  self-profiler
 //! unicon metrics --ftwc 1 --time-bounds 10       metrics exposition
 //! unicon serve [--socket <path>] [--threads <n>] JSONL query daemon
 //! unicon audit --ftwc 2 [--cert-out c.jsonl]     certify the proof chain
@@ -30,6 +32,7 @@
 //! semantically invalid flags), 3 partial result (a budgeted `reach` run
 //! stopped before completing; resume it with `--resume`).
 
+mod perf;
 mod serve;
 
 use std::fmt::Write as _;
@@ -78,6 +81,8 @@ fn main() -> ExitCode {
         Some("reach") => cmd_reach(&args[1..]),
         Some("ftwc") => cmd_ftwc(&args[1..]),
         Some("bench-build") => cmd_bench_build(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("serve") => serve::run(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
@@ -162,6 +167,14 @@ fn print_usage() {
          unicon ftwc --n <N> --time <t> [--epsilon <e>]\n  \
          unicon bench-build [--n-list <N1,N2,…>] [--epsilon <e>]\n          \
          [--out <file>] [--json]\n  \
+         unicon bench speedup --serial <reach.json> --parallel <reach.json>\n          \
+         [--out BENCH_reach.json] [--json]\n  \
+         unicon bench history --from <reach.json> --rev <id>\n          \
+         [--file BENCH_HISTORY.jsonl] [--scale-metric <f>]\n  \
+         unicon bench diff [--file BENCH_HISTORY.jsonl] [--threshold <pct>]\n  \
+         unicon profile [--ftwc <N>] [--time-bounds <t1,…>] [--threads <n>]\n          \
+         [--epsilon <e>] [--kernel reference|fused] [--folded <file>]\n          \
+         [--chrome <file>] [--top <n>]\n  \
          unicon metrics [--ftwc <N>] [--time-bounds <t1,…>] [--epsilon <e>]\n          \
          [--threads <n>]\n  \
          unicon serve [--socket <path>] [--threads <n>] [--max-sessions <n>]\n          \
@@ -178,6 +191,22 @@ fn print_usage() {
          worklist and the reference refiner, checks that the two quotients\n\
          agree bitwise, and writes BENCH_build.json (override with --out;\n\
          --json also prints the payload to stdout).\n\n\
+         `bench speedup` composes BENCH_reach.json from a serial and a\n\
+         parallel `reach --json` payload; the speedup key is derived from\n\
+         the REQUESTED thread counts, with a runner clamp reported in the\n\
+         explicit `clamped` field. `bench history` appends one\n\
+         schema-versioned snapshot line per run to BENCH_HISTORY.jsonl\n\
+         (keyed by --rev, kernel, effective threads, instance and bounds);\n\
+         `bench diff` compares the newest snapshot against its most recent\n\
+         compatible predecessor and exits nonzero when iterate_ms regressed\n\
+         past --threshold percent (default 10). --scale-metric multiplies\n\
+         the recorded timings — a CI hook for proving the gate fires.\n\n\
+         `profile` runs an FTWC reach workload with span collection on and\n\
+         renders the nested span tree as flamegraph folded stacks\n\
+         (--folded, default PROFILE.folded) and Chrome trace_event JSON\n\
+         (--chrome, default PROFILE.trace.json; open in chrome://tracing\n\
+         or Perfetto), plus a --top table of the hottest spans by self\n\
+         time on stdout.\n\n\
          `reach` answers all time bounds in one batched pass (shared\n\
          precomputation, cached Fox–Glynn weights, optional worker threads;\n\
          results are bitwise independent of --threads) and prints phase\n\
@@ -973,6 +1002,219 @@ fn cmd_bench_build(args: &[String]) -> Result<ExitCode, CliError> {
         });
     }
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// profile + bench: self-profiling and perf history
+// ---------------------------------------------------------------------------
+
+/// `unicon profile`: run an FTWC reach workload with span collection
+/// on, fold the nested span tree into flamegraph (`--folded`) and
+/// Chrome `trace_event` (`--chrome`) renderings, and print the hottest
+/// spans by self time. The profiled engine is the production engine —
+/// collection is the same bit-invisible telemetry every other sink
+/// uses, so the profile describes the code paths real queries take.
+fn cmd_profile(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(
+        args,
+        &[
+            "--ftwc",
+            "--time-bounds",
+            "--epsilon",
+            "--threads",
+            "--kernel",
+            "--folded",
+            "--chrome",
+            "--top",
+        ],
+        &[],
+    )?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "profile: unexpected argument '{extra}'"
+        )));
+    }
+    let n = cli
+        .value("--ftwc")
+        .map_or(Ok(4), |s| parse_usize("--ftwc", s))?;
+    let bounds: Vec<f64> = cli
+        .value("--time-bounds")
+        .unwrap_or("10")
+        .split(',')
+        .map(|p| parse_time("--time-bounds", p.trim()))
+        .collect::<Result<_, _>>()?;
+    let epsilon = epsilon_or_default(&cli)?;
+    let threads = cli
+        .value("--threads")
+        .map_or(Ok(0), |s| parse_usize("--threads", s))?;
+    let kernel = kernel_or_default(&cli)?;
+    let top = cli
+        .value("--top")
+        .map_or(Ok(10), |s| parse_usize("--top", s))?;
+
+    let (bench, events) = obs::collect(|| {
+        experiment::reach_bench_with_kernel(&FtwcParams::new(n), &bounds, epsilon, threads, kernel)
+    });
+    let tree = obs::profile::SpanTree::build(&events);
+    if tree.is_empty() {
+        return Err(runtime("the workload produced no spans to profile"));
+    }
+
+    let folded_path = cli.value("--folded").unwrap_or("PROFILE.folded");
+    std::fs::write(folded_path, tree.folded_stacks())
+        .map_err(|e| runtime(format!("cannot write {folded_path}: {e}")))?;
+    obs::info(|| format!("wrote {folded_path} (flamegraph folded-stack format)"));
+    let chrome_path = cli.value("--chrome").unwrap_or("PROFILE.trace.json");
+    std::fs::write(chrome_path, tree.chrome_trace())
+        .map_err(|e| runtime(format!("cannot write {chrome_path}: {e}")))?;
+    obs::info(|| format!("wrote {chrome_path} (chrome://tracing / Perfetto format)"));
+
+    let spans = tree.top_spans(top);
+    let total_self_ns: u64 = tree.top_spans(usize::MAX).iter().map(|s| s.3).sum();
+    println!(
+        "profile: FTWC N={n}, {} states, {} bounds, {} span(s) collected",
+        bench.states,
+        bounds.len(),
+        tree.len()
+    );
+    println!(
+        "{:<24} {:>7} {:>12} {:>12} {:>7}",
+        "span", "calls", "total_ms", "self_ms", "self%"
+    );
+    for (name, calls, total_ns, self_ns) in spans {
+        println!(
+            "{name:<24} {calls:>7} {:>12.3} {:>12.3} {:>6.1}%",
+            total_ns as f64 / 1e6,
+            self_ns as f64 / 1e6,
+            if total_self_ns == 0 {
+                0.0
+            } else {
+                self_ns as f64 * 100.0 / total_self_ns as f64
+            }
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `unicon bench`: perf bookkeeping over `reach --json` payloads —
+/// `speedup` composes BENCH_reach.json, `history` appends a
+/// schema-versioned snapshot line, `diff` gates on the newest two
+/// compatible snapshots.
+fn cmd_bench(args: &[String]) -> Result<ExitCode, CliError> {
+    match args.first().map(String::as_str) {
+        Some("speedup") => cmd_bench_speedup(&args[1..]),
+        Some("history") => cmd_bench_history(&args[1..]),
+        Some("diff") => cmd_bench_diff(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "bench: unknown subcommand '{other}' (expected speedup, history or diff)"
+        ))),
+        None => Err(CliError::Usage(
+            "bench needs a subcommand: speedup, history or diff".into(),
+        )),
+    }
+}
+
+fn cmd_bench_speedup(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--serial", "--parallel", "--out"], &["--json"])?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "bench speedup: unexpected argument '{extra}'"
+        )));
+    }
+    let serial_path = cli
+        .value("--serial")
+        .ok_or_else(|| CliError::Usage("bench speedup needs --serial <reach.json>".into()))?;
+    let parallel_path = cli
+        .value("--parallel")
+        .ok_or_else(|| CliError::Usage("bench speedup needs --parallel <reach.json>".into()))?;
+    let serial = std::fs::read_to_string(serial_path)
+        .map_err(|e| runtime(format!("cannot read {serial_path}: {e}")))?;
+    let parallel = std::fs::read_to_string(parallel_path)
+        .map_err(|e| runtime(format!("cannot read {parallel_path}: {e}")))?;
+    let json = perf::compose_speedup(&serial, &parallel).map_err(runtime)?;
+    let out = cli.value("--out").unwrap_or("BENCH_reach.json");
+    std::fs::write(out, format!("{json}\n"))
+        .map_err(|e| runtime(format!("cannot write {out}: {e}")))?;
+    obs::info(|| format!("wrote {out}"));
+    if cli.has("--json") {
+        println!("{json}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_history(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--from", "--rev", "--file", "--scale-metric"], &[])?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "bench history: unexpected argument '{extra}'"
+        )));
+    }
+    let from = cli
+        .value("--from")
+        .ok_or_else(|| CliError::Usage("bench history needs --from <reach.json>".into()))?;
+    let rev = cli
+        .value("--rev")
+        .ok_or_else(|| CliError::Usage("bench history needs --rev <identifier>".into()))?;
+    let scale = match cli.value("--scale-metric") {
+        None => 1.0,
+        Some(s) => {
+            let f = parse_f64("--scale-metric", s)?;
+            if !f.is_finite() || f <= 0.0 {
+                return Err(usage("--scale-metric", "must be a positive number"));
+            }
+            f
+        }
+    };
+    let payload =
+        std::fs::read_to_string(from).map_err(|e| runtime(format!("cannot read {from}: {e}")))?;
+    let line = perf::snapshot_from_reach(&payload, rev, scale).map_err(runtime)?;
+    let file = cli.value("--file").unwrap_or("BENCH_HISTORY.jsonl");
+    let mut history = std::fs::read_to_string(file).unwrap_or_default();
+    if !history.is_empty() && !history.ends_with('\n') {
+        history.push('\n');
+    }
+    history.push_str(&line);
+    history.push('\n');
+    std::fs::write(file, history).map_err(|e| runtime(format!("cannot write {file}: {e}")))?;
+    obs::info(|| format!("appended snapshot '{rev}' to {file}"));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_diff(args: &[String]) -> Result<ExitCode, CliError> {
+    let cli = parse_cli(args, &["--file", "--threshold"], &[])?;
+    if let Some(extra) = cli.positional.first() {
+        return Err(CliError::Usage(format!(
+            "bench diff: unexpected argument '{extra}'"
+        )));
+    }
+    let threshold = match cli.value("--threshold") {
+        None => 10.0,
+        Some(s) => {
+            let pct = parse_f64("--threshold", s)?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err(usage("--threshold", "must be a non-negative percentage"));
+            }
+            pct
+        }
+    };
+    let file = cli.value("--file").unwrap_or("BENCH_HISTORY.jsonl");
+    // a missing history file is an empty history: a fresh checkout has
+    // no baseline yet, and that must not fail the gate
+    let history = std::fs::read_to_string(file).unwrap_or_default();
+    let outcome = perf::diff_history(&history, threshold).map_err(runtime)?;
+    println!("{}", outcome.message);
+    if let Some((base_rev, newest_rev, ratio)) = &outcome.compared {
+        obs::debug(|| {
+            format!("compared '{newest_rev}' against baseline '{base_rev}': {ratio:.4}x")
+        });
+    } else {
+        obs::info(|| "no compatible baseline yet; gate passes vacuously".into());
+    }
+    if outcome.regression {
+        Err(runtime("performance regression past the threshold"))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 /// `unicon metrics`: run an FTWC reach workload with the metrics

@@ -201,6 +201,12 @@ struct ServeState {
     drain: Drain,
     /// Aggregates the event stream for `{"metrics": {}}`.
     metrics: Arc<obs::Registry>,
+    /// Monotone request-id source. Ids are assigned in handling order
+    /// (deterministic for a single-session run, which is what the golden
+    /// transcript pins); every response line echoes its id and every
+    /// telemetry event emitted while the request runs is stamped with it,
+    /// so a JSONL trace can be filtered to one request end-to-end.
+    next_request_id: AtomicU64,
 }
 
 impl ServeState {
@@ -221,6 +227,7 @@ impl ServeState {
             queue_depth: AtomicI64::new(0),
             drain: Drain::new(),
             metrics,
+            next_request_id: AtomicU64::new(0),
         }
     }
 
@@ -256,6 +263,23 @@ impl ServeState {
             "reach_kernel_ns_per_state",
         ] {
             self.set_gauge(name, 0.0);
+        }
+        // Latency histograms are seeded directly (an empty histogram, not
+        // a phantom zero sample — a seeded zero would corrupt the
+        // percentiles), so p50/p90/p99/max render 0 and the full series
+        // is scrapeable before the first request lands.
+        for name in [
+            "unicon_serve_query_latency_ns",
+            "unicon_serve_queue_wait_ns",
+            "unicon_serve_request_run_ns",
+            "unicon_serve_build_ns",
+            "unicon_reach_query_ns",
+            "unicon_kernel_fixed_ps_per_state",
+            "unicon_kernel_empty_ps_per_state",
+            "unicon_kernel_single_ps_per_state",
+            "unicon_kernel_multi_ps_per_state",
+        ] {
+            self.metrics.seed_histogram(name);
         }
     }
 
@@ -344,6 +368,10 @@ impl ServeState {
             last_used: AtomicU64::new(0),
         });
         self.touch(&entry);
+        obs::observe(
+            "serve_build_ns",
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         lock(&self.registry).insert(fp, Arc::clone(&entry));
         built.insert(n, fp);
         self.count("serve_registry_misses", 1);
@@ -601,23 +629,73 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Answers one request line; the boolean asks the session to end after
-/// writing the response (a `shutdown` acknowledgement).
+/// writing the response (a `shutdown` acknowledgement). Convenience
+/// entry for callers without a read timestamp (queue time reads as 0).
+#[cfg(test)]
 fn handle_line(state: &ServeState, line: &str) -> (String, bool) {
+    // det-lint: allow(clock): queue-time telemetry only.
+    handle_request(state, line, Instant::now())
+}
+
+/// Answers one request line read at `received`. Assigns the request id,
+/// runs the whole handler inside the id's [`obs::request_scope`] (so
+/// every event any layer emits on this thread — spans, iteration
+/// records, kernel observations — carries the id in the JSONL trace),
+/// measures queue time (read-to-handling) and run time separately, and
+/// echoes the id as `request_id` on the response line.
+fn handle_request(state: &ServeState, line: &str, received: Instant) -> (String, bool) {
+    let rid = state.next_request_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let _scope = obs::request_scope(rid);
     state.count("serve_requests", 1);
-    let outcome = match proto::parse_request(line) {
-        Err(e) => Err(e),
-        Ok(Request::Shutdown) => return (proto::SHUTDOWN_RESPONSE.to_string(), true),
-        Ok(Request::Metrics) => Ok(proto::render_metrics(&state.metrics.exposition())),
-        Ok(Request::Register { ftwc }) => state.register(ftwc),
-        Ok(Request::Query(q)) => state.query(&q),
+    let queue_ns = u64::try_from(received.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // det-lint: allow(clock): request run-time telemetry only.
+    let run_start = Instant::now();
+    let parsed = proto::parse_request(line);
+    let verb = match &parsed {
+        Err(_) => "invalid",
+        Ok(Request::Shutdown) => "shutdown",
+        Ok(Request::Metrics) => "metrics",
+        Ok(Request::Register { .. }) => "register",
+        Ok(Request::Query(_)) => "query",
     };
-    match outcome {
-        Ok(response) => (response, false),
-        Err(e) => {
-            state.count("serve_errors", 1);
-            (e.to_json(), false)
-        }
+    let (mut response, stop, ok) = match parsed {
+        Err(e) => (e.to_json(), false, false),
+        Ok(Request::Shutdown) => (proto::SHUTDOWN_RESPONSE.to_string(), true, true),
+        Ok(Request::Metrics) => (
+            proto::render_metrics(&state.metrics.exposition()),
+            false,
+            true,
+        ),
+        Ok(Request::Register { ftwc }) => match state.register(ftwc) {
+            Ok(r) => (r, false, true),
+            Err(e) => (e.to_json(), false, false),
+        },
+        Ok(Request::Query(q)) => match state.query(&q) {
+            Ok(r) => (r, false, true),
+            Err(e) => (e.to_json(), false, false),
+        },
+    };
+    if !ok {
+        state.count("serve_errors", 1);
     }
+    let run_ns = u64::try_from(run_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if ok && verb == "query" {
+        obs::observe("serve_query_latency_ns", run_ns);
+    }
+    obs::emit(obs::Class::Metric, || obs::Event::Request {
+        id: rid,
+        verb,
+        queue_ns,
+        run_ns,
+    });
+    // Every renderer produces one `{...}` object; the id is spliced in
+    // uniformly rather than threading it through each signature.
+    debug_assert!(response.ends_with('}'));
+    response.truncate(response.len() - 1);
+    response.push_str(",\"request_id\":");
+    response.push_str(&rid.to_string());
+    response.push('}');
+    (response, stop)
 }
 
 /// Drives one JSONL session to EOF (or `shutdown`), answering every
@@ -665,8 +743,10 @@ fn session_loop(
                 if line.trim().is_empty() {
                     continue;
                 }
+                // det-lint: allow(clock): queue-time telemetry only.
+                let received = Instant::now();
                 state.gauge(&state.queue_depth, "serve_queue_depth", 1);
-                let (response, stop) = handle_line(state, &line);
+                let (response, stop) = handle_request(state, &line, received);
                 state.gauge(&state.queue_depth, "serve_queue_depth", -1);
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
@@ -965,7 +1045,10 @@ mod tests {
             assert!(!stop);
         }
         let (resp, stop) = handle_line(&st, r#"{"shutdown": {}}"#);
-        assert_eq!(resp, proto::SHUTDOWN_RESPONSE);
+        let v = Value::parse(&resp).expect("shutdown ack parses");
+        assert_eq!(field(&v, "ok").as_str(), Some("shutdown"));
+        // ids are monotone in handling order: three errors then this
+        assert_eq!(field(&v, "request_id").as_f64(), Some(4.0));
         assert!(stop);
     }
 
@@ -1176,6 +1259,71 @@ mod tests {
             Some(checksum_before.as_str()),
             "evict + rebuild must be bitwise identical"
         );
+    }
+
+    /// End-to-end trace reconstruction: with a JSONL sink installed,
+    /// filtering the trace to one query's `request` stamp yields that
+    /// query's full lifecycle — the Fox–Glynn window announcement, every
+    /// value-iteration record, the kernel speed observations and the
+    /// closing request summary with separate queue/run times — and
+    /// nothing from neighboring requests.
+    #[test]
+    fn trace_filtered_by_request_id_reconstructs_one_query() {
+        let dir = std::env::temp_dir().join("unicon-serve-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("trace-e2e-{}.jsonl", std::process::id()));
+        let sink = Arc::new(obs::JsonlSink::create(&path).expect("create trace file"));
+        obs::install(sink.clone());
+
+        let st = state();
+        // A distinctive id base keeps this test's stamps disjoint from
+        // any other test thread that might also be tracing right now.
+        st.next_request_id.store(770_000, Ordering::SeqCst);
+        let fp = register_fp(&st, 1); // request 770001
+        let (q, _) = handle_line(
+            &st,
+            &format!(r#"{{"query": {{"model": "{fp}", "t": 10}}}}"#),
+        ); // request 770002
+        let vq = Value::parse(&q).expect("query response parses");
+        assert_eq!(field(&vq, "request_id").as_f64(), Some(770_002.0));
+        let iterations = field(&vq, "iterations").as_f64().expect("iterations");
+        obs::flush();
+
+        let text = std::fs::read_to_string(&path).expect("read trace back");
+        let mine: Vec<Value> = text
+            .lines()
+            .filter_map(|l| Value::parse(l).ok())
+            .filter(|v| v.get("request").and_then(Value::as_f64) == Some(770_002.0))
+            .collect();
+        let of_type = |ty: &str| -> Vec<&Value> {
+            mine.iter()
+                .filter(|v| v.get("type").and_then(Value::as_str) == Some(ty))
+                .collect()
+        };
+        // The Fox–Glynn window is announced once, before iteration.
+        assert_eq!(of_type("query_start").len(), 1);
+        // Every value-iteration step of the query is present.
+        assert_eq!(of_type("reach_iteration").len(), iterations as usize);
+        // Kernel speed and latency observations carry the same stamp.
+        let observed: Vec<&str> = of_type("observe")
+            .iter()
+            .filter_map(|v| v.get("name").and_then(Value::as_str))
+            .collect();
+        assert!(observed.contains(&"reach_query_ns"), "{observed:?}");
+        assert!(observed.contains(&"serve_query_latency_ns"), "{observed:?}");
+        // The closing summary separates queue wait from run time.
+        let summaries = of_type("request");
+        assert_eq!(summaries.len(), 1);
+        let s = summaries[0];
+        assert_eq!(s.get("verb").and_then(Value::as_str), Some("query"));
+        assert_eq!(s.get("id").and_then(Value::as_f64), Some(770_002.0));
+        assert!(s.get("queue_ns").and_then(Value::as_f64).is_some());
+        assert!(s.get("run_ns").and_then(Value::as_f64).is_some());
+        // Nothing from the neighboring register request leaked in.
+        assert!(of_type("request")
+            .iter()
+            .all(|v| v.get("verb").and_then(Value::as_str) != Some("register")));
+        std::fs::remove_file(&path).ok();
     }
 
     /// The startup zero-init makes every serve series visible (with its
